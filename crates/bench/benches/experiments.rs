@@ -1,0 +1,63 @@
+//! Criterion benches: one group per experiment (quick scale) plus engine
+//! micro-benchmarks. `cargo bench --workspace` regenerates timing for every
+//! table/figure-equivalent of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use localavg_bench::experiments::{self, Scale};
+use localavg_core::{matching, mis, ruling};
+use localavg_graph::{gen, rng::Rng};
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    macro_rules! exp {
+        ($name:literal, $f:path) => {
+            group.bench_function($name, |b| {
+                b.iter(|| std::hint::black_box($f(Scale::Quick)))
+            });
+        };
+    }
+    exp!("e1_figure1", experiments::e1_figure1);
+    exp!("e2_two_two_ruling", experiments::e2_two_two_ruling);
+    exp!("e3_det_ruling", experiments::e3_det_ruling);
+    exp!("e4_luby_matching", experiments::e4_luby_matching);
+    exp!("e5_det_matching", experiments::e5_det_matching);
+    exp!("e6_mis_upper", experiments::e6_mis_upper);
+    exp!("e7_det_orientation", experiments::e7_det_orientation);
+    exp!("e8_rand_orientation", experiments::e8_rand_orientation);
+    exp!("e9_mis_lower_bound", experiments::e9_mis_lower_bound);
+    exp!("e10_tree_mis", experiments::e10_tree_mis);
+    exp!("e11_matching_lower_bound", experiments::e11_matching_lower_bound);
+    exp!("e12_isomorphism", experiments::e12_isomorphism);
+    exp!("e13_lift_statistics", experiments::e13_lift_statistics);
+    exp!("e14_appendix_a", experiments::e14_appendix_a);
+    exp!("e15_coloring", experiments::e15_coloring);
+    exp!("e16_footnote2", experiments::e16_footnote2);
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = Rng::seed_from(1);
+    let g = gen::random_regular(2048, 8, &mut rng).expect("graph");
+    group.bench_function("luby_mis_2048x8", |b| {
+        b.iter(|| std::hint::black_box(mis::luby(&g, 7)))
+    });
+    group.bench_function("two_two_ruling_2048x8", |b| {
+        b.iter(|| std::hint::black_box(ruling::two_two(&g, 7)))
+    });
+    group.bench_function("luby_matching_2048x8", |b| {
+        b.iter(|| std::hint::black_box(matching::luby(&g, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Experiment runner: regenerates every table/figure-equivalent.
+//!
+//! ```text
+//! cargo run --release -p localavg-bench --bin exp            # all, full scale
+//! cargo run --release -p localavg-bench --bin exp -- quick   # smoke scale
+//! cargo run --release -p localavg-bench --bin exp -- e9      # one experiment
+//! ```
+
+use localavg_bench::experiments::{self, Scale};
+use localavg_bench::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let pick: Option<&str> = args.iter().find(|a| a.starts_with('e')).map(|s| s.as_str());
+
+    let tables: Vec<Table> = match pick {
+        Some("e1") => vec![experiments::e1_figure1(scale)],
+        Some("e2") => vec![experiments::e2_two_two_ruling(scale)],
+        Some("e3") => vec![experiments::e3_det_ruling(scale)],
+        Some("e4") => vec![experiments::e4_luby_matching(scale)],
+        Some("e5") => vec![experiments::e5_det_matching(scale)],
+        Some("e6") => vec![experiments::e6_mis_upper(scale)],
+        Some("e7") => vec![experiments::e7_det_orientation(scale)],
+        Some("e8") => vec![experiments::e8_rand_orientation(scale)],
+        Some("e9") => vec![experiments::e9_mis_lower_bound(scale)],
+        Some("e10") => vec![experiments::e10_tree_mis(scale)],
+        Some("e11") => vec![experiments::e11_matching_lower_bound(scale)],
+        Some("e12") => vec![experiments::e12_isomorphism(scale)],
+        Some("e13") => vec![experiments::e13_lift_statistics(scale)],
+        Some("e14") => vec![experiments::e14_appendix_a(scale)],
+        Some("e15") => vec![experiments::e15_coloring(scale)],
+        Some("e16") => vec![experiments::e16_footnote2(scale)],
+        Some(other) => {
+            eprintln!("unknown experiment id: {other}");
+            std::process::exit(2);
+        }
+        None => experiments::all(scale),
+    };
+    for table in tables {
+        println!("{table}");
+    }
+}

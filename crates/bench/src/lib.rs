@@ -1,0 +1,14 @@
+//! # localavg-bench — experiment harness
+//!
+//! One experiment per theorem/figure of the paper (see DESIGN.md §5 for
+//! the index). Every experiment is a pure function returning a [`Table`];
+//! the `exp` binary prints them as markdown (the rows EXPERIMENTS.md
+//! records), and `cargo bench` runs quick-scale versions under Criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,278 @@
+//! Distributed coloring (paper §1.2 context + deterministic subroutines).
+//!
+//! * [`random_trial`] — the classic (Δ+1)-coloring by random color trials
+//!   \[Lub93, Joh99\]: every uncolored node proposes a uniform color from
+//!   its remaining palette and keeps it if no neighbor proposed the same.
+//!   Every node succeeds with constant probability per attempt, so the
+//!   node-averaged complexity is O(1) (§1.2) while the worst case is
+//!   Θ(log n) whp — experiment E15 measures the separation.
+//! * [`linial`] — Linial's O(log* n)-round coloring with O(Δ² log² Δ)
+//!   colors, used as the deterministic symmetry-breaking workhorse by the
+//!   ruling-set finisher and available standalone here.
+
+use crate::subroutines::{linial_schedule, LinialStep};
+use localavg_graph::{analysis, Graph};
+use localavg_sim::prelude::*;
+
+/// Result of a coloring run.
+#[derive(Debug, Clone)]
+pub struct ColoringRun {
+    /// Full execution transcript.
+    pub transcript: Transcript<u64, ()>,
+    /// The proper coloring produced.
+    pub colors: Vec<usize>,
+}
+
+impl ColoringRun {
+    /// Number of distinct colors used.
+    pub fn palette_size(&self) -> usize {
+        self.colors.iter().collect::<std::collections::HashSet<_>>().len()
+    }
+
+    /// Total rounds of the run.
+    pub fn worst_case(&self) -> Round {
+        self.transcript.rounds
+    }
+}
+
+/// Messages of the random-trial process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrialMsg {
+    /// Proposed color this attempt.
+    Try(u64),
+    /// Sender fixed this color permanently.
+    Fixed(u64),
+}
+
+impl MessageSize for TrialMsg {
+    fn size_bits(&self) -> usize {
+        1 + 64
+    }
+}
+
+struct RandomTrial {
+    forbidden: Vec<bool>,
+    proposal: u64,
+}
+
+impl RandomTrial {
+    fn propose(&mut self, ctx: &mut Ctx<'_, Self>, inbox: &[Envelope<TrialMsg>]) {
+        for env in inbox {
+            if let TrialMsg::Fixed(c) = env.msg {
+                self.forbidden[c as usize] = true;
+            }
+        }
+        let palette: Vec<u64> = (0..self.forbidden.len() as u64)
+            .filter(|&c| !self.forbidden[c as usize])
+            .collect();
+        debug_assert!(!palette.is_empty(), "palette Δ+1 never exhausts");
+        self.proposal = *ctx.rng().choose(&palette);
+        ctx.broadcast(TrialMsg::Try(self.proposal));
+    }
+
+    fn resolve(&mut self, ctx: &mut Ctx<'_, Self>, inbox: &[Envelope<TrialMsg>]) {
+        let conflict = inbox.iter().any(|env| match env.msg {
+            TrialMsg::Try(c) => c == self.proposal && env.src > ctx.id(),
+            TrialMsg::Fixed(c) => c == self.proposal,
+        });
+        // Also learn colors fixed by neighbors in this window.
+        for env in inbox {
+            if let TrialMsg::Fixed(c) = env.msg {
+                self.forbidden[c as usize] = true;
+            }
+        }
+        if !conflict && !self.forbidden[self.proposal as usize] {
+            ctx.commit_node(self.proposal);
+            ctx.broadcast(TrialMsg::Fixed(self.proposal));
+            ctx.halt();
+        }
+    }
+}
+
+impl Process for RandomTrial {
+    type Message = TrialMsg;
+    type NodeOutput = u64;
+    type EdgeOutput = ();
+    type Params = ();
+
+    const OUTPUT_KIND: OutputKind = OutputKind::NodeLabels;
+
+    fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+        let mut state = RandomTrial {
+            forbidden: vec![false; ctx.max_degree() + 1],
+            proposal: 0,
+        };
+        state.propose(ctx, &[]);
+        state
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Self>, inbox: &[Envelope<TrialMsg>]) {
+        if ctx.round() % 2 == 0 {
+            self.propose(ctx, inbox);
+        } else {
+            self.resolve(ctx, inbox);
+        }
+    }
+}
+
+/// Runs the randomized (Δ+1)-coloring by color trials.
+///
+/// # Example
+///
+/// ```
+/// use localavg_graph::{analysis, gen};
+/// use localavg_core::coloring;
+///
+/// let g = gen::grid(6, 6);
+/// let run = coloring::random_trial(&g, 4);
+/// assert!(analysis::is_proper_coloring(&g, &run.colors));
+/// assert!(run.colors.iter().all(|&c| c <= g.max_degree()));
+/// ```
+pub fn random_trial(g: &Graph, seed: u64) -> ColoringRun {
+    let t = run_sequential::<RandomTrial>(g, &(), &SimConfig::new(seed));
+    let colors: Vec<usize> = t.node_labels().iter().map(|&c| c as usize).collect();
+    debug_assert!(analysis::is_proper_coloring(g, &colors));
+    ColoringRun {
+        transcript: t,
+        colors,
+    }
+}
+
+/// Messages of the Linial process: bare colors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColorMsg(pub u64);
+
+impl MessageSize for ColorMsg {
+    fn size_bits(&self) -> usize {
+        64
+    }
+}
+
+struct LinialColoring {
+    color: u64,
+    schedule: Vec<LinialStep>,
+    idx: usize,
+}
+
+impl Process for LinialColoring {
+    type Message = ColorMsg;
+    type NodeOutput = u64;
+    type EdgeOutput = ();
+    type Params = ();
+
+    const OUTPUT_KIND: OutputKind = OutputKind::NodeLabels;
+
+    fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+        let schedule = linial_schedule(ctx.n().max(2) as u64, ctx.max_degree().max(1) as u64);
+        let color = ctx.id() as u64;
+        if schedule.is_empty() {
+            ctx.commit_node(color);
+            ctx.halt();
+        } else {
+            ctx.broadcast(ColorMsg(color));
+        }
+        LinialColoring {
+            color,
+            schedule,
+            idx: 0,
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Self>, inbox: &[Envelope<ColorMsg>]) {
+        let step = self.schedule[self.idx];
+        let nbr: Vec<u64> = inbox.iter().map(|env| env.msg.0).collect();
+        self.color = step.reduce(self.color, &nbr);
+        self.idx += 1;
+        if self.idx == self.schedule.len() {
+            ctx.commit_node(self.color);
+            ctx.halt();
+        } else {
+            ctx.broadcast(ColorMsg(self.color));
+        }
+    }
+}
+
+/// Runs Linial's deterministic O(log* n)-round coloring.
+///
+/// The palette size is O(Δ² log² Δ); the round count equals the length of
+/// [`linial_schedule`] — a log*-type schedule all nodes derive from
+/// `(n, Δ)`.
+pub fn linial(g: &Graph) -> ColoringRun {
+    let t = run_sequential::<LinialColoring>(g, &(), &SimConfig::new(0));
+    let colors: Vec<usize> = t.node_labels().iter().map(|&c| c as usize).collect();
+    debug_assert!(analysis::is_proper_coloring(g, &colors));
+    ColoringRun {
+        transcript: t,
+        colors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ComplexityReport;
+    use localavg_graph::gen;
+
+    #[test]
+    fn random_trial_on_standard_graphs() {
+        for g in [
+            gen::path(30),
+            gen::cycle(25),
+            gen::complete(9),
+            gen::star(13),
+            gen::grid(5, 5),
+            gen::petersen(),
+        ] {
+            let delta = g.max_degree();
+            let run = random_trial(&g, 6);
+            assert!(analysis::is_proper_coloring(&g, &run.colors));
+            assert!(run.colors.iter().all(|&c| c <= delta));
+        }
+    }
+
+    #[test]
+    fn random_trial_node_averaged_constant() {
+        let mut rng = Rng::seed_from(3);
+        let g = gen::random_regular(400, 8, &mut rng).unwrap();
+        let run = random_trial(&g, 10);
+        let r = ComplexityReport::from_run(&g, &run.transcript);
+        assert!(r.node_averaged < 12.0, "node avg {}", r.node_averaged);
+    }
+
+    #[test]
+    fn linial_on_standard_graphs() {
+        for g in [gen::cycle(64), gen::grid(8, 8), gen::petersen()] {
+            let run = linial(&g);
+            assert!(analysis::is_proper_coloring(&g, &run.colors));
+        }
+    }
+
+    #[test]
+    fn linial_palette_much_smaller_than_n() {
+        let mut rng = Rng::seed_from(5);
+        let g = gen::random_regular(600, 4, &mut rng).unwrap();
+        let run = linial(&g);
+        assert!(analysis::is_proper_coloring(&g, &run.colors));
+        let max_color = *run.colors.iter().max().unwrap();
+        assert!(
+            max_color < 600,
+            "Linial should beat the trivial id coloring: {max_color}"
+        );
+        // Round count is a log*-type schedule: tiny.
+        assert!(run.worst_case() <= 8);
+    }
+
+    #[test]
+    fn linial_deterministic() {
+        let g = gen::grid(6, 7);
+        assert_eq!(linial(&g).colors, linial(&g).colors);
+    }
+
+    #[test]
+    fn random_trial_empty_graph() {
+        let g = Graph::empty(3);
+        let run = random_trial(&g, 1);
+        assert_eq!(run.colors.len(), 3);
+        assert!(run.transcript.node_commit_round.iter().all(|&r| r <= 1));
+    }
+}

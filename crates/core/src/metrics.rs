@@ -1,0 +1,384 @@
+//! Averaged complexity measures (paper §2, Definition 1, and Appendix A).
+//!
+//! Given a [`Transcript`], this module computes per-node and per-edge
+//! *completion times* exactly as the paper defines them:
+//!
+//! * a node has completed once **it and all its incident edges** have
+//!   committed their outputs;
+//! * an edge has completed once **it and both its endpoints** have
+//!   committed.
+//!
+//! For a node-labelling problem (MIS, coloring, ruling sets) the edges
+//! carry no output, so `T_e = max(T_u, T_v)`; for an edge-labelling problem
+//! (matching, orientations) the nodes carry none, so `T_v = max over
+//! incident edges`. Footnote 2 of the paper also uses the *relaxed*
+//! edge-completion convention for Luby's MIS — an edge is done when at
+//! least **one** endpoint is fixed — which we expose as
+//! [`CompletionTimes::edge_one_endpoint`].
+//!
+//! On top of the per-element times the module provides every averaged
+//! notion the paper discusses:
+//!
+//! * `AVG_V`, `AVG_E` — node and edge averaged complexity (Definition 1);
+//! * `AVG^w_V`, `AVG^w_E` — weighted averages (Appendix A);
+//! * `EXP_V`, `EXP_E` — node/edge expected complexity, i.e.
+//!   `max_v E[T_v]` over runs (Appendix A);
+//! * worst case — the usual round complexity;
+//! * termination-time variants (§2, "Computation vs. Termination Time").
+//!
+//! Appendix A's chain `AVG ≤ AVG^w ≤ EXP ≤ WORST` (for worst-case weights)
+//! is verified by tests and by experiment E14.
+
+use localavg_graph::Graph;
+use localavg_sim::transcript::{OutputKind, Round, Transcript, UNCOMMITTED};
+
+/// Per-element completion times extracted from one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletionTimes {
+    /// `T_v` for every node (Definition 1 node completion).
+    pub node: Vec<Round>,
+    /// `T_e` for every edge (Definition 1 edge completion).
+    pub edge: Vec<Round>,
+    /// Relaxed edge completion (footnote 2): the round at which *some*
+    /// endpoint-side output relevant to the edge was fixed.
+    pub edge_one_endpoint: Vec<Round>,
+}
+
+impl CompletionTimes {
+    /// Computes completion times from a transcript.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transcript is incomplete for its [`OutputKind`]
+    /// (some required output never committed) — averaged complexities are
+    /// only defined for algorithms that actually solve the problem.
+    pub fn from_transcript<NO, EO>(g: &Graph, t: &Transcript<NO, EO>) -> Self {
+        assert!(
+            t.is_complete(),
+            "transcript incomplete: averaged complexity undefined"
+        );
+        let needs_node = matches!(t.kind, OutputKind::NodeLabels | OutputKind::Both);
+        let needs_edge = matches!(t.kind, OutputKind::EdgeLabels | OutputKind::Both);
+
+        let own_node = |v: usize| -> Round {
+            if needs_node {
+                t.node_commit_round[v]
+            } else {
+                0
+            }
+        };
+        let own_edge = |e: usize| -> Round {
+            if needs_edge {
+                t.edge_commit_round[e]
+            } else {
+                0
+            }
+        };
+
+        let mut node: Vec<Round> = (0..g.n()).map(own_node).collect();
+        let mut edge: Vec<Round> = (0..g.m()).map(own_edge).collect();
+        let mut edge_one = vec![Round::MAX; g.m()];
+
+        for (e, u, v) in g.edges() {
+            // Edge completion: edge output and both endpoint outputs.
+            edge[e] = edge[e].max(own_node(u)).max(own_node(v));
+            // Node completion: node output and all incident edge outputs.
+            node[u] = node[u].max(own_edge(e));
+            node[v] = node[v].max(own_edge(e));
+            // Relaxed convention (footnote 2): one endpoint suffices.
+            let one = if needs_node {
+                own_node(u).min(own_node(v))
+            } else {
+                own_edge(e)
+            };
+            edge_one[e] = one;
+        }
+        CompletionTimes {
+            node,
+            edge,
+            edge_one_endpoint: edge_one,
+        }
+    }
+}
+
+fn mean(xs: &[Round]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64
+}
+
+fn weighted_mean(xs: &[Round], w: &[f64]) -> f64 {
+    assert_eq!(xs.len(), w.len(), "weight vector length mismatch");
+    let total: f64 = w.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    xs.iter()
+        .zip(w)
+        .map(|(&x, &wi)| x as f64 * wi)
+        .sum::<f64>()
+        / total
+}
+
+/// All single-run complexity measures of one execution.
+#[derive(Debug, Clone)]
+pub struct ComplexityReport {
+    /// `AVG_V` — node-averaged complexity (Definition 1).
+    pub node_averaged: f64,
+    /// `AVG_E` — edge-averaged complexity (Definition 1).
+    pub edge_averaged: f64,
+    /// Edge-averaged complexity under the relaxed one-endpoint convention
+    /// (footnote 2) — what "Luby has edge-averaged complexity O(1)" uses.
+    pub edge_averaged_one_endpoint: f64,
+    /// Maximum node completion time.
+    pub node_worst: Round,
+    /// Total rounds until global termination (classic worst case).
+    pub rounds: Round,
+    /// Average node *termination* time (§2's alternative notion), if every
+    /// node halted.
+    pub node_averaged_termination: f64,
+}
+
+impl ComplexityReport {
+    /// Computes the report for one transcript.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transcript is incomplete (see
+    /// [`CompletionTimes::from_transcript`]).
+    pub fn from_run<NO, EO>(g: &Graph, t: &Transcript<NO, EO>) -> Self {
+        let ct = CompletionTimes::from_transcript(g, t);
+        let halted: Vec<Round> = t
+            .node_halt_round
+            .iter()
+            .map(|&r| if r == UNCOMMITTED { t.rounds } else { r })
+            .collect();
+        ComplexityReport {
+            node_averaged: mean(&ct.node),
+            edge_averaged: mean(&ct.edge),
+            edge_averaged_one_endpoint: mean(&ct.edge_one_endpoint),
+            node_worst: ct.node.iter().copied().max().unwrap_or(0),
+            rounds: t.rounds,
+            node_averaged_termination: mean(&halted),
+        }
+    }
+
+    /// Weighted node-averaged complexity `AVG^w_V` for the given weights
+    /// (Appendix A).
+    pub fn weighted_node_averaged<NO, EO>(
+        g: &Graph,
+        t: &Transcript<NO, EO>,
+        weights: &[f64],
+    ) -> f64 {
+        let ct = CompletionTimes::from_transcript(g, t);
+        weighted_mean(&ct.node, weights)
+    }
+
+    /// Weighted edge-averaged complexity `AVG^w_E` (Appendix A).
+    pub fn weighted_edge_averaged<NO, EO>(
+        g: &Graph,
+        t: &Transcript<NO, EO>,
+        weights: &[f64],
+    ) -> f64 {
+        let ct = CompletionTimes::from_transcript(g, t);
+        weighted_mean(&ct.edge, weights)
+    }
+}
+
+/// Aggregate over many randomized runs (different seeds): Appendix A's
+/// *expected* complexities and the inequality chain.
+#[derive(Debug, Clone)]
+pub struct RunAggregate {
+    /// Per-node mean completion time over the runs.
+    pub node_mean: Vec<f64>,
+    /// Per-edge mean completion time over the runs.
+    pub edge_mean: Vec<f64>,
+    /// Mean of the per-run node-averaged complexities (estimates `AVG_V`).
+    pub node_averaged: f64,
+    /// Mean of the per-run edge-averaged complexities (estimates `AVG_E`).
+    pub edge_averaged: f64,
+    /// `EXP_V = max_v E[T_v]` — node expected complexity (Appendix A).
+    pub node_expected: f64,
+    /// `EXP_E = max_e E[T_e]` — edge expected complexity (Appendix A).
+    pub edge_expected: f64,
+    /// Mean of the per-run worst cases.
+    pub worst_case: f64,
+    /// Number of aggregated runs.
+    pub runs: usize,
+}
+
+impl RunAggregate {
+    /// Aggregates completion times over several runs of the same algorithm
+    /// on the same graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` is empty or the runs disagree on sizes.
+    pub fn from_times(times: &[CompletionTimes], rounds: &[Round]) -> Self {
+        assert!(!times.is_empty(), "need at least one run");
+        assert_eq!(times.len(), rounds.len());
+        let n = times[0].node.len();
+        let m = times[0].edge.len();
+        let runs = times.len() as f64;
+        let mut node_mean = vec![0.0f64; n];
+        let mut edge_mean = vec![0.0f64; m];
+        for ct in times {
+            assert_eq!(ct.node.len(), n);
+            assert_eq!(ct.edge.len(), m);
+            for (acc, &x) in node_mean.iter_mut().zip(&ct.node) {
+                *acc += x as f64 / runs;
+            }
+            for (acc, &x) in edge_mean.iter_mut().zip(&ct.edge) {
+                *acc += x as f64 / runs;
+            }
+        }
+        let node_averaged = times.iter().map(|ct| mean(&ct.node)).sum::<f64>() / runs;
+        let edge_averaged = times.iter().map(|ct| mean(&ct.edge)).sum::<f64>() / runs;
+        RunAggregate {
+            node_expected: node_mean.iter().copied().fold(0.0, f64::max),
+            edge_expected: edge_mean.iter().copied().fold(0.0, f64::max),
+            node_mean,
+            edge_mean,
+            node_averaged,
+            edge_averaged,
+            worst_case: rounds.iter().map(|&r| r as f64).sum::<f64>() / runs,
+            runs: times.len(),
+        }
+    }
+
+    /// The adversarial (worst-case) weighted node average: all weight on
+    /// the node with the largest mean completion time. By construction it
+    /// equals [`RunAggregate::node_expected`], which makes Appendix A's
+    /// `AVG_V ≤ AVG^w_V ≤ EXP_V` chain checkable.
+    pub fn adversarial_weighted_node_averaged(&self) -> f64 {
+        self.node_expected
+    }
+
+    /// Checks Appendix A's inequality chain
+    /// `AVG_V ≤ AVG^w_V (adversarial) ≤ EXP_V ≤ E[WORST]` on this aggregate.
+    pub fn inequality_chain_holds(&self) -> bool {
+        let eps = 1e-9;
+        self.node_averaged <= self.adversarial_weighted_node_averaged() + eps
+            && self.adversarial_weighted_node_averaged() <= self.node_expected + eps
+            && self.node_expected <= self.worst_case + eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localavg_graph::gen;
+    use localavg_sim::transcript::{OutputKind, Transcript};
+
+    fn node_problem_transcript(g: &Graph, commits: &[Round]) -> Transcript<bool, ()> {
+        let mut t = Transcript::empty(OutputKind::NodeLabels, g.n(), g.m());
+        t.node_commit_round = commits.to_vec();
+        t.node_output = commits.iter().map(|_| Some(true)).collect();
+        t.rounds = commits.iter().copied().max().unwrap_or(0);
+        t.node_halt_round = commits.to_vec();
+        t
+    }
+
+    #[test]
+    fn node_problem_completion_times() {
+        let g = gen::path(3); // edges {0,1}, {1,2}
+        let t = node_problem_transcript(&g, &[0, 5, 2]);
+        let ct = CompletionTimes::from_transcript(&g, &t);
+        assert_eq!(ct.node, vec![0, 5, 2]); // own commits only
+        assert_eq!(ct.edge, vec![5, 5]); // max of endpoints
+        assert_eq!(ct.edge_one_endpoint, vec![0, 2]); // min of endpoints
+    }
+
+    #[test]
+    fn edge_problem_completion_times() {
+        let g = gen::path(3);
+        let mut t: Transcript<(), bool> = Transcript::empty(OutputKind::EdgeLabels, 3, 2);
+        t.edge_commit_round = vec![4, 1];
+        t.edge_output = vec![Some(true), Some(false)];
+        t.rounds = 4;
+        let ct = CompletionTimes::from_transcript(&g, &t);
+        assert_eq!(ct.edge, vec![4, 1]); // own commits
+        assert_eq!(ct.node, vec![4, 4, 1]); // max over incident edges
+        assert_eq!(ct.edge_one_endpoint, vec![4, 1]);
+    }
+
+    #[test]
+    fn both_problem_completion_times() {
+        let g = gen::path(2);
+        let mut t: Transcript<u8, u8> = Transcript::empty(OutputKind::Both, 2, 1);
+        t.node_commit_round = vec![1, 3];
+        t.node_output = vec![Some(0), Some(0)];
+        t.edge_commit_round = vec![2];
+        t.edge_output = vec![Some(0)];
+        t.rounds = 3;
+        let ct = CompletionTimes::from_transcript(&g, &t);
+        assert_eq!(ct.node, vec![2, 3]); // own vs incident edge
+        assert_eq!(ct.edge, vec![3]); // own vs both endpoints
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn incomplete_transcript_panics() {
+        let g = gen::path(2);
+        let t: Transcript<bool, ()> = Transcript::empty(OutputKind::NodeLabels, 2, 1);
+        let _ = CompletionTimes::from_transcript(&g, &t);
+    }
+
+    #[test]
+    fn report_values() {
+        let g = gen::path(3);
+        let t = node_problem_transcript(&g, &[0, 6, 3]);
+        let r = ComplexityReport::from_run(&g, &t);
+        assert!((r.node_averaged - 3.0).abs() < 1e-12);
+        assert!((r.edge_averaged - 6.0).abs() < 1e-12);
+        assert!((r.edge_averaged_one_endpoint - 1.5).abs() < 1e-12);
+        assert_eq!(r.node_worst, 6);
+        assert_eq!(r.rounds, 6);
+        assert!((r.node_averaged_termination - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_averages() {
+        let g = gen::path(3);
+        let t = node_problem_transcript(&g, &[0, 6, 3]);
+        let uniform = ComplexityReport::weighted_node_averaged(&g, &t, &[1.0, 1.0, 1.0]);
+        assert!((uniform - 3.0).abs() < 1e-12);
+        let adversarial = ComplexityReport::weighted_node_averaged(&g, &t, &[0.0, 1.0, 0.0]);
+        assert!((adversarial - 6.0).abs() < 1e-12);
+        let we = ComplexityReport::weighted_edge_averaged(&g, &t, &[3.0, 1.0]);
+        assert!((we - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_and_inequality_chain() {
+        let g = gen::path(3);
+        let runs = [
+            node_problem_transcript(&g, &[0, 4, 2]),
+            node_problem_transcript(&g, &[2, 0, 4]),
+        ];
+        let times: Vec<CompletionTimes> = runs
+            .iter()
+            .map(|t| CompletionTimes::from_transcript(&g, t))
+            .collect();
+        let rounds: Vec<Round> = runs.iter().map(|t| t.rounds).collect();
+        let agg = RunAggregate::from_times(&times, &rounds);
+        assert_eq!(agg.runs, 2);
+        assert!((agg.node_mean[0] - 1.0).abs() < 1e-12);
+        assert!((agg.node_mean[1] - 2.0).abs() < 1e-12);
+        assert!((agg.node_mean[2] - 3.0).abs() < 1e-12);
+        assert!((agg.node_expected - 3.0).abs() < 1e-12);
+        assert!((agg.node_averaged - 2.0).abs() < 1e-12);
+        assert_eq!(agg.worst_case, 4.0);
+        assert!(agg.inequality_chain_holds());
+    }
+
+    #[test]
+    fn empty_graph_report() {
+        let g = Graph::empty(0);
+        let t: Transcript<bool, ()> = Transcript::empty(OutputKind::NodeLabels, 0, 0);
+        let r = ComplexityReport::from_run(&g, &t);
+        assert_eq!(r.node_averaged, 0.0);
+        assert_eq!(r.node_worst, 0);
+    }
+}

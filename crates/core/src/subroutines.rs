@@ -1,0 +1,387 @@
+//! Shared deterministic subroutines: Cole–Vishkin color reduction, prime
+//! selection for Linial's coloring step, and small numeric helpers.
+//!
+//! These are the classic tools the paper's deterministic algorithms lean
+//! on: Theorem 3's dominating-set iteration 3-colors pointer forests in
+//! O(log* n) rounds, Theorem 5's rounding 3-colors paths/cycles, and the
+//! ruling-set/matching finishers use Linial-style coloring.
+
+/// One Cole–Vishkin reduction step for rooted forests / pointer chains.
+///
+/// Given a node's current color and its parent's current color (distinct),
+/// produces a new color `2*i + bit(i)` where `i` is the lowest bit index at
+/// which the colors differ. Iterating shrinks any `k`-coloring to a
+/// constant-size palette in `O(log* k)` steps, staying proper along every
+/// pointer edge.
+///
+/// # Panics
+///
+/// Panics if `my == parent` (that would not be a proper coloring).
+///
+/// # Example
+///
+/// ```
+/// use localavg_core::subroutines::cv_step;
+/// // Colors 5 (101b) and 1 (001b) differ first at bit 2; my bit there is 1.
+/// assert_eq!(cv_step(5, 1), 2 * 2 + 1);
+/// ```
+pub fn cv_step(my: u64, parent: u64) -> u64 {
+    assert_ne!(my, parent, "Cole–Vishkin requires distinct colors");
+    let diff = my ^ parent;
+    let i = diff.trailing_zeros() as u64;
+    2 * i + ((my >> i) & 1)
+}
+
+/// The color for a root node (no parent): pair it with a fictitious parent
+/// color that is guaranteed to differ.
+pub fn cv_step_root(my: u64) -> u64 {
+    let fake_parent = if my == 0 { 1 } else { 0 };
+    cv_step(my, fake_parent)
+}
+
+/// Number of [`cv_step`] iterations that take any proper coloring with
+/// `initial_colors` colors down to at most 6 colors.
+///
+/// All nodes compute the same schedule from global knowledge of `n`, so
+/// the reduction runs synchronously without extra coordination.
+///
+/// # Example
+///
+/// ```
+/// use localavg_core::subroutines::cv_rounds;
+/// assert!(cv_rounds(6) == 0);
+/// assert!(cv_rounds(1 << 20) <= 6);
+/// ```
+pub fn cv_rounds(initial_colors: u64) -> usize {
+    let mut colors = initial_colors;
+    let mut rounds = 0;
+    while colors > 6 {
+        // After one step colors are < 2 * ceil(log2(colors)) + 2.
+        let bits = 64 - (colors - 1).leading_zeros() as u64;
+        colors = 2 * bits;
+        rounds += 1;
+        assert!(rounds < 64, "cv_rounds failed to converge");
+    }
+    rounds
+}
+
+/// Smallest prime `>= x` (trial division; fine for the small values used
+/// by Linial coloring steps).
+///
+/// # Example
+///
+/// ```
+/// use localavg_core::subroutines::next_prime;
+/// assert_eq!(next_prime(10), 11);
+/// assert_eq!(next_prime(11), 11);
+/// assert_eq!(next_prime(1), 2);
+/// ```
+pub fn next_prime(x: u64) -> u64 {
+    let mut candidate = x.max(2);
+    loop {
+        if is_prime(candidate) {
+            return candidate;
+        }
+        candidate += 1;
+    }
+}
+
+fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    if x.is_multiple_of(2) {
+        return x == 2;
+    }
+    let mut d = 3u64;
+    while d * d <= x {
+        if x.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// `ceil(log2(x))` for `x >= 1` (0 for `x = 1`).
+pub fn ceil_log2(x: u64) -> u32 {
+    assert!(x >= 1);
+    64 - (x - 1).leading_zeros()
+}
+
+/// Iterated logarithm `log* x` (base 2): the number of times `log2` must be
+/// applied before the value drops to at most 1. The paper's Θ(log* n)
+/// bounds are compared against this reference function in the experiments.
+///
+/// # Example
+///
+/// ```
+/// use localavg_core::subroutines::log_star;
+/// assert_eq!(log_star(1.0), 0);
+/// assert_eq!(log_star(2.0), 1);
+/// assert_eq!(log_star(16.0), 3);
+/// assert_eq!(log_star(65536.0), 4);
+/// ```
+pub fn log_star(x: f64) -> usize {
+    let mut x = x;
+    let mut count = 0;
+    while x > 1.0 {
+        x = x.log2();
+        count += 1;
+        assert!(count < 16, "log_star diverged");
+    }
+    count
+}
+
+/// Parameters of one Linial color-reduction step: evaluating the current
+/// color (seen as a polynomial over `F_p`) at a disagreement-free point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinialStep {
+    /// Field size (prime).
+    pub p: u64,
+    /// Polynomial degree bound: colors are encoded with `degree + 1` base-p
+    /// digits.
+    pub degree: u64,
+}
+
+impl LinialStep {
+    /// Chooses a field for one Linial step: reducing `k` colors on a graph
+    /// of maximum degree `max_degree` to at most `p^2` colors.
+    ///
+    /// Guarantees `p > max_degree * degree` so a disagreement-free
+    /// evaluation point always exists, and `p^(degree+1) >= k` so every
+    /// color is encodable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn choose(k: u64, max_degree: u64) -> LinialStep {
+        assert!(k >= 1);
+        let delta = max_degree.max(1);
+        // Minimize the resulting palette p^2 over the polynomial degree d,
+        // subject to p > Δ·d (a disagreement point exists) and
+        // p^(d+1) >= k (every color is encodable).
+        let mut best: Option<LinialStep> = None;
+        for d in 1u64..=16 {
+            // Smallest p with p^(d+1) >= k.
+            let root = (k as f64).powf(1.0 / (d + 1) as f64).ceil() as u64;
+            let mut p = next_prime(root.max(delta * d + 1).max(2));
+            // Guard against floating point rounding: bump until cap >= k.
+            loop {
+                let mut cap = 1u64;
+                let mut ok = true;
+                for _ in 0..=d {
+                    cap = match cap.checked_mul(p) {
+                        Some(c) => c,
+                        None => {
+                            ok = true;
+                            cap = u64::MAX;
+                            break;
+                        }
+                    };
+                }
+                if ok && cap >= k {
+                    break;
+                }
+                p = next_prime(p + 1);
+            }
+            let candidate = LinialStep { p, degree: d };
+            if best
+                .map(|b| candidate.new_color_count() < b.new_color_count())
+                .unwrap_or(true)
+            {
+                best = Some(candidate);
+            }
+        }
+        best.expect("at least one feasible Linial field")
+    }
+
+    /// Number of colors after this step.
+    pub fn new_color_count(&self) -> u64 {
+        self.p * self.p
+    }
+
+    /// Interprets `color` as a polynomial over `F_p` (base-p digits as
+    /// coefficients) and evaluates it at `x`.
+    pub fn eval(&self, color: u64, x: u64) -> u64 {
+        let mut c = color;
+        let mut result = 0u64;
+        let mut power = 1u64;
+        for _ in 0..=self.degree {
+            let digit = c % self.p;
+            result = (result + digit * power) % self.p;
+            power = (power * x) % self.p;
+            c /= self.p;
+        }
+        result
+    }
+
+    /// Executes the step for one node: given its color and its neighbors'
+    /// colors (all distinct from its own), returns the new color.
+    ///
+    /// The new color is `x * p + f(x)` for the smallest evaluation point
+    /// `x` at which this node's polynomial disagrees with every neighbor's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no disagreement point exists — impossible when the inputs
+    /// form a proper coloring and the field was chosen by
+    /// [`LinialStep::choose`].
+    pub fn reduce(&self, color: u64, neighbor_colors: &[u64]) -> u64 {
+        'point: for x in 0..self.p {
+            let mine = self.eval(color, x);
+            for &nc in neighbor_colors {
+                if nc == color {
+                    continue; // defensive: identical colors carry no constraint
+                }
+                if self.eval(nc, x) == mine {
+                    continue 'point;
+                }
+            }
+            return x * self.p + mine;
+        }
+        panic!(
+            "Linial step found no disagreement point (p={}, degree={}, deg(v)={})",
+            self.p,
+            self.degree,
+            neighbor_colors.len()
+        );
+    }
+}
+
+/// The full Linial schedule: fields for successive steps until the color
+/// count stops shrinking. All nodes derive the identical schedule from
+/// `(n, max_degree)`.
+pub fn linial_schedule(n: u64, max_degree: u64) -> Vec<LinialStep> {
+    let mut steps = Vec::new();
+    let mut k = n.max(2);
+    loop {
+        let step = LinialStep::choose(k, max_degree);
+        let new_k = step.new_color_count();
+        if new_k >= k {
+            break;
+        }
+        steps.push(step);
+        k = new_k;
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localavg_graph::gen;
+    use localavg_graph::rng::Rng;
+
+    #[test]
+    fn cv_step_produces_proper_colors_on_chain() {
+        // Simulate CV on a directed path with ids as colors.
+        let n = 200usize;
+        let mut colors: Vec<u64> = (0..n as u64).map(|i| i * 7919 % 65537).collect();
+        // Ensure initial properness along the chain.
+        for i in 0..n - 1 {
+            assert_ne!(colors[i], colors[i + 1]);
+        }
+        for _ in 0..cv_rounds(65537) {
+            let parents: Vec<u64> = (0..n)
+                .map(|i| if i + 1 < n { colors[i + 1] } else { colors[i] })
+                .collect();
+            colors = (0..n)
+                .map(|i| {
+                    if i + 1 < n {
+                        cv_step(colors[i], parents[i])
+                    } else {
+                        cv_step_root(colors[i])
+                    }
+                })
+                .collect();
+        }
+        for i in 0..n - 1 {
+            assert_ne!(colors[i], colors[i + 1], "chain coloring stays proper");
+            assert!(colors[i] < 6, "colors reduced to < 6");
+        }
+    }
+
+    #[test]
+    fn cv_rounds_monotone_and_small() {
+        assert_eq!(cv_rounds(3), 0);
+        assert!(cv_rounds(1 << 16) <= 5);
+        assert!(cv_rounds(u64::MAX) <= 8);
+    }
+
+    #[test]
+    fn primes() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(14), 17);
+        assert_eq!(next_prime(97), 97);
+        assert!(!is_prime(1));
+        assert!(is_prime(2));
+        assert!(!is_prime(91)); // 7 * 13
+    }
+
+    #[test]
+    fn log_helpers() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(log_star(4.0), 2);
+    }
+
+    #[test]
+    fn linial_step_parameters() {
+        let s = LinialStep::choose(1 << 20, 4);
+        assert!(s.p > 4 * s.degree, "field large enough for disagreement");
+        // p^(degree+1) >= k
+        let mut cap = 1u64;
+        for _ in 0..=s.degree {
+            cap = cap.saturating_mul(s.p);
+        }
+        assert!(cap >= 1 << 20);
+    }
+
+    #[test]
+    fn linial_reduces_colors_on_random_graph() {
+        let mut rng = Rng::seed_from(17);
+        let g = gen::random_regular(600, 4, &mut rng).unwrap();
+        let mut colors: Vec<u64> = (0..g.n() as u64).collect();
+        let schedule = linial_schedule(g.n() as u64, 4);
+        assert!(!schedule.is_empty());
+        for step in &schedule {
+            let next: Vec<u64> = g
+                .nodes()
+                .map(|v| {
+                    let nbr: Vec<u64> = g.neighbor_ids(v).map(|u| colors[u]).collect();
+                    step.reduce(colors[v], &nbr)
+                })
+                .collect();
+            colors = next;
+            // Stays proper after every step.
+            for (_, u, v) in g.edges() {
+                assert_ne!(colors[u], colors[v]);
+            }
+            let max = *colors.iter().max().unwrap();
+            assert!(max < step.new_color_count());
+        }
+        let final_count = schedule.last().unwrap().new_color_count();
+        assert!(
+            final_count < 600,
+            "color space should shrink below n: {final_count}"
+        );
+    }
+
+    #[test]
+    fn linial_eval_is_polynomial() {
+        let s = LinialStep { p: 7, degree: 2 };
+        // color 52 = 3 + 0*7 + 1*49 -> f(x) = 3 + x^2 mod 7
+        assert_eq!(s.eval(52, 0), 3);
+        assert_eq!(s.eval(52, 2), 0);
+        assert_eq!(s.eval(52, 3), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cv_step_rejects_equal_colors() {
+        cv_step(3, 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Graphviz DOT export.
+//!
+//! Used by the experiment harness to regenerate Figure 1 (the cluster-tree
+//! skeletons `CT_0`, `CT_1`, `CT_2`) and to eyeball small gadget graphs.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Renders `g` as an undirected Graphviz DOT document.
+///
+/// `node_label` and `edge_label` provide per-element labels; return an
+/// empty string to omit the label.
+///
+/// # Example
+///
+/// ```
+/// use localavg_graph::{gen, dot};
+/// let g = gen::path(3);
+/// let s = dot::to_dot(&g, |v| format!("n{v}"), |_e| String::new());
+/// assert!(s.starts_with("graph"));
+/// assert!(s.contains("0 -- 1"));
+/// ```
+pub fn to_dot(
+    g: &Graph,
+    node_label: impl Fn(NodeId) -> String,
+    edge_label: impl Fn(EdgeId) -> String,
+) -> String {
+    let mut out = String::new();
+    out.push_str("graph G {\n");
+    for v in g.nodes() {
+        let label = node_label(v);
+        if label.is_empty() {
+            let _ = writeln!(out, "  {v};");
+        } else {
+            let _ = writeln!(out, "  {v} [label=\"{label}\"];");
+        }
+    }
+    for (e, u, v) in g.edges() {
+        let label = edge_label(e);
+        if label.is_empty() {
+            let _ = writeln!(out, "  {u} -- {v};");
+        } else {
+            let _ = writeln!(out, "  {u} -- {v} [label=\"{label}\"];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders `g` with default labels (node ids, no edge labels).
+pub fn to_dot_plain(g: &Graph) -> String {
+    to_dot(g, |_| String::new(), |_| String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = gen::cycle(4);
+        let s = to_dot_plain(&g);
+        for (_, u, v) in g.edges() {
+            assert!(s.contains(&format!("{u} -- {v}")));
+        }
+        assert!(s.starts_with("graph G {"));
+        assert!(s.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_labels() {
+        let g = gen::path(2);
+        let s = to_dot(&g, |v| format!("node{v}"), |e| format!("edge{e}"));
+        assert!(s.contains("label=\"node0\""));
+        assert!(s.contains("label=\"edge0\""));
+    }
+}

@@ -1,0 +1,548 @@
+//! Graph generators.
+//!
+//! The experiments sweep over the standard families used in the paper's
+//! statements and proofs: bounded-degree graphs (cycles, d-regular graphs,
+//! grids), trees (Theorem 16's tree lower bound), Erdős–Rényi graphs, and
+//! bipartite/biregular gadgets (the cluster-tree constructions of §4.6 wire
+//! groups of nodes with complete bipartite graphs `K_{a,b}` and perfect
+//! matchings).
+//!
+//! All randomized generators take the workspace [`Rng`] so results are
+//! reproducible from a master seed.
+
+use crate::graph::{Graph, GraphBuilder, GraphError, NodeId};
+use crate::rng::Rng;
+
+/// Path `P_n` on `n` nodes (`n-1` edges).
+///
+/// # Example
+///
+/// ```
+/// let g = localavg_graph::gen::path(4);
+/// assert_eq!(g.m(), 3);
+/// ```
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for v in 1..n {
+        g.add_edge(v - 1, v).expect("path edges are valid");
+    }
+    g
+}
+
+/// Cycle `C_n` on `n >= 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (a 2-cycle would be a multi-edge).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires n >= 3, got {n}");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0).expect("closing edge is valid");
+    g
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v).expect("complete edges are valid");
+        }
+    }
+    g
+}
+
+/// Complete bipartite graph `K_{a,b}`; the first `a` nodes form one side.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::empty(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            g.add_edge(u, a + v).expect("bipartite edges are valid");
+        }
+    }
+    g
+}
+
+/// Star `K_{1,n-1}` with node 0 at the center.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "star requires at least one node");
+    let mut g = Graph::empty(n);
+    for v in 1..n {
+        g.add_edge(0, v).expect("star edges are valid");
+    }
+    g
+}
+
+/// `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut g = Graph::empty(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(idx(r, c), idx(r, c + 1)).expect("grid edge");
+            }
+            if r + 1 < rows {
+                g.add_edge(idx(r, c), idx(r + 1, c)).expect("grid edge");
+            }
+        }
+    }
+    g
+}
+
+/// `d`-dimensional hypercube `Q_d` on `2^d` nodes.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut g = Graph::empty(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                g.add_edge(v, u).expect("hypercube edge");
+            }
+        }
+    }
+    g
+}
+
+/// Complete binary tree with `n` nodes (heap indexing: children of `v` are
+/// `2v+1`, `2v+2`).
+pub fn binary_tree(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for v in 1..n {
+        g.add_edge(v, (v - 1) / 2).expect("tree edge");
+    }
+    g
+}
+
+/// Caterpillar: a path of `spine` nodes, each with `legs` pendant leaves.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut g = Graph::empty(n);
+    for v in 1..spine {
+        g.add_edge(v - 1, v).expect("spine edge");
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            g.add_edge(s, spine + s * legs + l).expect("leg edge");
+        }
+    }
+    g
+}
+
+/// Uniformly random labelled tree on `n` nodes via Prüfer sequences.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(n: usize, rng: &mut Rng) -> Graph {
+    assert!(n >= 1, "random_tree requires at least one node");
+    if n == 1 {
+        return Graph::empty(1);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]).expect("valid 2-node tree");
+    }
+    let prufer: Vec<NodeId> = (0..n - 2).map(|_| rng.index(n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    // Min-heap over current leaves.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut leaves: BinaryHeap<Reverse<NodeId>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(Reverse)
+        .collect();
+    let mut g = Graph::empty(n);
+    for &v in &prufer {
+        let Reverse(leaf) = leaves.pop().expect("Prüfer decoding always has a leaf");
+        g.add_edge(leaf, v).expect("tree edge");
+        degree[v] -= 1;
+        if degree[v] == 1 {
+            leaves.push(Reverse(v));
+        }
+    }
+    let Reverse(a) = leaves.pop().expect("two leaves remain");
+    let Reverse(b) = leaves.pop().expect("two leaves remain");
+    g.add_edge(a, b).expect("final tree edge");
+    g
+}
+
+/// Erdős–Rényi graph `G(n, p)`: each pair is an edge independently with
+/// probability `p`.
+pub fn gnp(n: usize, p: f64, rng: &mut Rng) -> Graph {
+    let mut g = Graph::empty(n);
+    if p <= 0.0 {
+        return g;
+    }
+    if p >= 1.0 {
+        return complete(n);
+    }
+    // Geometric skipping (Batagelj–Brandes) for sparse p.
+    let log_q = (1.0 - p).ln();
+    let mut v: usize = 1;
+    let mut w: isize = -1;
+    while v < n {
+        let r = rng.f64_unit().max(f64::MIN_POSITIVE);
+        w += 1 + (r.ln() / log_q).floor() as isize;
+        while w >= v as isize && v < n {
+            w -= v as isize;
+            v += 1;
+        }
+        if v < n {
+            g.add_edge(w as usize, v).expect("gnp edge");
+        }
+    }
+    g
+}
+
+/// Random `d`-regular graph on `n` nodes via the configuration model with
+/// restarts (pairings with self-loops or multi-edges are rejected).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n * d` is odd or `d >= n`,
+/// or if no simple pairing is found after many restarts (only plausible for
+/// extreme parameters).
+///
+/// # Example
+///
+/// ```
+/// use localavg_graph::{gen, rng::Rng};
+/// let mut rng = Rng::seed_from(1);
+/// let g = gen::random_regular(50, 3, &mut rng)?;
+/// assert!(g.degrees().all(|d| d == 3));
+/// # Ok::<(), localavg_graph::GraphError>(())
+/// ```
+pub fn random_regular(n: usize, d: usize, rng: &mut Rng) -> Result<Graph, GraphError> {
+    if d == 0 {
+        return Ok(Graph::empty(n));
+    }
+    if !(n * d).is_multiple_of(2) {
+        return Err(GraphError::InvalidParameters(format!(
+            "n*d must be even for a d-regular graph (n={n}, d={d})"
+        )));
+    }
+    if d >= n {
+        return Err(GraphError::InvalidParameters(format!(
+            "degree d={d} must be < n={n}"
+        )));
+    }
+    // Steger–Wormald pairing: repeatedly connect two random unmatched stubs
+    // that form a legal edge; restart only when the remaining stubs are
+    // (nearly) stuck. Far more robust than rejecting whole pairings.
+    let stubs_template: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    const MAX_RESTARTS: usize = 200;
+    'restart: for _ in 0..MAX_RESTARTS {
+        let mut stubs = stubs_template.clone();
+        let mut b = GraphBuilder::new(n);
+        while stubs.len() >= 2 {
+            let mut tries = 0usize;
+            loop {
+                let i = rng.index(stubs.len());
+                let mut j = rng.index(stubs.len() - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let (u, v) = (stubs[i], stubs[j]);
+                if u != v && !b.contains(u, v) {
+                    b.try_add(u, v);
+                    let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                    stubs.swap_remove(hi);
+                    stubs.swap_remove(lo);
+                    break;
+                }
+                tries += 1;
+                if tries > 100 + 20 * stubs.len() {
+                    continue 'restart;
+                }
+            }
+        }
+        return Ok(b.build());
+    }
+    Err(GraphError::InvalidParameters(format!(
+        "failed to sample a simple {d}-regular graph on {n} nodes after {MAX_RESTARTS} restarts"
+    )))
+}
+
+/// Random bipartite `(d_a, d_b)`-biregular graph: `a` left nodes of degree
+/// `d_a`, `b` right nodes of degree `d_b` (requires `a * d_a == b * d_b`).
+///
+/// Left nodes are `0..a`, right nodes are `a..a+b`. Used to realize the
+/// cluster-tree edge constraints of §4.3 in tests and ablations.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if the degree equation fails,
+/// if a side would need more distinct neighbors than exist, or if sampling
+/// keeps producing multi-edges after many restarts.
+pub fn random_biregular(
+    a: usize,
+    b: usize,
+    d_a: usize,
+    d_b: usize,
+    rng: &mut Rng,
+) -> Result<Graph, GraphError> {
+    if a * d_a != b * d_b {
+        return Err(GraphError::InvalidParameters(format!(
+            "biregular requires a*d_a == b*d_b ({a}*{d_a} != {b}*{d_b})"
+        )));
+    }
+    if d_a > b || d_b > a {
+        return Err(GraphError::InvalidParameters(format!(
+            "degrees too large for simple biregular graph (d_a={d_a} > b={b} or d_b={d_b} > a={a})"
+        )));
+    }
+    if a == 0 {
+        return Ok(Graph::empty(b));
+    }
+    let left_template: Vec<NodeId> = (0..a).flat_map(|v| std::iter::repeat_n(v, d_a)).collect();
+    let right_template: Vec<NodeId> = (0..b)
+        .flat_map(|v| std::iter::repeat_n(a + v, d_b))
+        .collect();
+    const MAX_RESTARTS: usize = 200;
+    'restart: for _ in 0..MAX_RESTARTS {
+        let mut left = left_template.clone();
+        let mut right = right_template.clone();
+        let mut builder = GraphBuilder::new(a + b);
+        while !left.is_empty() {
+            let mut tries = 0usize;
+            loop {
+                let i = rng.index(left.len());
+                let j = rng.index(right.len());
+                if builder.try_add(left[i], right[j]) {
+                    left.swap_remove(i);
+                    right.swap_remove(j);
+                    break;
+                }
+                tries += 1;
+                if tries > 100 + 20 * left.len() {
+                    continue 'restart;
+                }
+            }
+        }
+        return Ok(builder.build());
+    }
+    Err(GraphError::InvalidParameters(format!(
+        "failed to sample simple ({d_a},{d_b})-biregular graph after {MAX_RESTARTS} restarts"
+    )))
+}
+
+/// Random geometric graph: `n` points uniform in the unit square, edges
+/// between pairs at Euclidean distance `<= radius`.
+///
+/// Models the sensor-network deployments that motivate node-averaged
+/// complexity as an energy measure (paper §1, \[CGP20\]).
+pub fn random_geometric(n: usize, radius: f64, rng: &mut Rng) -> Graph {
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64_unit(), rng.f64_unit())).collect();
+    let r2 = radius * radius;
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            if dx * dx + dy * dy <= r2 {
+                g.add_edge(u, v).expect("rgg edge");
+            }
+        }
+    }
+    g
+}
+
+/// The Petersen graph (3-regular, girth 5) — a handy fixed test instance
+/// with minimum degree 3 for sinkless-orientation tests.
+pub fn petersen() -> Graph {
+    let outer = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+    let spokes = [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
+    let inner = [(5, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
+    let edges: Vec<(NodeId, NodeId)> = outer
+        .iter()
+        .chain(spokes.iter())
+        .chain(inner.iter())
+        .copied()
+        .collect();
+    Graph::from_edges(10, &edges).expect("Petersen is simple")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn path_and_cycle() {
+        let p = path(5);
+        assert_eq!(p.n(), 5);
+        assert_eq!(p.m(), 4);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        let c = cycle(5);
+        assert!(c.degrees().all(|d| d == 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_cycle_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+        assert!(g.degrees().all(|d| d == 5));
+    }
+
+    #[test]
+    fn complete_bipartite_graph() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 12);
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 4);
+        }
+        for v in 3..7 {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn star_graph() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        assert!(g.neighbor_ids(3).eq([0]));
+    }
+
+    #[test]
+    fn grid_graph() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+    }
+
+    #[test]
+    fn hypercube_graph() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert!(g.degrees().all(|d| d == 4));
+        assert_eq!(g.m(), 32);
+    }
+
+    #[test]
+    fn binary_tree_graph() {
+        let g = binary_tree(7);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(6), 1);
+        assert!(analysis::is_connected(&g));
+        assert!(analysis::is_forest(&g));
+    }
+
+    #[test]
+    fn caterpillar_graph() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 + 8);
+        assert!(analysis::is_forest(&g));
+        assert!(analysis::is_connected(&g));
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = Rng::seed_from(5);
+        for n in [1usize, 2, 3, 10, 64] {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.n(), n);
+            assert_eq!(g.m(), n.saturating_sub(1));
+            assert!(analysis::is_connected(&g));
+            assert!(analysis::is_forest(&g));
+        }
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = Rng::seed_from(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).m(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).m(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let mut rng = Rng::seed_from(2);
+        let n = 300;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng);
+        let expect = (n * (n - 1) / 2) as f64 * p;
+        let m = g.m() as f64;
+        assert!((m - expect).abs() < expect * 0.25, "m={m}, expect={expect}");
+    }
+
+    #[test]
+    fn regular_graph_degrees() {
+        let mut rng = Rng::seed_from(3);
+        for (n, d) in [(10, 3), (40, 4), (25, 6)] {
+            let g = random_regular(n, d, &mut rng).unwrap();
+            assert!(g.degrees().all(|deg| deg == d), "n={n}, d={d}");
+        }
+    }
+
+    #[test]
+    fn regular_graph_bad_parity() {
+        let mut rng = Rng::seed_from(4);
+        assert!(random_regular(5, 3, &mut rng).is_err());
+        assert!(random_regular(4, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn regular_zero_degree() {
+        let mut rng = Rng::seed_from(4);
+        let g = random_regular(5, 0, &mut rng).unwrap();
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn biregular_degrees() {
+        let mut rng = Rng::seed_from(6);
+        let g = random_biregular(6, 4, 2, 3, &mut rng).unwrap();
+        for u in 0..6 {
+            assert_eq!(g.degree(u), 2);
+        }
+        for v in 6..10 {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn biregular_rejects_mismatch() {
+        let mut rng = Rng::seed_from(6);
+        assert!(random_biregular(3, 4, 2, 3, &mut rng).is_err());
+        assert!(random_biregular(2, 4, 5, 1, &mut rng).is_err()); // d_a > b impossible
+    }
+
+    #[test]
+    fn geometric_graph_monotone_in_radius() {
+        let mut rng = Rng::seed_from(7);
+        let sparse = random_geometric(100, 0.05, &mut rng);
+        let mut rng = Rng::seed_from(7);
+        let dense = random_geometric(100, 0.3, &mut rng);
+        assert!(dense.m() > sparse.m());
+    }
+
+    #[test]
+    fn petersen_structure() {
+        let g = petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        assert!(g.degrees().all(|d| d == 3));
+        assert_eq!(analysis::girth(&g), Some(5));
+    }
+}

@@ -1,0 +1,480 @@
+//! The core undirected simple-graph data structure.
+//!
+//! The LOCAL model (paper §2) works on an undirected graph `G = (V, E)`
+//! where nodes exchange messages over edges. Two representation details
+//! matter for a faithful simulation:
+//!
+//! * **Ports.** A node of degree `d` addresses its neighbors through ports
+//!   `0..d`; [`Graph::neighbors`] returns neighbors in port order, and the
+//!   port order is a stable function of insertion order, so the simulator's
+//!   behaviour is deterministic.
+//! * **Edge identifiers.** The paper's edge-averaged complexity
+//!   (Definition 1) assigns a completion time to every *edge*; stable
+//!   [`EdgeId`]s let the simulator keep a per-edge commit ledger and let
+//!   algorithms output edge labellings (matchings, orientations).
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// Index of a node; nodes are always `0..n`.
+pub type NodeId = usize;
+
+/// Index of an undirected edge; edges are `0..m` in insertion order.
+pub type EdgeId = usize;
+
+/// Errors produced when constructing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint was `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop `{v, v}` was inserted; the paper's graphs are simple.
+    SelfLoop(NodeId),
+    /// The same undirected edge was inserted twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// A generator was asked for an impossible parameter combination
+    /// (for example an odd number of odd-degree nodes).
+    InvalidParameters(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} (graphs are simple)"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {{{u}, {v}}}"),
+            GraphError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected simple graph with stable edge ids and port numbering.
+///
+/// # Example
+///
+/// ```
+/// use localavg_graph::Graph;
+///
+/// # fn main() -> Result<(), localavg_graph::GraphError> {
+/// let mut g = Graph::empty(3);
+/// let e01 = g.add_edge(0, 1)?;
+/// let e12 = g.add_edge(1, 2)?;
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.m(), 2);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.endpoints(e01), (0, 1));
+/// assert_eq!(g.other_endpoint(e12, 2), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Graph {
+    /// adjacency\[v\] = (neighbor, edge id) in port order.
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// edges\[e\] = (u, v) with u < v.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n(), self.m())
+    }
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range endpoints, self-loops, or duplicate
+    /// edges.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use localavg_graph::Graph;
+    /// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])?;
+    /// assert_eq!(g.m(), 4);
+    /// # Ok::<(), localavg_graph::GraphError>(())
+    /// ```
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let mut g = Graph::empty(n);
+        let mut seen = HashSet::with_capacity(edges.len());
+        for &(u, v) in edges {
+            let key = if u < v { (u, v) } else { (v, u) };
+            if !seen.insert(key) {
+                return Err(GraphError::DuplicateEdge(u, v));
+            }
+            g.add_edge_raw(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds an undirected edge and returns its id.
+    ///
+    /// This checks range and self-loops but, for performance, **not**
+    /// duplicates; use [`Graph::from_edges`], [`GraphBuilder`], or
+    /// [`Graph::has_edge`] when duplicate protection is needed. Duplicate
+    /// insertion is caught by `debug_assert!` in debug builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range endpoints or self-loops.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
+        debug_assert!(
+            !self.has_edge(u, v),
+            "duplicate edge {{{u}, {v}}} inserted via add_edge"
+        );
+        self.add_edge_raw(u, v)
+    }
+
+    fn add_edge_raw(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
+        let n = self.n();
+        if u >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let id = self.edges.len();
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b));
+        self.adj[u].push((v, id));
+        self.adj[v].push((u, id));
+        Ok(id)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Iterator over all node degrees, in node order.
+    pub fn degrees(&self) -> impl Iterator<Item = usize> + '_ {
+        self.adj.iter().map(Vec::len)
+    }
+
+    /// Maximum degree Δ (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.degrees().max().unwrap_or(0)
+    }
+
+    /// Minimum degree (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.degrees().min().unwrap_or(0)
+    }
+
+    /// Neighbors of `v` as `(neighbor, edge id)` pairs, in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[v]
+    }
+
+    /// Iterator over just the neighbor ids of `v`, in port order.
+    pub fn neighbor_ids(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[v].iter().map(|&(u, _)| u)
+    }
+
+    /// Endpoints `(u, v)` of edge `e`, with `u < v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= m`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e]
+    }
+
+    /// The endpoint of `e` that is not `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.edges[e];
+        if v == a {
+            b
+        } else {
+            assert_eq!(v, b, "node {v} is not an endpoint of edge {e}");
+            a
+        }
+    }
+
+    /// Iterator over `(edge id, u, v)` for all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges.iter().enumerate().map(|(e, &(u, v))| (e, u, v))
+    }
+
+    /// Returns the id of edge `{u, v}` if present (O(min degree) scan).
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u >= self.n() || v >= self.n() {
+            return None;
+        }
+        let (scan, target) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[scan]
+            .iter()
+            .find(|&&(w, _)| w == target)
+            .map(|&(_, e)| e)
+    }
+
+    /// Whether edge `{u, v}` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.n()
+    }
+
+    /// Sorts every adjacency list by neighbor id (re-normalizing ports).
+    ///
+    /// Useful when a canonical port order is wanted, e.g. before comparing
+    /// two graphs for structural equality.
+    pub fn sort_adjacency(&mut self) {
+        for list in &mut self.adj {
+            list.sort_unstable();
+        }
+    }
+
+    /// Sum of all degrees (= 2m); used as a cheap sanity invariant.
+    pub fn degree_sum(&self) -> usize {
+        self.degrees().sum()
+    }
+}
+
+/// Incremental graph builder with duplicate-edge protection.
+///
+/// [`Graph::add_edge`] skips the duplicate check for performance;
+/// `GraphBuilder` performs it with a hash set, which is what constructions
+/// like the paper's cluster-tree graphs (§4.6) use while wiring groups of
+/// nodes together.
+///
+/// # Example
+///
+/// ```
+/// use localavg_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// assert!(b.try_add(0, 1));
+/// assert!(!b.try_add(1, 0)); // duplicate: rejected, not an error
+/// let g = b.build();
+/// assert_eq!(g.m(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    graph: Graph,
+    seen: HashSet<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            graph: Graph::empty(n),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Number of edges added so far.
+    pub fn m(&self) -> usize {
+        self.graph.m()
+    }
+
+    /// Adds edge `{u, v}` if it is new; returns whether it was added.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or self-loops — those indicate a
+    /// bug in the calling construction rather than recoverable input.
+    pub fn try_add(&mut self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        if self.seen.insert(key) {
+            self.graph
+                .add_edge_raw(u, v)
+                .expect("GraphBuilder::try_add: invalid endpoint");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `{u, v}` has already been added.
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.seen.contains(&key)
+    }
+
+    /// Finishes the build and returns the graph.
+    pub fn build(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.min_degree(), 0);
+        assert_eq!(g.degree_sum(), 0);
+    }
+
+    #[test]
+    fn add_edges_and_query() {
+        let mut g = Graph::empty(4);
+        let e0 = g.add_edge(0, 1).unwrap();
+        let e1 = g.add_edge(2, 1).unwrap();
+        assert_eq!(e0, 0);
+        assert_eq!(e1, 1);
+        assert_eq!(g.endpoints(e1), (1, 2)); // normalized u < v
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.other_endpoint(e0, 0), 1);
+        assert_eq!(g.other_endpoint(e0, 1), 0);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.find_edge(1, 2), Some(e1));
+        assert_eq!(g.degree_sum(), 2 * g.m());
+    }
+
+    #[test]
+    fn port_order_is_insertion_order() {
+        let mut g = Graph::empty(4);
+        g.add_edge(1, 3).unwrap();
+        g.add_edge(1, 0).unwrap();
+        g.add_edge(1, 2).unwrap();
+        let ports: Vec<NodeId> = g.neighbor_ids(1).collect();
+        assert_eq!(ports, vec![3, 0, 2]);
+    }
+
+    #[test]
+    fn sort_adjacency_normalizes_ports() {
+        let mut g = Graph::empty(4);
+        g.add_edge(1, 3).unwrap();
+        g.add_edge(1, 0).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.sort_adjacency();
+        let ports: Vec<NodeId> = g.neighbor_ids(1).collect();
+        assert_eq!(ports, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Graph::empty(2);
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = Graph::empty(2);
+        assert!(matches!(
+            g.add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn from_edges_rejects_duplicates() {
+        let r = Graph::from_edges(3, &[(0, 1), (1, 0)]);
+        assert!(matches!(r, Err(GraphError::DuplicateEdge(1, 0))));
+    }
+
+    #[test]
+    fn from_edges_builds_cycle() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert!(g.degrees().all(|d| d == 2));
+    }
+
+    #[test]
+    fn builder_dedups() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.try_add(0, 1));
+        assert!(!b.try_add(1, 0));
+        assert!(b.contains(0, 1));
+        assert!(!b.contains(1, 2));
+        assert!(b.try_add(1, 2));
+        let g = b.build();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn builder_panics_on_self_loop() {
+        let mut b = GraphBuilder::new(3);
+        b.try_add(2, 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = GraphError::DuplicateEdge(1, 2);
+        assert!(e.to_string().contains("duplicate"));
+        let e = GraphError::SelfLoop(3);
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::NodeOutOfRange { node: 9, n: 4 };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::InvalidParameters("odd".into());
+        assert!(e.to_string().contains("odd"));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g = Graph::empty(2);
+        assert_eq!(format!("{g:?}"), "Graph(n=2, m=0)");
+    }
+}

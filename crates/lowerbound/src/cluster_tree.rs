@@ -1,0 +1,393 @@
+//! Cluster tree skeletons `CT_k` (paper §4.3).
+//!
+//! A skeleton is a tree (plus self-loops) whose nodes stand for *clusters*
+//! of graph nodes and whose directed labeled edges `(u, v, x)` demand that
+//! every graph node in `S(u)` has exactly `x` neighbors in `S(v)`. Labels
+//! are powers `β^i` or doubled powers `2β^i`; the exponent of a node's
+//! self-loop is `ψ(v)` (Observation 7).
+
+use std::fmt;
+
+/// Identifier of a skeleton node (`0` = `c0`, `1` = `c1`).
+pub type CtNodeId = usize;
+
+/// A directed labeled edge of the skeleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtEdge {
+    /// Source cluster.
+    pub from: CtNodeId,
+    /// Target cluster.
+    pub to: CtNodeId,
+    /// Exponent `i` of the label.
+    pub exponent: usize,
+    /// Whether the label is `2β^i` (true) or `β^i` (false).
+    pub doubled: bool,
+}
+
+impl CtEdge {
+    /// The numeric label value for a given β.
+    pub fn value(&self, beta: u64) -> u64 {
+        let base = beta.pow(self.exponent as u32);
+        if self.doubled {
+            2 * base
+        } else {
+            base
+        }
+    }
+}
+
+/// A node of the skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtNode {
+    /// Parent in the skeleton tree (`None` for `c0`).
+    pub parent: Option<CtNodeId>,
+    /// Whether the node is internal (vs. a leaf) in `CT_k`.
+    pub internal: bool,
+    /// `ψ(v)`: exponent of the self-loop (`None` only for `c0`).
+    pub psi: Option<usize>,
+    /// Hop distance from `c0` (ignoring self-loops); `0..=k+1`.
+    pub depth: usize,
+}
+
+/// The skeleton `CT_k`.
+///
+/// # Example
+///
+/// ```
+/// use localavg_lowerbound::cluster_tree::ClusterTree;
+///
+/// let ct0 = ClusterTree::new(0);
+/// assert_eq!(ct0.node_count(), 2);
+/// let ct2 = ClusterTree::new(2);
+/// assert_eq!(ct2.node_count(), 10); // Figure 1's CT_2
+/// ```
+#[derive(Clone)]
+pub struct ClusterTree {
+    k: usize,
+    nodes: Vec<CtNode>,
+    edges: Vec<CtEdge>,
+}
+
+impl fmt::Debug for ClusterTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ClusterTree(k={}, nodes={}, edges={})",
+            self.k,
+            self.nodes.len(),
+            self.edges.len()
+        )
+    }
+}
+
+impl ClusterTree {
+    /// Builds `CT_k` by the inductive definition of §4.3.
+    pub fn new(k: usize) -> Self {
+        // Base case CT_0: c0 (internal), c1 (leaf);
+        // edges (c0, c1, 2β^0), (c1, c0, β^1), (c1, c1, β^1).
+        let mut ct = ClusterTree {
+            k: 0,
+            nodes: vec![
+                CtNode {
+                    parent: None,
+                    internal: true,
+                    psi: None,
+                    depth: 0,
+                },
+                CtNode {
+                    parent: Some(0),
+                    internal: false,
+                    psi: Some(1),
+                    depth: 1,
+                },
+            ],
+            edges: vec![
+                CtEdge {
+                    from: 0,
+                    to: 1,
+                    exponent: 0,
+                    doubled: true,
+                },
+                CtEdge {
+                    from: 1,
+                    to: 0,
+                    exponent: 1,
+                    doubled: false,
+                },
+                CtEdge {
+                    from: 1,
+                    to: 1,
+                    exponent: 1,
+                    doubled: false,
+                },
+            ],
+        };
+        for step in 1..=k {
+            ct.grow(step);
+        }
+        ct
+    }
+
+    /// One inductive step: `CT_{step-1} -> CT_step`.
+    fn grow(&mut self, step: usize) {
+        let old_nodes: Vec<(CtNodeId, bool)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i, n.internal))
+            .collect();
+        for (v, internal) in old_nodes {
+            if internal {
+                // Attach one new leaf ℓ with (v, ℓ, 2β^step), (ℓ, v,
+                // β^{step+1}), and self-loop (ℓ, ℓ, β^{step+1}).
+                self.attach_leaf(v, step);
+            } else {
+                // Leaf u with parent edge (u, p(u), β^i): attach a leaf ℓ_j
+                // for each j in {0..step} \ {i}; u becomes internal.
+                let i = self.nodes[v].psi.expect("leaves have self-loops");
+                for j in 0..=step {
+                    if j != i {
+                        self.attach_leaf(v, j);
+                    }
+                }
+                self.nodes[v].internal = true;
+            }
+        }
+        self.k = step;
+    }
+
+    fn attach_leaf(&mut self, parent: CtNodeId, j: usize) {
+        let ell = self.nodes.len();
+        let depth = self.nodes[parent].depth + 1;
+        self.nodes.push(CtNode {
+            parent: Some(parent),
+            internal: false,
+            psi: Some(j + 1),
+            depth,
+        });
+        self.edges.push(CtEdge {
+            from: parent,
+            to: ell,
+            exponent: j,
+            doubled: true,
+        });
+        self.edges.push(CtEdge {
+            from: ell,
+            to: parent,
+            exponent: j + 1,
+            doubled: false,
+        });
+        self.edges.push(CtEdge {
+            from: ell,
+            to: ell,
+            exponent: j + 1,
+            doubled: false,
+        });
+    }
+
+    /// The parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of skeleton nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Access a node.
+    pub fn node(&self, v: CtNodeId) -> &CtNode {
+        &self.nodes[v]
+    }
+
+    /// Iterator over nodes with ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (CtNodeId, &CtNode)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// All directed labeled edges (including self-loops).
+    pub fn edges(&self) -> &[CtEdge] {
+        &self.edges
+    }
+
+    /// `ψ(v)` — the self-loop exponent (Observation 7.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `c0`, which has no self-loop.
+    pub fn psi(&self, v: CtNodeId) -> usize {
+        self.nodes[v].psi.expect("c0 has no self-loop")
+    }
+
+    /// The children of `v` (skeleton tree, ignoring self-loops).
+    pub fn children(&self, v: CtNodeId) -> Vec<CtNodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent == Some(v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The directed out-label exponents of `v` grouped per target:
+    /// `(target, exponent, doubled)`.
+    pub fn out_edges(&self, v: CtNodeId) -> Vec<CtEdge> {
+        self.edges.iter().filter(|e| e.from == v).copied().collect()
+    }
+
+    /// The neighbors of `c0`, ordered as `v_1, ..., v_{k+1}` where `v_i`
+    /// is reached by the edge `(c0, v_i, 2β^{i-1})` (proof of Thm 16).
+    pub fn c0_children_by_exponent(&self) -> Vec<CtNodeId> {
+        let mut out: Vec<(usize, CtNodeId)> = self
+            .edges
+            .iter()
+            .filter(|e| e.from == 0 && e.to != 0)
+            .map(|e| (e.exponent, e.to))
+            .collect();
+        out.sort_unstable();
+        out.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct0_structure() {
+        let ct = ClusterTree::new(0);
+        assert_eq!(ct.node_count(), 2);
+        assert!(ct.node(0).internal);
+        assert!(!ct.node(1).internal);
+        assert_eq!(ct.psi(1), 1);
+        assert_eq!(ct.edges().len(), 3);
+    }
+
+    #[test]
+    fn ct1_structure() {
+        let ct = ClusterTree::new(1);
+        // c0, c1, c0's new leaf, c1's leaf for j=0.
+        assert_eq!(ct.node_count(), 4);
+        // c1 became internal.
+        assert!(ct.node(1).internal);
+        // Every node except c0 has a self-loop (Observation 7.1).
+        for (v, n) in ct.nodes() {
+            if v == 0 {
+                assert!(n.psi.is_none());
+            } else {
+                assert!(n.psi.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn ct2_matches_figure1() {
+        let ct = ClusterTree::new(2);
+        assert_eq!(ct.node_count(), 10);
+        // Leaves of CT_2: the 6 nodes added by the k=2 growth step.
+        let leaves = ct.nodes().filter(|(_, n)| !n.internal).count();
+        assert_eq!(leaves, 6);
+    }
+
+    #[test]
+    fn observation7_internal_children() {
+        // Obs 7.3/7.4: c0 has k+1 children via edges (c0, u_j, 2β^j) for
+        // j in 0..=k; every other internal node v has k children reached by
+        // (v, u_j, 2β^j) for j in {0..k} \ {ψ(v)}.
+        for k in 0..4 {
+            let ct = ClusterTree::new(k);
+            let c0_out: Vec<usize> = ct
+                .out_edges(0)
+                .iter()
+                .filter(|e| e.to != 0)
+                .map(|e| e.exponent)
+                .collect();
+            let mut sorted = c0_out.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..=k).collect::<Vec<_>>(), "k={k}");
+            for (v, n) in ct.nodes() {
+                if v == 0 || !n.internal {
+                    continue;
+                }
+                let mut exps: Vec<usize> = ct
+                    .out_edges(v)
+                    .iter()
+                    .filter(|e| e.to != v && e.doubled)
+                    .map(|e| e.exponent)
+                    .collect();
+                exps.sort_unstable();
+                let expect: Vec<usize> = (0..=k).filter(|&j| j != ct.psi(v)).collect();
+                assert_eq!(exps, expect, "k={k}, v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn observation7_parent_edges() {
+        // Obs 7.2: every v != c0 has edges (v, p(v), β^{i+1}), (p(v), v,
+        // 2β^i), (v, v, β^{i+1}).
+        let ct = ClusterTree::new(3);
+        for (v, n) in ct.nodes() {
+            let Some(p) = n.parent else { continue };
+            let up = ct
+                .edges()
+                .iter()
+                .find(|e| e.from == v && e.to == p)
+                .expect("edge to parent");
+            let down = ct
+                .edges()
+                .iter()
+                .find(|e| e.from == p && e.to == v)
+                .expect("edge from parent");
+            assert!(!up.doubled);
+            assert!(down.doubled);
+            assert_eq!(up.exponent, down.exponent + 1);
+            assert_eq!(ct.psi(v), up.exponent);
+        }
+    }
+
+    #[test]
+    fn depths_bounded() {
+        let ct = ClusterTree::new(3);
+        for (_, n) in ct.nodes() {
+            assert!(n.depth <= 4);
+        }
+        assert_eq!(ct.node(0).depth, 0);
+    }
+
+    #[test]
+    fn c0_children_ordered() {
+        let ct = ClusterTree::new(2);
+        let children = ct.c0_children_by_exponent();
+        assert_eq!(children.len(), 3); // v_1 .. v_{k+1}
+        for (idx, &v) in children.iter().enumerate() {
+            assert_eq!(ct.psi(v), idx + 1, "ψ(v_i) = i");
+        }
+    }
+
+    #[test]
+    fn edge_values() {
+        let e = CtEdge {
+            from: 0,
+            to: 1,
+            exponent: 2,
+            doubled: true,
+        };
+        assert_eq!(e.value(4), 32);
+        let e2 = CtEdge {
+            from: 1,
+            to: 0,
+            exponent: 3,
+            doubled: false,
+        };
+        assert_eq!(e2.value(4), 64);
+    }
+
+    #[test]
+    fn node_growth_is_geometric_ish() {
+        let n2 = ClusterTree::new(2).node_count();
+        let n3 = ClusterTree::new(3).node_count();
+        assert!(n3 > n2);
+        assert!(n3 <= n2 * 5, "|T_{{i+1}}| <= (k+1)|T_i| style growth");
+    }
+}

@@ -1,0 +1,221 @@
+//! Derived lower-bound constructions: the doubled graph for the maximal
+//! matching bound (paper §C.4, Theorem 17) and radius-k tree-view
+//! extraction (the tree MIS lower bound inside Theorem 16).
+
+use crate::base_graph::LiftedGk;
+use localavg_graph::analysis::{bfs_distances, view_is_tree, UNREACHED};
+use localavg_graph::{EdgeId, Graph, NodeId};
+
+/// The doubled construction of §C.4: two copies of a cluster-tree graph
+/// plus a perfect matching joining each node to its twin (same cluster in
+/// the other copy). Any maximal matching must eventually take almost all
+/// cross edges, but within `k` rounds the indistinguishable cluster edges
+/// can only be matched with probability o(1) — Theorem 17.
+#[derive(Debug, Clone)]
+pub struct DoubledGk {
+    /// The doubled graph: nodes `0..n` are copy A, `n..2n` copy B.
+    pub graph: Graph,
+    /// Nodes per copy.
+    pub n_base: usize,
+    /// Edge ids of the cross perfect matching, indexed by base node.
+    pub cross_edges: Vec<EdgeId>,
+}
+
+impl DoubledGk {
+    /// Builds the doubled graph from a lifted cluster-tree graph.
+    pub fn build(lg: &LiftedGk) -> DoubledGk {
+        let g = lg.graph();
+        let n = g.n();
+        let mut doubled = Graph::empty(2 * n);
+        for (_, u, v) in g.edges() {
+            doubled.add_edge(u, v).expect("copy A edge");
+        }
+        for (_, u, v) in g.edges() {
+            doubled.add_edge(n + u, n + v).expect("copy B edge");
+        }
+        let mut cross_edges = Vec::with_capacity(n);
+        for v in 0..n {
+            cross_edges.push(doubled.add_edge(v, n + v).expect("cross edge"));
+        }
+        DoubledGk {
+            graph: doubled,
+            n_base: n,
+            cross_edges,
+        }
+    }
+
+    /// The twin of a node.
+    pub fn twin(&self, v: NodeId) -> NodeId {
+        if v < self.n_base {
+            v + self.n_base
+        } else {
+            v - self.n_base
+        }
+    }
+
+    /// Fraction of cross edges present in a matching — the quantity
+    /// Theorem 17 tracks (any maximal matching needs `(1-o(1))` of the
+    /// `S(c0)`–`S(c0)'` cross edges).
+    pub fn cross_fraction(&self, in_matching: &[bool]) -> f64 {
+        let hits = self
+            .cross_edges
+            .iter()
+            .filter(|&&e| in_matching[e])
+            .count();
+        hits as f64 / self.cross_edges.len() as f64
+    }
+}
+
+/// A radius-`k` tree view extracted as a standalone graph (the paper's
+/// tree lower bound takes the view of a tree-like `S(c0)` node and
+/// completes it into a tree instance).
+#[derive(Debug, Clone)]
+pub struct TreeView {
+    /// The extracted tree.
+    pub tree: Graph,
+    /// Root (the image of the original center) — always node 0.
+    pub root: NodeId,
+    /// Map from tree nodes back to the original graph's nodes.
+    pub original: Vec<NodeId>,
+}
+
+impl TreeView {
+    /// Extracts the radius-`k` view of `center`, which must be tree-like.
+    ///
+    /// Returns `None` when the view contains a cycle.
+    pub fn extract(g: &Graph, center: NodeId, k: usize) -> Option<TreeView> {
+        if !view_is_tree(g, center, k) {
+            return None;
+        }
+        let dist = bfs_distances(g, center, k);
+        let mut original = Vec::new();
+        let mut index = vec![usize::MAX; g.n()];
+        for v in g.nodes() {
+            if dist[v] != UNREACHED {
+                index[v] = original.len();
+                original.push(v);
+            }
+        }
+        let mut tree = Graph::empty(original.len());
+        for (_, u, v) in g.edges() {
+            if dist[u] == UNREACHED || dist[v] == UNREACHED {
+                continue;
+            }
+            if dist[u] == k && dist[v] == k {
+                continue; // excluded from the view (paper §C.1)
+            }
+            tree.add_edge(index[u], index[v]).expect("view edge");
+        }
+        // Relabel so the root is node 0 (swap labels 0 and index[center]).
+        let c = index[center];
+        if c != 0 {
+            // Rebuild with a swapped mapping for a clean root-0 invariant.
+            let mut swap: Vec<usize> = (0..original.len()).collect();
+            swap.swap(0, c);
+            let mut relabeled = Graph::empty(original.len());
+            for (_, u, v) in tree.edges() {
+                let su = swap.iter().position(|&x| x == u).expect("swapped");
+                let sv = swap.iter().position(|&x| x == v).expect("swapped");
+                relabeled.add_edge(su, sv).expect("relabel edge");
+            }
+            let mut orig2 = original.clone();
+            orig2.swap(0, c);
+            return Some(TreeView {
+                tree: relabeled,
+                root: 0,
+                original: orig2,
+            });
+        }
+        Some(TreeView {
+            tree,
+            root: 0,
+            original,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base_graph::{BaseGraph, LiftedGk};
+    use localavg_graph::rng::Rng;
+    use localavg_graph::{analysis, gen};
+
+    fn lifted(q: usize, seed: u64) -> LiftedGk {
+        let base = BaseGraph::build(1, 4, 2_000_000).unwrap();
+        let mut rng = Rng::seed_from(seed);
+        LiftedGk::build(base, q, &mut rng)
+    }
+
+    #[test]
+    fn doubled_structure() {
+        let lg = lifted(2, 1);
+        let d = DoubledGk::build(&lg);
+        let n = lg.graph().n();
+        assert_eq!(d.graph.n(), 2 * n);
+        assert_eq!(d.graph.m(), 2 * lg.graph().m() + n);
+        assert_eq!(d.twin(3), n + 3);
+        assert_eq!(d.twin(n + 3), 3);
+        // Degrees: every node gains exactly one cross edge.
+        for v in 0..n {
+            assert_eq!(d.graph.degree(v), lg.graph().degree(v) + 1);
+        }
+    }
+
+    #[test]
+    fn doubled_cross_fraction() {
+        let lg = lifted(1, 2);
+        let d = DoubledGk::build(&lg);
+        let mut matching = vec![false; d.graph.m()];
+        // The full cross matching is a perfect matching of the doubled graph.
+        for &e in &d.cross_edges {
+            matching[e] = true;
+        }
+        assert!(analysis::is_matching(&d.graph, &matching));
+        assert!(analysis::is_maximal_matching(&d.graph, &matching));
+        assert_eq!(d.cross_fraction(&matching), 1.0);
+        matching[d.cross_edges[0]] = false;
+        assert!(d.cross_fraction(&matching) < 1.0);
+    }
+
+    #[test]
+    fn tree_view_of_a_tree_is_everything() {
+        let g = gen::binary_tree(15);
+        let tv = TreeView::extract(&g, 0, 3).expect("tree views are trees");
+        assert_eq!(tv.tree.n(), 15);
+        assert!(analysis::is_forest(&tv.tree));
+        assert_eq!(tv.root, 0);
+        assert_eq!(tv.original[0], 0);
+    }
+
+    #[test]
+    fn tree_view_respects_radius() {
+        let g = gen::path(11);
+        let tv = TreeView::extract(&g, 5, 2).expect("path views are trees");
+        assert_eq!(tv.tree.n(), 5); // nodes 3..=7
+        assert!(analysis::is_connected(&tv.tree));
+        assert_eq!(tv.original[tv.root], 5);
+    }
+
+    #[test]
+    fn tree_view_rejects_cycles() {
+        let g = gen::cycle(6);
+        assert!(TreeView::extract(&g, 0, 3).is_none());
+        assert!(TreeView::extract(&g, 0, 2).is_some());
+    }
+
+    #[test]
+    fn tree_view_from_lifted_graph() {
+        let lg = lifted(16, 3);
+        let g = lg.graph();
+        let v0 = lg
+            .s0()
+            .into_iter()
+            .find(|&v| analysis::view_is_tree(g, v, 1))
+            .expect("tree-like S(c0) node at q=16");
+        let tv = TreeView::extract(g, v0, 1).expect("extract");
+        assert_eq!(tv.tree.n(), 1 + g.degree(v0));
+        assert!(analysis::is_forest(&tv.tree));
+        assert_eq!(tv.tree.degree(tv.root), g.degree(v0));
+    }
+}

@@ -1,0 +1,629 @@
+//! The synchronous round engine (sequential and parallel executors).
+//!
+//! Both executors produce *bit-identical* [`Transcript`]s: per-node
+//! randomness is derived from `(seed, node id)` alone, inboxes are ordered
+//! by sender id, and commit events are applied in node order. The parallel
+//! executor exists to exercise realistic concurrent message passing (and
+//! to speed up big lower-bound instances); the determinism property is
+//! checked by tests.
+
+use crate::message::{Envelope, MessageSize};
+use crate::process::{Ctx, Event, Knowledge, Process};
+use crate::transcript::{Round, Transcript, UNCOMMITTED};
+use localavg_graph::rng::Rng;
+use localavg_graph::{Graph, NodeId};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed; node `v` uses the substream `seed.fork(v)`.
+    pub seed: u64,
+    /// Hard cap on rounds; exceeding it panics (indicates a non-terminating
+    /// algorithm — every algorithm in this workspace halts explicitly).
+    pub max_rounds: usize,
+    /// Initial knowledge configuration.
+    pub knowledge: Knowledge,
+    /// Number of worker threads for [`run_parallel`] (ignored by
+    /// [`run_sequential`]); 0 means "number of available cores".
+    pub threads: usize,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the given seed and defaults: a
+    /// 1,000,000-round cap, full neighbor knowledge, automatic threads.
+    pub fn new(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            max_rounds: 1_000_000,
+            knowledge: Knowledge::default(),
+            threads: 0,
+        }
+    }
+
+    /// Sets the round cap.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the knowledge configuration.
+    #[must_use]
+    pub fn with_knowledge(mut self, knowledge: Knowledge) -> Self {
+        self.knowledge = knowledge;
+        self
+    }
+
+    /// Sets the worker-thread count for the parallel executor.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Mutable per-run state shared by both executors.
+struct RunState<P: Process> {
+    processes: Vec<Option<P>>,
+    rngs: Vec<Rng>,
+    halted: Vec<bool>,
+    /// outboxes[v] = (port, message) pairs produced this round.
+    outboxes: Vec<Vec<(usize, P::Message)>>,
+    events: Vec<Vec<Event<P::NodeOutput, P::EdgeOutput>>>,
+    inbox: Vec<Vec<Envelope<P::Message>>>,
+    transcript: Transcript<P::NodeOutput, P::EdgeOutput>,
+    /// For each edge `(u, v)` with `u < v`: (port at u, port at v).
+    edge_ports: Vec<(usize, usize)>,
+}
+
+impl<P: Process> RunState<P> {
+    fn new(g: &Graph, seed: u64) -> Self {
+        let master = Rng::seed_from(seed);
+        let mut edge_ports = vec![(usize::MAX, usize::MAX); g.m()];
+        for v in g.nodes() {
+            for (port, &(_, e)) in g.neighbors(v).iter().enumerate() {
+                let (a, _) = g.endpoints(e);
+                if v == a {
+                    edge_ports[e].0 = port;
+                } else {
+                    edge_ports[e].1 = port;
+                }
+            }
+        }
+        RunState {
+            processes: (0..g.n()).map(|_| None).collect(),
+            rngs: (0..g.n()).map(|v| master.fork(v as u64)).collect(),
+            halted: vec![false; g.n()],
+            outboxes: vec![Vec::new(); g.n()],
+            events: vec![Vec::new(); g.n()],
+            inbox: vec![Vec::new(); g.n()],
+            transcript: Transcript::empty(P::OUTPUT_KIND, g.n(), g.m()),
+            edge_ports,
+        }
+    }
+
+    /// Applies commit events (in node order — deterministic) for `round`.
+    fn apply_events(&mut self, g: &Graph, round: Round) {
+        for v in g.nodes() {
+            for event in self.events[v].drain(..) {
+                match event {
+                    Event::Node(out) => {
+                        assert!(
+                            self.transcript.node_commit_round[v] == UNCOMMITTED,
+                            "node {v} committed twice (round {round}); outputs are final"
+                        );
+                        self.transcript.node_commit_round[v] = round;
+                        self.transcript.node_output[v] = Some(out);
+                    }
+                    Event::Edge(e, out) => {
+                        match &self.transcript.edge_output[e] {
+                            None => {
+                                self.transcript.edge_commit_round[e] = round;
+                                self.transcript.edge_output[e] = Some(out);
+                            }
+                            Some(prev) => {
+                                assert!(
+                                    *prev == out,
+                                    "edge {e} committed with conflicting labels \
+                                     ({prev:?} vs {out:?}) — algorithm bug"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Routes this round's outboxes into next round's inboxes; returns the
+    /// maximum message size seen.
+    fn route_messages(&mut self, g: &Graph) -> usize {
+        for v in g.nodes() {
+            self.inbox[v].clear();
+        }
+        let mut max_bits = 0usize;
+        // Iterate senders in id order so each inbox ends up sorted by src.
+        for src in g.nodes() {
+            let outbox = std::mem::take(&mut self.outboxes[src]);
+            for (port, msg) in outbox {
+                max_bits = max_bits.max(msg.size_bits());
+                self.transcript.messages_sent += 1;
+                let (dst, e) = g.neighbors(src)[port];
+                if self.halted[dst] {
+                    continue; // terminated nodes no longer receive
+                }
+                let (pu, pv) = self.edge_ports[e];
+                let (a, _) = g.endpoints(e);
+                let dst_port = if dst == a { pu } else { pv };
+                self.inbox[dst].push(Envelope {
+                    src,
+                    port: dst_port,
+                    msg,
+                });
+            }
+        }
+        max_bits
+    }
+
+    fn record_halts(&mut self, g: &Graph, round: Round) {
+        for v in g.nodes() {
+            if self.halted[v] && self.transcript.node_halt_round[v] == UNCOMMITTED {
+                self.transcript.node_halt_round[v] = round;
+            }
+        }
+    }
+
+    fn all_halted(&self) -> bool {
+        self.halted.iter().all(|&h| h)
+    }
+}
+
+/// Activates one node for one round (or init when `round == 0`).
+#[allow(clippy::too_many_arguments)]
+fn activate<P: Process>(
+    g: &Graph,
+    cfg: &SimConfig,
+    params: &P::Params,
+    v: NodeId,
+    round: Round,
+    max_degree: usize,
+    proc_slot: &mut Option<P>,
+    rng: &mut Rng,
+    halted: &mut bool,
+    outbox: &mut Vec<(usize, P::Message)>,
+    events: &mut Vec<Event<P::NodeOutput, P::EdgeOutput>>,
+    inbox: &[Envelope<P::Message>],
+) {
+    let mut ctx = Ctx {
+        id: v,
+        round,
+        graph: g,
+        knowledge: cfg.knowledge,
+        max_degree,
+        rng,
+        outbox,
+        events,
+        halted,
+    };
+    if round == 0 {
+        *proc_slot = Some(P::init(params, &mut ctx));
+    } else {
+        proc_slot
+            .as_mut()
+            .expect("process exists after init")
+            .round(&mut ctx, inbox);
+    }
+}
+
+/// Runs the algorithm to completion on the sequential executor.
+///
+/// # Panics
+///
+/// Panics if the algorithm exceeds `cfg.max_rounds` without halting every
+/// node, if a node commits its own output twice, or if the two endpoints
+/// of an edge commit conflicting labels.
+pub fn run_sequential<P: Process>(
+    g: &Graph,
+    params: &P::Params,
+    cfg: &SimConfig,
+) -> Transcript<P::NodeOutput, P::EdgeOutput> {
+    run_inner::<P>(g, params, cfg, 1)
+}
+
+/// Runs the algorithm on the crossbeam-threaded executor.
+///
+/// Produces a transcript bit-identical to [`run_sequential`]; see the
+/// module docs for why.
+///
+/// # Panics
+///
+/// Same conditions as [`run_sequential`].
+pub fn run_parallel<P: Process>(
+    g: &Graph,
+    params: &P::Params,
+    cfg: &SimConfig,
+) -> Transcript<P::NodeOutput, P::EdgeOutput> {
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(4, |p| p.get())
+    } else {
+        cfg.threads
+    };
+    run_inner::<P>(g, params, cfg, threads.max(1))
+}
+
+fn run_inner<P: Process>(
+    g: &Graph,
+    params: &P::Params,
+    cfg: &SimConfig,
+    threads: usize,
+) -> Transcript<P::NodeOutput, P::EdgeOutput> {
+    let mut state: RunState<P> = RunState::new(g, cfg.seed);
+    let max_degree = g.max_degree();
+
+    let mut round: Round = 0;
+    loop {
+        step_all::<P>(g, cfg, params, round, max_degree, &mut state, threads);
+        state.apply_events(g, round);
+        state.record_halts(g, round);
+        let max_bits = state.route_messages(g);
+        state.transcript.max_message_bits.push(max_bits);
+        if state.all_halted() {
+            break;
+        }
+        round += 1;
+        assert!(
+            round <= cfg.max_rounds,
+            "algorithm exceeded max_rounds={} without halting",
+            cfg.max_rounds
+        );
+    }
+    state.transcript.rounds = round;
+    state.transcript
+}
+
+/// Runs one round's activations across all non-halted nodes.
+fn step_all<P: Process>(
+    g: &Graph,
+    cfg: &SimConfig,
+    params: &P::Params,
+    round: Round,
+    max_degree: usize,
+    state: &mut RunState<P>,
+    threads: usize,
+) {
+    let n = g.n();
+    if n == 0 {
+        return;
+    }
+    if threads <= 1 || n < 256 {
+        for v in 0..n {
+            if round > 0 && state.halted[v] {
+                continue;
+            }
+            activate::<P>(
+                g,
+                cfg,
+                params,
+                v,
+                round,
+                max_degree,
+                &mut state.processes[v],
+                &mut state.rngs[v],
+                &mut state.halted[v],
+                &mut state.outboxes[v],
+                &mut state.events[v],
+                &state.inbox[v],
+            );
+        }
+        return;
+    }
+
+    // Parallel path: contiguous chunks preserve node order inside each
+    // per-node buffer; cross-node determinism comes from per-node buffers.
+    let chunk = n.div_ceil(threads);
+    let inbox = &state.inbox;
+    let procs = state.processes.chunks_mut(chunk);
+    let rngs = state.rngs.chunks_mut(chunk);
+    let halts = state.halted.chunks_mut(chunk);
+    let outs = state.outboxes.chunks_mut(chunk);
+    let evs = state.events.chunks_mut(chunk);
+    crossbeam::thread::scope(|scope| {
+        for (ci, ((((p, r), h), o), e)) in procs.zip(rngs).zip(halts).zip(outs).zip(evs).enumerate()
+        {
+            let base = ci * chunk;
+            scope.spawn(move |_| {
+                for i in 0..p.len() {
+                    let v = base + i;
+                    if round > 0 && h[i] {
+                        continue;
+                    }
+                    activate::<P>(
+                        g,
+                        cfg,
+                        params,
+                        v,
+                        round,
+                        max_degree,
+                        &mut p[i],
+                        &mut r[i],
+                        &mut h[i],
+                        &mut o[i],
+                        &mut e[i],
+                        &inbox[v],
+                    );
+                }
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use localavg_graph::gen;
+
+    /// Every node floods the maximum id it has seen for `radius` rounds,
+    /// then commits it. Classic LOCAL warm-up; lets us test delivery,
+    /// rounds, ports, and both executors.
+    struct MaxFlood {
+        best: u64,
+        radius: usize,
+    }
+
+    impl Process for MaxFlood {
+        type Message = u64;
+        type NodeOutput = u64;
+        type EdgeOutput = ();
+        type Params = usize; // radius
+
+        const OUTPUT_KIND: OutputKind = OutputKind::NodeLabels;
+
+        fn init(radius: &usize, ctx: &mut Ctx<'_, Self>) -> Self {
+            ctx.broadcast(ctx.id() as u64);
+            MaxFlood {
+                best: ctx.id() as u64,
+                radius: *radius,
+            }
+        }
+
+        fn round(&mut self, ctx: &mut Ctx<'_, Self>, inbox: &[Envelope<u64>]) {
+            for env in inbox {
+                self.best = self.best.max(env.msg);
+            }
+            if ctx.round() < self.radius {
+                ctx.broadcast(self.best);
+            } else {
+                ctx.commit_node(self.best);
+                ctx.halt();
+            }
+        }
+    }
+
+    const RADIUS: usize = 3;
+
+    #[test]
+    fn flood_reaches_radius() {
+        let g = gen::path(8);
+        let cfg = SimConfig::new(1);
+        let t = run_sequential::<MaxFlood>(&g, &RADIUS, &cfg);
+        // After 3 rounds of flooding, node 0 has seen ids up to distance 3.
+        assert_eq!(t.node_output[0], Some(3));
+        assert_eq!(t.node_output[4], Some(7));
+        assert_eq!(t.rounds, 3);
+        assert!(t.all_nodes_committed());
+        assert!(t.is_complete());
+        // Everyone committed at round 3 and halted at round 3.
+        assert!(t.node_commit_round.iter().all(|&r| r == 3));
+        assert!(t.node_halt_round.iter().all(|&r| r == 3));
+    }
+
+    #[test]
+    fn congest_accounting() {
+        let g = gen::cycle(6);
+        let t = run_sequential::<MaxFlood>(&g, &RADIUS, &SimConfig::new(2));
+        assert_eq!(t.peak_message_bits(), 64);
+        // 6 nodes broadcast to 2 neighbors for rounds 0..=2 (round 3 commits).
+        assert_eq!(t.messages_sent, 6 * 2 * 3);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = gen::grid(8, 9);
+        let cfg = SimConfig::new(7).with_threads(4);
+        let a = run_sequential::<MaxFlood>(&g, &RADIUS, &cfg);
+        let b = run_parallel::<MaxFlood>(&g, &RADIUS, &cfg);
+        assert_eq!(a.node_output, b.node_output);
+        assert_eq!(a.node_commit_round, b.node_commit_round);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.messages_sent, b.messages_sent);
+    }
+
+    /// A randomized process: commits a coin flip at round 0. Used to verify
+    /// per-node randomness is a function of (seed, id) only.
+    struct CoinFlip;
+
+    impl Process for CoinFlip {
+        type Message = ();
+        type NodeOutput = bool;
+        type EdgeOutput = ();
+        type Params = ();
+        const OUTPUT_KIND: OutputKind = OutputKind::NodeLabels;
+
+        fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+            let flip = ctx.rng().chance(0.5);
+            ctx.commit_node(flip);
+            ctx.halt();
+            CoinFlip
+        }
+
+        fn round(&mut self, _ctx: &mut Ctx<'_, Self>, _inbox: &[Envelope<()>]) {
+            unreachable!("halted at init");
+        }
+    }
+
+    #[test]
+    fn randomness_is_seed_deterministic() {
+        let g = gen::cycle(32);
+        let a = run_sequential::<CoinFlip>(&g, &(), &SimConfig::new(5));
+        let b = run_parallel::<CoinFlip>(&g, &(), &SimConfig::new(5).with_threads(3));
+        let c = run_sequential::<CoinFlip>(&g, &(), &SimConfig::new(6));
+        assert_eq!(a.node_output, b.node_output);
+        assert_ne!(a.node_output, c.node_output);
+        assert_eq!(a.rounds, 0, "0-round algorithm");
+    }
+
+    /// Edge-labelling process: each edge is committed by its lower-id
+    /// endpoint with label = sum of endpoint ids; the higher endpoint
+    /// commits the same label one round later (consistency check).
+    struct EdgeLabel;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct NoMsg;
+    impl MessageSize for NoMsg {
+        fn size_bits(&self) -> usize {
+            0
+        }
+    }
+
+    impl Process for EdgeLabel {
+        type Message = NoMsg;
+        type NodeOutput = ();
+        type EdgeOutput = u64;
+        type Params = ();
+        const OUTPUT_KIND: OutputKind = OutputKind::EdgeLabels;
+
+        fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+            for port in ctx.ports() {
+                let u = ctx.neighbor_id(port);
+                if ctx.id() < u {
+                    let label = (ctx.id() + u) as u64;
+                    ctx.commit_edge(port, label);
+                }
+            }
+            EdgeLabel
+        }
+
+        fn round(&mut self, ctx: &mut Ctx<'_, Self>, _inbox: &[Envelope<NoMsg>]) {
+            for port in ctx.ports() {
+                let u = ctx.neighbor_id(port);
+                if ctx.id() > u {
+                    let label = (ctx.id() + u) as u64;
+                    ctx.commit_edge(port, label);
+                }
+            }
+            ctx.halt();
+        }
+    }
+
+    #[test]
+    fn edge_commits_record_earliest_round_and_agree() {
+        let g = gen::path(4);
+        let t = run_sequential::<EdgeLabel>(&g, &(), &SimConfig::new(1));
+        assert!(t.all_edges_committed());
+        // Lower endpoint committed at round 0; duplicate commit at round 1
+        // must not move the recorded round.
+        assert!(t.edge_commit_round.iter().all(|&r| r == 0));
+        let labels = t.edge_labels();
+        for (e, u, v) in g.edges() {
+            assert_eq!(labels[e], (u + v) as u64);
+        }
+        assert_eq!(t.kind, OutputKind::EdgeLabels);
+    }
+
+    /// Conflicting edge labels must panic.
+    struct BadEdgeLabel;
+
+    impl Process for BadEdgeLabel {
+        type Message = NoMsg;
+        type NodeOutput = ();
+        type EdgeOutput = u64;
+        type Params = ();
+        const OUTPUT_KIND: OutputKind = OutputKind::EdgeLabels;
+
+        fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+            for port in ctx.ports() {
+                ctx.commit_edge(port, ctx.id() as u64); // endpoints disagree
+            }
+            ctx.halt();
+            BadEdgeLabel
+        }
+
+        fn round(&mut self, _: &mut Ctx<'_, Self>, _: &[Envelope<NoMsg>]) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting labels")]
+    fn conflicting_edge_commit_panics() {
+        let g = gen::path(2);
+        let _ = run_sequential::<BadEdgeLabel>(&g, &(), &SimConfig::new(1));
+    }
+
+    /// A process that never halts must trip the round cap.
+    struct Forever;
+    impl Process for Forever {
+        type Message = ();
+        type NodeOutput = ();
+        type EdgeOutput = ();
+        type Params = ();
+        const OUTPUT_KIND: OutputKind = OutputKind::NodeLabels;
+        fn init(_: &(), _: &mut Ctx<'_, Self>) -> Self {
+            Forever
+        }
+        fn round(&mut self, _: &mut Ctx<'_, Self>, _: &[Envelope<()>]) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "max_rounds")]
+    fn round_cap_panics() {
+        let g = gen::path(3);
+        let cfg = SimConfig::new(1).with_max_rounds(10);
+        let _ = run_sequential::<Forever>(&g, &(), &cfg);
+    }
+
+    #[test]
+    fn knowledge_gating() {
+        struct NosyProcess;
+        impl Process for NosyProcess {
+            type Message = ();
+            type NodeOutput = ();
+            type EdgeOutput = ();
+            type Params = ();
+            const OUTPUT_KIND: OutputKind = OutputKind::NodeLabels;
+            fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+                let _ = ctx.neighbor_id(0); // should panic without knowledge
+                NosyProcess
+            }
+            fn round(&mut self, _: &mut Ctx<'_, Self>, _: &[Envelope<()>]) {}
+        }
+        let g = gen::path(2);
+        let cfg = SimConfig::new(1).with_knowledge(Knowledge {
+            neighbor_ids: false,
+            neighbor_degrees: false,
+        });
+        let result = std::panic::catch_unwind(|| {
+            let _ = run_sequential::<NosyProcess>(&g, &(), &cfg);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_graph_trivial_run() {
+        let g = Graph::empty(0);
+        let t = run_sequential::<CoinFlip>(&g, &(), &SimConfig::new(1));
+        assert_eq!(t.rounds, 0);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = SimConfig::new(9)
+            .with_max_rounds(50)
+            .with_threads(2)
+            .with_knowledge(Knowledge::default());
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.max_rounds, 50);
+        assert_eq!(cfg.threads, 2);
+    }
+}

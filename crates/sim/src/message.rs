@@ -1,0 +1,112 @@
+//! Messages, envelopes, and CONGEST size accounting.
+
+use localavg_graph::NodeId;
+
+/// A received message, as seen by the receiving node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender's node id.
+    pub src: NodeId,
+    /// The *receiver's* port over which the message arrived.
+    pub port: usize,
+    /// The message payload.
+    pub msg: M,
+}
+
+/// Size estimate (in bits) of a message payload, used to audit CONGEST
+/// algorithms: the model of the paper's §2 limits messages to O(log n) bits.
+///
+/// Implementations need not be exact — they should be honest up to small
+/// constants. The engine records the per-round maximum in
+/// [`Transcript::max_message_bits`](crate::transcript::Transcript::max_message_bits).
+///
+/// # Example
+///
+/// ```
+/// use localavg_sim::message::MessageSize;
+/// assert_eq!(42u64.size_bits(), 64);
+/// assert_eq!((1u32, true).size_bits(), 33);
+/// assert_eq!(Some(7usize).size_bits(), 65);
+/// assert_eq!(vec![1u16, 2, 3].size_bits(), 48);
+/// ```
+pub trait MessageSize {
+    /// Estimated encoded size of `self` in bits.
+    fn size_bits(&self) -> usize;
+}
+
+macro_rules! impl_size_prim {
+    ($($t:ty => $bits:expr),* $(,)?) => {
+        $(impl MessageSize for $t {
+            fn size_bits(&self) -> usize { $bits }
+        })*
+    };
+}
+
+impl_size_prim!(
+    u8 => 8, u16 => 16, u32 => 32, u64 => 64, usize => 64,
+    i8 => 8, i16 => 16, i32 => 32, i64 => 64, isize => 64,
+    bool => 1, f64 => 64, f32 => 32,
+);
+
+impl MessageSize for () {
+    fn size_bits(&self) -> usize {
+        0
+    }
+}
+
+impl<T: MessageSize> MessageSize for Option<T> {
+    fn size_bits(&self) -> usize {
+        1 + self.as_ref().map_or(0, MessageSize::size_bits)
+    }
+}
+
+impl<T: MessageSize> MessageSize for Vec<T> {
+    fn size_bits(&self) -> usize {
+        self.iter().map(MessageSize::size_bits).sum()
+    }
+}
+
+impl<A: MessageSize, B: MessageSize> MessageSize for (A, B) {
+    fn size_bits(&self) -> usize {
+        self.0.size_bits() + self.1.size_bits()
+    }
+}
+
+impl<A: MessageSize, B: MessageSize, C: MessageSize> MessageSize for (A, B, C) {
+    fn size_bits(&self) -> usize {
+        self.0.size_bits() + self.1.size_bits() + self.2.size_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(0u8.size_bits(), 8);
+        assert_eq!(0u64.size_bits(), 64);
+        assert_eq!(true.size_bits(), 1);
+        assert_eq!(().size_bits(), 0);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!(Some(1u8).size_bits(), 9);
+        assert_eq!(None::<u8>.size_bits(), 1);
+        assert_eq!((1u8, 2u8, 3u8).size_bits(), 24);
+        assert_eq!(vec![1u8; 5].size_bits(), 40);
+    }
+
+    #[test]
+    fn envelope_fields() {
+        let e = Envelope {
+            src: 3,
+            port: 1,
+            msg: 99u32,
+        };
+        assert_eq!(e.src, 3);
+        assert_eq!(e.port, 1);
+        assert_eq!(e.msg, 99);
+    }
+}

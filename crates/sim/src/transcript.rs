@@ -1,0 +1,185 @@
+//! Execution transcripts: the per-node / per-edge commit ledger.
+//!
+//! The transcript records exactly the quantities Definition 1 of the paper
+//! averages: for every node the round at which it committed its own output,
+//! for every edge the round at which its label was committed, and for every
+//! node the round at which it *terminated* (stopped sending messages) —
+//! the alternative complexity notion discussed in §2 ("Computation vs.
+//! Termination Time").
+
+/// A round counter. Round 0 is the `init` phase (a "0-round algorithm"
+/// commits during `init`); messages sent in round `r` arrive in round `r+1`.
+pub type Round = usize;
+
+/// Sentinel for "never committed / never halted".
+pub const UNCOMMITTED: Round = Round::MAX;
+
+/// Which outputs a problem labels — determines how Definition 1 completion
+/// times treat missing commitments.
+///
+/// * For a node-labelling problem (MIS, coloring, ruling sets) the edges
+///   carry no output; an edge is complete when both endpoints are.
+/// * For an edge-labelling problem (matching, orientations) the nodes carry
+///   no output; a node is complete when all incident edges are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputKind {
+    /// Only nodes commit outputs.
+    NodeLabels,
+    /// Only edges commit outputs.
+    EdgeLabels,
+    /// Both nodes and edges commit outputs.
+    Both,
+}
+
+/// Record of one simulated execution.
+///
+/// Produced by the [`engine`](crate::engine); can also be assembled by
+/// hand for algorithms whose complexity accounting is done structurally
+/// (Theorem 6's contraction levels build transcripts directly).
+#[derive(Debug, Clone)]
+pub struct Transcript<NO, EO> {
+    /// What kind of outputs this problem commits.
+    pub kind: OutputKind,
+    /// Total rounds executed until every node halted.
+    pub rounds: Round,
+    /// Final node outputs (`None` if the node never committed one).
+    pub node_output: Vec<Option<NO>>,
+    /// Final edge outputs.
+    pub edge_output: Vec<Option<EO>>,
+    /// Round at which each node committed its own output ([`UNCOMMITTED`]
+    /// if it never did — legitimate for [`OutputKind::EdgeLabels`]).
+    pub node_commit_round: Vec<Round>,
+    /// Round at which each edge's output was committed (earliest endpoint).
+    pub edge_commit_round: Vec<Round>,
+    /// Round at which each node halted (stopped participating).
+    pub node_halt_round: Vec<Round>,
+    /// Per-round maximum message size in bits (CONGEST audit); index 0 is
+    /// the init phase.
+    pub max_message_bits: Vec<usize>,
+    /// Total number of point-to-point messages delivered.
+    pub messages_sent: usize,
+}
+
+impl<NO, EO> Transcript<NO, EO> {
+    /// Creates an empty transcript for `n` nodes and `m` edges.
+    pub fn empty(kind: OutputKind, n: usize, m: usize) -> Self {
+        Transcript {
+            kind,
+            rounds: 0,
+            node_output: (0..n).map(|_| None).collect(),
+            edge_output: (0..m).map(|_| None).collect(),
+            node_commit_round: vec![UNCOMMITTED; n],
+            edge_commit_round: vec![UNCOMMITTED; m],
+            node_halt_round: vec![UNCOMMITTED; n],
+            max_message_bits: Vec::new(),
+            messages_sent: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.node_output.len()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edge_output.len()
+    }
+
+    /// Whether every node committed a node output.
+    pub fn all_nodes_committed(&self) -> bool {
+        self.node_commit_round.iter().all(|&r| r != UNCOMMITTED)
+    }
+
+    /// Whether every edge output was committed.
+    pub fn all_edges_committed(&self) -> bool {
+        self.edge_commit_round.iter().all(|&r| r != UNCOMMITTED)
+    }
+
+    /// Whether the transcript's committed outputs are complete for its
+    /// [`OutputKind`].
+    pub fn is_complete(&self) -> bool {
+        match self.kind {
+            OutputKind::NodeLabels => self.all_nodes_committed(),
+            OutputKind::EdgeLabels => self.all_edges_committed(),
+            OutputKind::Both => self.all_nodes_committed() && self.all_edges_committed(),
+        }
+    }
+
+    /// The maximum message size over all rounds, in bits (0 if silent).
+    pub fn peak_message_bits(&self) -> usize {
+        self.max_message_bits.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl<NO: Clone, EO: Clone> Transcript<NO, EO> {
+    /// Extracts the node outputs, panicking on any missing one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node never committed — call only on complete
+    /// node-labelling transcripts.
+    pub fn node_labels(&self) -> Vec<NO> {
+        self.node_output
+            .iter()
+            .enumerate()
+            .map(|(v, o)| o.clone().unwrap_or_else(|| panic!("node {v} never committed")))
+            .collect()
+    }
+
+    /// Extracts the edge outputs, panicking on any missing one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some edge never committed.
+    pub fn edge_labels(&self) -> Vec<EO> {
+        self.edge_output
+            .iter()
+            .enumerate()
+            .map(|(e, o)| o.clone().unwrap_or_else(|| panic!("edge {e} never committed")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_transcript() {
+        let t: Transcript<bool, ()> = Transcript::empty(OutputKind::NodeLabels, 3, 2);
+        assert_eq!(t.n(), 3);
+        assert_eq!(t.m(), 2);
+        assert!(!t.all_nodes_committed());
+        assert!(!t.is_complete());
+        assert_eq!(t.peak_message_bits(), 0);
+    }
+
+    #[test]
+    fn completeness_by_kind() {
+        let mut t: Transcript<bool, bool> = Transcript::empty(OutputKind::EdgeLabels, 2, 1);
+        t.edge_commit_round[0] = 3;
+        t.edge_output[0] = Some(true);
+        assert!(t.is_complete());
+        t.kind = OutputKind::Both;
+        assert!(!t.is_complete());
+        t.node_commit_round = vec![0, 1];
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn label_extraction() {
+        let mut t: Transcript<u8, u8> = Transcript::empty(OutputKind::Both, 2, 1);
+        t.node_output = vec![Some(1), Some(2)];
+        t.edge_output = vec![Some(9)];
+        assert_eq!(t.node_labels(), vec![1, 2]);
+        assert_eq!(t.edge_labels(), vec![9]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_label_panics() {
+        let t: Transcript<u8, ()> = Transcript::empty(OutputKind::NodeLabels, 1, 0);
+        let _ = t.node_labels();
+    }
+}

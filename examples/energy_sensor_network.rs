@@ -1,0 +1,63 @@
+//! The paper's motivating scenario (§1, [CGP20]): node-averaged running
+//! time tracks the total energy spent in a sensor network. A deployment
+//! that only needs a (2,2)-ruling set (Theorem 2) instead of a full MIS
+//! finishes with O(1) average work per sensor.
+//!
+//! ```text
+//! cargo run --release --example energy_sensor_network
+//! ```
+
+use localavg::core::metrics::ComplexityReport;
+use localavg::core::{mis, ruling};
+use localavg::graph::{analysis, gen, rng::Rng, transform};
+
+fn main() {
+    // A sensor field: random geometric graph over the unit square; keep
+    // the giant component so every sensor can participate.
+    let mut rng = Rng::seed_from(99);
+    let field = gen::random_geometric(1500, 0.05, &mut rng);
+    let (comp, _) = analysis::components(&field);
+    let giant = {
+        let mut counts = std::collections::HashMap::new();
+        for &c in &comp {
+            *counts.entry(c).or_insert(0usize) += 1;
+        }
+        *counts.iter().max_by_key(|(_, &n)| n).expect("nonempty").0
+    };
+    let keep: Vec<bool> = comp.iter().map(|&c| c == giant).collect();
+    let (g, _, _) = transform::induced_subgraph(&field, &keep);
+    println!(
+        "sensor field: n={}, m={}, Δ={}",
+        g.n(),
+        g.m(),
+        g.max_degree()
+    );
+
+    // Cluster-head election via MIS...
+    let mis_run = mis::luby(&g, 1);
+    let mis_report = ComplexityReport::from_run(&g, &mis_run.transcript);
+    // ...or via the relaxed (2,2)-ruling set of Theorem 2.
+    let rs_run = ruling::two_two(&g, 1);
+    assert!(analysis::is_ruling_set(&g, &rs_run.in_set, 2, 2));
+    let rs_report = ComplexityReport::from_run(&g, &rs_run.transcript);
+
+    println!("\n                       MIS (Luby)   (2,2)-ruling set");
+    println!(
+        "cluster heads          {:>10}   {:>16}",
+        mis_run.in_set.iter().filter(|&&b| b).count(),
+        rs_run.in_set.iter().filter(|&&b| b).count()
+    );
+    println!(
+        "avg energy (node-avg)  {:>10.2}   {:>16.2}",
+        mis_report.node_averaged, rs_report.node_averaged
+    );
+    println!(
+        "makespan (worst case)  {:>10}   {:>16}",
+        mis_report.rounds, rs_report.rounds
+    );
+    println!(
+        "\nPaper take-away: if the application tolerates coverage radius 2, \
+         each sensor spends O(1) rounds on average (Theorem 2) — MIS cannot \
+         do that in general (Theorem 16)."
+    );
+}

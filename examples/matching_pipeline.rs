@@ -1,0 +1,47 @@
+//! Maximal matching three ways (§3.2): randomized (Theorem 4),
+//! deterministic via fractional rounding (Theorem 5), and the greedy
+//! proposal baseline — with the paper's edge-averaged accounting.
+//!
+//! ```text
+//! cargo run --release --example matching_pipeline
+//! ```
+
+use localavg::core::matching::{self, MatchingRun};
+use localavg::core::metrics::ComplexityReport;
+use localavg::graph::{analysis, gen, rng::Rng, Graph};
+
+fn describe(name: &str, g: &Graph, run: &MatchingRun) {
+    assert!(analysis::is_maximal_matching(g, &run.in_matching));
+    let rep = ComplexityReport::from_run(g, &run.transcript);
+    println!(
+        "{name:<16} |M|={:>5}  edge-avg={:>8.2}  node-avg={:>8.2}  worst={:>5}",
+        run.size(),
+        rep.edge_averaged,
+        rep.node_averaged,
+        rep.rounds
+    );
+}
+
+fn main() {
+    let mut rng = Rng::seed_from(6);
+    let g = gen::random_regular(2048, 8, &mut rng).expect("8-regular graph");
+    println!("graph: n={}, m={}, Δ={}\n", g.n(), g.m(), g.max_degree());
+
+    // The fractional matching Theorem 5 starts from carries |E| weight.
+    let f = matching::fractional_matching(&g);
+    assert!(matching::fractional_is_valid(&g, &f));
+    let fw: f64 = g
+        .edges()
+        .map(|(e, _, _)| f[e] * matching::edge_weight(&g, e) as f64)
+        .sum();
+    println!("fractional matching weight Σ f_e·w_e = {fw:.0} (= |E|)\n");
+
+    describe("Luby (Thm 4)", &g, &matching::luby(&g, 3));
+    describe("det (Thm 5)", &g, &matching::deterministic(&g));
+    describe("greedy", &g, &matching::greedy(&g));
+
+    println!(
+        "\nTheorem 4's edge-average is O(1); Theorem 5 trades randomness for \
+         polylog(Δ) averages; both beat their worst cases by a wide margin."
+    );
+}

@@ -1,0 +1,152 @@
+//! Integration tests spanning the whole workspace: algorithms from
+//! `localavg-core` running on graphs from `localavg-graph` and
+//! `localavg-lowerbound`, with metrics cross-checked.
+
+use localavg::core::metrics::{CompletionTimes, ComplexityReport, RunAggregate};
+use localavg::core::orientation::DetOrientParams;
+use localavg::core::ruling::DetRulingParams;
+use localavg::core::{coloring, matching, mis, orientation, ruling};
+use localavg::graph::{analysis, gen, rng::Rng};
+use localavg::lowerbound::base_graph::{BaseGraph, LiftedGk};
+use localavg::lowerbound::constructions::DoubledGk;
+
+fn lifted(k: usize, beta: u64, q: usize, seed: u64) -> LiftedGk {
+    let base = BaseGraph::build(k, beta, 4_000_000).expect("base graph");
+    let mut rng = Rng::seed_from(seed);
+    LiftedGk::build(base, q, &mut rng)
+}
+
+#[test]
+fn every_algorithm_solves_the_lower_bound_graph() {
+    let lg = lifted(1, 4, 2, 3);
+    let g = lg.graph();
+
+    let m = mis::luby(g, 1);
+    assert!(analysis::is_maximal_independent_set(g, &m.in_set));
+
+    let dg = mis::degree_guided(g, 1);
+    assert!(analysis::is_maximal_independent_set(g, &dg.in_set));
+
+    let rs = ruling::two_two(g, 1);
+    assert!(analysis::is_ruling_set(g, &rs.in_set, 2, 2));
+
+    let det_rs = ruling::deterministic(g, DetRulingParams::for_log_delta(g));
+    assert!(analysis::is_ruling_set(g, &det_rs.in_set, 2, det_rs.beta));
+
+    let mm = matching::luby(g, 1);
+    assert!(analysis::is_maximal_matching(g, &mm.in_matching));
+
+    let col = coloring::random_trial(g, 1);
+    assert!(analysis::is_proper_coloring(g, &col.colors));
+    assert!(col.colors.iter().all(|&c| c <= g.max_degree()));
+}
+
+#[test]
+fn theorem2_beats_mis_on_the_lower_bound_family() {
+    // The headline separation: on G̃_k the (2,2)-ruling set node-average
+    // is (much) smaller than the MIS node-average once k >= 1.
+    let lg = lifted(2, 4, 2, 5);
+    let g = lg.graph();
+    let mis_avg = {
+        let run = mis::luby(g, 2);
+        ComplexityReport::from_run(g, &run.transcript).node_averaged
+    };
+    let rs_avg = {
+        let run = ruling::two_two(g, 2);
+        ComplexityReport::from_run(g, &run.transcript).node_averaged
+    };
+    assert!(
+        rs_avg < mis_avg,
+        "(2,2)-RS node-avg {rs_avg} should beat MIS node-avg {mis_avg}"
+    );
+}
+
+#[test]
+fn s0_stalls_under_mis_but_not_under_ruling_set() {
+    let k = 1;
+    let lg = lifted(k, 4, 4, 7);
+    let g = lg.graph();
+    let s0 = lg.s0();
+
+    let run = mis::luby(g, 11);
+    let undecided_frac = s0
+        .iter()
+        .filter(|&&v| run.transcript.node_commit_round[v] > 3 * k)
+        .count() as f64
+        / s0.len() as f64;
+    assert!(
+        undecided_frac > 0.3,
+        "a large fraction of S(c0) must stall beyond round k: {undecided_frac}"
+    );
+}
+
+#[test]
+fn doubled_construction_runs_matching() {
+    // β must be large relative to k for S(c0) to dominate (the paper takes
+    // β = Ω(k² log k)); then at least half of S(c0) can only be matched
+    // through the cross perfect matching.
+    let lg = lifted(1, 8, 1, 9);
+    let d = DoubledGk::build(&lg);
+    let run = matching::luby(&d.graph, 3);
+    assert!(analysis::is_maximal_matching(&d.graph, &run.in_matching));
+    assert!(
+        d.cross_fraction(&run.in_matching) > 0.2,
+        "cross fraction {}",
+        d.cross_fraction(&run.in_matching)
+    );
+}
+
+#[test]
+fn orientation_on_lower_bound_graph() {
+    // G̃_k has minimum degree >= 3 (every cluster label is at least 2β^0).
+    let lg = lifted(1, 4, 2, 13);
+    let g = lg.graph();
+    assert!(g.min_degree() >= 3);
+    let run = orientation::randomized(g, 3);
+    assert!(analysis::is_sinkless_orientation(g, &run.orientation));
+    let run2 = orientation::deterministic(g, DetOrientParams::default());
+    assert!(analysis::is_sinkless_orientation(g, &run2.orientation));
+}
+
+#[test]
+fn appendix_a_chain_on_real_runs() {
+    let mut rng = Rng::seed_from(17);
+    let g = gen::random_regular(256, 4, &mut rng).unwrap();
+    let runs: Vec<_> = (0..8u64).map(|s| mis::luby(&g, s)).collect();
+    let times: Vec<CompletionTimes> = runs
+        .iter()
+        .map(|r| CompletionTimes::from_transcript(&g, &r.transcript))
+        .collect();
+    let rounds: Vec<usize> = runs.iter().map(|r| r.worst_case()).collect();
+    let agg = RunAggregate::from_times(&times, &rounds);
+    assert!(agg.inequality_chain_holds());
+    assert!(agg.node_averaged > 0.0);
+}
+
+#[test]
+fn congest_audit_across_algorithms() {
+    // Theorems 2-5 are CONGEST algorithms: O(log n) bits per message.
+    let mut rng = Rng::seed_from(23);
+    let g = gen::random_regular(128, 6, &mut rng).unwrap();
+    let bits_cap = 192; // generous O(log n) allowance
+    assert!(mis::luby(&g, 1).transcript.peak_message_bits() <= bits_cap);
+    assert!(ruling::two_two(&g, 1).transcript.peak_message_bits() <= bits_cap);
+    assert!(matching::luby(&g, 1).transcript.peak_message_bits() <= bits_cap);
+    assert!(matching::deterministic(&g).transcript.peak_message_bits() <= bits_cap);
+    assert!(
+        ruling::deterministic(&g, DetRulingParams::for_log_delta(&g))
+            .transcript
+            .peak_message_bits()
+            <= bits_cap
+    );
+}
+
+#[test]
+fn def1_edge_average_dominates_one_endpoint_convention() {
+    let lg = lifted(1, 4, 2, 29);
+    let g = lg.graph();
+    let run = mis::luby(g, 5);
+    let rep = ComplexityReport::from_run(g, &run.transcript);
+    assert!(rep.edge_averaged_one_endpoint <= rep.edge_averaged + 1e-9);
+    assert!(rep.node_averaged <= rep.rounds as f64 + 1e-9);
+}

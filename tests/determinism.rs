@@ -1,0 +1,47 @@
+//! Cross-executor and cross-run determinism: the same seed must produce
+//! bit-identical transcripts sequentially, in parallel, and across calls.
+
+use localavg::core::{matching, mis, ruling};
+use localavg::graph::{gen, rng::Rng};
+
+#[test]
+fn luby_mis_is_seed_deterministic() {
+    let mut rng = Rng::seed_from(3);
+    let g = gen::random_regular(256, 6, &mut rng).unwrap();
+    let a = mis::luby(&g, 42);
+    let b = mis::luby(&g, 42);
+    assert_eq!(a.in_set, b.in_set);
+    assert_eq!(a.transcript.node_commit_round, b.transcript.node_commit_round);
+    let c = mis::luby(&g, 43);
+    assert_ne!(a.in_set, c.in_set, "different seeds should differ");
+}
+
+#[test]
+fn ruling_set_is_seed_deterministic() {
+    let mut rng = Rng::seed_from(4);
+    let g = gen::gnp(200, 0.05, &mut rng);
+    let a = ruling::two_two(&g, 9);
+    let b = ruling::two_two(&g, 9);
+    assert_eq!(a.in_set, b.in_set);
+}
+
+#[test]
+fn matching_is_seed_deterministic() {
+    let mut rng = Rng::seed_from(5);
+    let g = gen::gnp(150, 0.08, &mut rng);
+    let a = matching::luby(&g, 77);
+    let b = matching::luby(&g, 77);
+    assert_eq!(a.in_matching, b.in_matching);
+    assert_eq!(a.transcript.edge_commit_round, b.transcript.edge_commit_round);
+}
+
+#[test]
+fn deterministic_algorithms_are_input_deterministic() {
+    let mut rng = Rng::seed_from(6);
+    let g = gen::gnp(120, 0.07, &mut rng);
+    assert_eq!(mis::greedy_by_id(&g).in_set, mis::greedy_by_id(&g).in_set);
+    assert_eq!(
+        matching::deterministic(&g).in_matching,
+        matching::deterministic(&g).in_matching
+    );
+}

@@ -1,0 +1,112 @@
+//! Property-based tests (proptest) over the whole stack: algorithm
+//! outputs are valid on arbitrary random graphs, metrics obey their
+//! defining inequalities, and structural transforms preserve invariants.
+
+use localavg::core::metrics::ComplexityReport;
+use localavg::core::{matching, mis, ruling};
+use localavg::graph::rng::Rng;
+use localavg::graph::{analysis, gen, lift, transform, Graph};
+use proptest::prelude::*;
+
+/// Strategy: a random graph from G(n, p) with given bounds.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n, 0.0f64..0.3, 0u64..1_000).prop_map(|(n, p, seed)| {
+        let mut rng = Rng::seed_from(seed);
+        gen::gnp(n, p, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn luby_mis_always_valid(g in arb_graph(64), seed in 0u64..100) {
+        let run = mis::luby(&g, seed);
+        prop_assert!(analysis::is_maximal_independent_set(&g, &run.in_set));
+        prop_assert!(run.transcript.all_nodes_committed());
+    }
+
+    #[test]
+    fn greedy_mis_always_valid(g in arb_graph(64)) {
+        let run = mis::greedy_by_id(&g);
+        prop_assert!(analysis::is_maximal_independent_set(&g, &run.in_set));
+    }
+
+    #[test]
+    fn two_two_ruling_always_valid(g in arb_graph(64), seed in 0u64..100) {
+        let run = ruling::two_two(&g, seed);
+        prop_assert!(analysis::is_ruling_set(&g, &run.in_set, 2, 2));
+    }
+
+    #[test]
+    fn luby_matching_always_valid(g in arb_graph(64), seed in 0u64..100) {
+        let run = matching::luby(&g, seed);
+        prop_assert!(analysis::is_maximal_matching(&g, &run.in_matching));
+    }
+
+    #[test]
+    fn det_matching_always_valid(g in arb_graph(48)) {
+        let run = matching::deterministic(&g);
+        prop_assert!(analysis::is_maximal_matching(&g, &run.in_matching));
+    }
+
+    #[test]
+    fn fractional_matching_always_feasible(g in arb_graph(64)) {
+        let f = matching::fractional_matching(&g);
+        prop_assert!(matching::fractional_is_valid(&g, &f));
+    }
+
+    #[test]
+    fn metrics_inequalities(g in arb_graph(64), seed in 0u64..100) {
+        let run = mis::luby(&g, seed);
+        let rep = ComplexityReport::from_run(&g, &run.transcript);
+        prop_assert!(rep.edge_averaged_one_endpoint <= rep.edge_averaged + 1e-9);
+        prop_assert!(rep.node_averaged <= rep.node_worst as f64 + 1e-9);
+        prop_assert!(rep.node_worst <= rep.rounds);
+    }
+
+    #[test]
+    fn line_graph_size_formula(g in arb_graph(40)) {
+        let l = transform::line_graph(&g);
+        prop_assert_eq!(l.n(), g.m());
+        let expect: usize = g.degrees().map(|d| d * (d.saturating_sub(1)) / 2).sum();
+        prop_assert_eq!(l.m(), expect);
+    }
+
+    #[test]
+    fn matching_is_mis_on_line_graph(g in arb_graph(40), seed in 0u64..100) {
+        // §1.1: a maximal matching of G is an MIS of L(G).
+        let run = matching::luby(&g, seed);
+        let l = transform::line_graph(&g);
+        prop_assert!(analysis::is_maximal_independent_set(&l, &run.in_matching));
+    }
+
+    #[test]
+    fn lifts_preserve_degree_sequences(g in arb_graph(32), q in 1usize..5, seed in 0u64..100) {
+        let mut rng = Rng::seed_from(seed);
+        let lifted = lift::lift(&g, q, &mut rng);
+        prop_assert_eq!(lifted.graph.n(), g.n() * q);
+        prop_assert_eq!(lifted.graph.m(), g.m() * q);
+        for x in lifted.graph.nodes() {
+            prop_assert_eq!(lifted.graph.degree(x), g.degree(lifted.project(x)));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_degrees_bounded(g in arb_graph(48), mask_seed in 0u64..100) {
+        let mut rng = Rng::seed_from(mask_seed);
+        let keep: Vec<bool> = g.nodes().map(|_| rng.chance(0.6)).collect();
+        let (sub, new_to_old, _) = transform::induced_subgraph(&g, &keep);
+        for v in sub.nodes() {
+            prop_assert!(sub.degree(v) <= g.degree(new_to_old[v]));
+        }
+    }
+
+    #[test]
+    fn power_graph_contains_original(g in arb_graph(32), k in 1usize..4) {
+        let p = transform::power_graph(&g, k);
+        for (_, u, v) in g.edges() {
+            prop_assert!(p.has_edge(u, v));
+        }
+    }
+}
