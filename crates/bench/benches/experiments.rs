@@ -1,63 +1,59 @@
-//! Criterion benches: one group per experiment (quick scale) plus engine
-//! micro-benchmarks. `cargo bench --workspace` regenerates timing for every
-//! table/figure-equivalent of the paper.
+//! Dependency-free bench harness (`harness = false`): times every
+//! quick-scale experiment plus registry-driven engine micro-benchmarks
+//! with `std::time::Instant`. The container has no Criterion, so this
+//! prints a simple min/mean table instead.
+//!
+//! ```text
+//! cargo bench -p localavg-bench
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use localavg_bench::experiments::{self, Scale};
-use localavg_core::{matching, mis, ruling};
+use localavg_core::algo::registry;
 use localavg_graph::{gen, rng::Rng};
+use std::time::Instant;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2));
-    macro_rules! exp {
-        ($name:literal, $f:path) => {
-            group.bench_function($name, |b| {
-                b.iter(|| std::hint::black_box($f(Scale::Quick)))
-            });
-        };
+/// Times `f` over `iters` iterations; returns (min, mean) in seconds.
+fn time_it<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let dt = start.elapsed().as_secs_f64();
+        min = min.min(dt);
+        total += dt;
     }
-    exp!("e1_figure1", experiments::e1_figure1);
-    exp!("e2_two_two_ruling", experiments::e2_two_two_ruling);
-    exp!("e3_det_ruling", experiments::e3_det_ruling);
-    exp!("e4_luby_matching", experiments::e4_luby_matching);
-    exp!("e5_det_matching", experiments::e5_det_matching);
-    exp!("e6_mis_upper", experiments::e6_mis_upper);
-    exp!("e7_det_orientation", experiments::e7_det_orientation);
-    exp!("e8_rand_orientation", experiments::e8_rand_orientation);
-    exp!("e9_mis_lower_bound", experiments::e9_mis_lower_bound);
-    exp!("e10_tree_mis", experiments::e10_tree_mis);
-    exp!("e11_matching_lower_bound", experiments::e11_matching_lower_bound);
-    exp!("e12_isomorphism", experiments::e12_isomorphism);
-    exp!("e13_lift_statistics", experiments::e13_lift_statistics);
-    exp!("e14_appendix_a", experiments::e14_appendix_a);
-    exp!("e15_coloring", experiments::e15_coloring);
-    exp!("e16_footnote2", experiments::e16_footnote2);
-    group.finish();
+    (min, total / iters as f64)
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2));
+fn report(name: &str, iters: usize, f: impl FnMut() -> localavg_bench::Table) {
+    let (min, mean) = time_it(iters, f);
+    println!(
+        "{name:<28} min {:>9.3} ms   mean {:>9.3} ms",
+        min * 1e3,
+        mean * 1e3
+    );
+}
+
+fn main() {
+    println!("== experiments (quick scale, 3 iterations each) ==");
+    let ids: Vec<String> = (1..=17).map(|i| format!("e{i}")).collect();
+    for id in &ids {
+        report(id, 3, || {
+            experiments::by_id(id, Scale::Quick).expect("known experiment id")
+        });
+    }
+
+    println!("\n== engine micro-benchmarks (registry-driven, 2048x8) ==");
     let mut rng = Rng::seed_from(1);
     let g = gen::random_regular(2048, 8, &mut rng).expect("graph");
-    group.bench_function("luby_mis_2048x8", |b| {
-        b.iter(|| std::hint::black_box(mis::luby(&g, 7)))
-    });
-    group.bench_function("two_two_ruling_2048x8", |b| {
-        b.iter(|| std::hint::black_box(ruling::two_two(&g, 7)))
-    });
-    group.bench_function("luby_matching_2048x8", |b| {
-        b.iter(|| std::hint::black_box(matching::luby(&g, 7)))
-    });
-    group.finish();
+    for name in ["mis/luby", "ruling/two-two", "matching/luby"] {
+        let algo = registry().get(name).expect("registered");
+        let (min, mean) = time_it(5, || algo.run(&g, 7));
+        println!(
+            "{name:<28} min {:>9.3} ms   mean {:>9.3} ms",
+            min * 1e3,
+            mean * 1e3
+        );
+    }
 }
-
-criterion_group!(benches, bench_experiments, bench_engine);
-criterion_main!(benches);

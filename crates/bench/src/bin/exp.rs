@@ -1,16 +1,135 @@
-//! Experiment runner: regenerates every table/figure-equivalent.
+//! Experiment runner and registry-driven algorithm driver.
 //!
 //! ```text
-//! cargo run --release -p localavg-bench --bin exp            # all, full scale
-//! cargo run --release -p localavg-bench --bin exp -- quick   # smoke scale
-//! cargo run --release -p localavg-bench --bin exp -- e9      # one experiment
+//! cargo run --release -p localavg-bench --bin exp              # all experiments, full scale
+//! cargo run --release -p localavg-bench --bin exp -- quick     # smoke scale
+//! cargo run --release -p localavg-bench --bin exp -- e9        # one experiment
+//! cargo run --release -p localavg-bench --bin exp -- --list    # list registered algorithms
+//! cargo run --release -p localavg-bench --bin exp -- --algo mis/luby --n 512 --d 8 --seed 3
 //! ```
+//!
+//! `--algo` runs a single algorithm (looked up in the string registry) on
+//! a random d-regular graph and prints its verified complexity report;
+//! unknown names fail with a closest-match suggestion.
 
 use localavg_bench::experiments::{self, Scale};
 use localavg_bench::Table;
+use localavg_core::algo::registry;
+use localavg_graph::{gen, rng::Rng};
+
+fn print_algo_list() {
+    let mut t = Table::new(
+        "Registered algorithms (`--algo <name>` runs one)",
+        &["name", "problem", "deterministic", "domain"],
+    );
+    for a in registry().iter() {
+        let domain = match a.problem().min_degree() {
+            0 => "any graph".to_string(),
+            d => format!("min degree ≥ {d}"),
+        };
+        t.row(vec![
+            a.name().to_string(),
+            a.problem().label().to_string(),
+            a.deterministic().to_string(),
+            domain,
+        ]);
+    }
+    println!("{t}");
+}
+
+/// Parses `--flag value` style options; returns (value, consumed).
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_usize(args: &[String], flag: &str, default: usize) -> usize {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} expects an integer, got `{v}`");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn run_single_algo(args: &[String], name: &str) {
+    let Some(algo) = registry().get(name) else {
+        eprint!("error: unknown algorithm `{name}`");
+        match registry().suggest(name) {
+            Some(close) => eprintln!(" — did you mean `{close}`?"),
+            None => eprintln!(),
+        }
+        eprintln!("hint: `--list` prints every registered algorithm");
+        std::process::exit(2);
+    };
+    let n = parse_usize(args, "--n", 256);
+    let d = parse_usize(args, "--d", 4);
+    let seed = parse_usize(args, "--seed", 1) as u64;
+    if algo.problem().min_degree() > d {
+        eprintln!(
+            "error: {} requires min degree {} (got --d {d})",
+            algo.name(),
+            algo.problem().min_degree()
+        );
+        std::process::exit(2);
+    }
+    let mut rng = Rng::seed_from(seed ^ 0xD15EA5E);
+    let g = gen::random_regular(n, d, &mut rng).unwrap_or_else(|e| {
+        eprintln!("error: cannot build a {d}-regular graph on {n} nodes: {e:?}");
+        std::process::exit(2);
+    });
+    println!(
+        "{} ({}) on a random {d}-regular graph, n={n}, seed={seed}",
+        algo.name(),
+        algo.problem()
+    );
+    let run = algo.run(&g, seed);
+    match run.verify(&g) {
+        Ok(()) => println!("output verified: valid {}", algo.problem()),
+        Err(e) => {
+            eprintln!("OUTPUT INVALID: {e}");
+            std::process::exit(1);
+        }
+    }
+    let rep = run.report(&g);
+    println!(
+        "node-averaged (AVG_V)            : {:.2}",
+        rep.node_averaged
+    );
+    println!(
+        "edge-averaged (AVG_E)            : {:.2}",
+        rep.edge_averaged
+    );
+    println!(
+        "edge-averaged (one endpoint, fn.2): {:.2}",
+        rep.edge_averaged_one_endpoint
+    );
+    println!("worst node completion            : {}", rep.node_worst);
+    println!("total rounds (worst case)        : {}", rep.rounds);
+    println!(
+        "termination-time node average    : {:.2}",
+        rep.node_averaged_termination
+    );
+    println!(
+        "CONGEST audit: peak message size = {} bits",
+        run.transcript.peak_message_bits()
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        print_algo_list();
+        return;
+    }
+    if let Some(name) = flag_value(&args, "--algo") {
+        run_single_algo(&args, &name);
+        return;
+    }
+
     let scale = if args.iter().any(|a| a == "quick") {
         Scale::Quick
     } else {
@@ -19,26 +138,13 @@ fn main() {
     let pick: Option<&str> = args.iter().find(|a| a.starts_with('e')).map(|s| s.as_str());
 
     let tables: Vec<Table> = match pick {
-        Some("e1") => vec![experiments::e1_figure1(scale)],
-        Some("e2") => vec![experiments::e2_two_two_ruling(scale)],
-        Some("e3") => vec![experiments::e3_det_ruling(scale)],
-        Some("e4") => vec![experiments::e4_luby_matching(scale)],
-        Some("e5") => vec![experiments::e5_det_matching(scale)],
-        Some("e6") => vec![experiments::e6_mis_upper(scale)],
-        Some("e7") => vec![experiments::e7_det_orientation(scale)],
-        Some("e8") => vec![experiments::e8_rand_orientation(scale)],
-        Some("e9") => vec![experiments::e9_mis_lower_bound(scale)],
-        Some("e10") => vec![experiments::e10_tree_mis(scale)],
-        Some("e11") => vec![experiments::e11_matching_lower_bound(scale)],
-        Some("e12") => vec![experiments::e12_isomorphism(scale)],
-        Some("e13") => vec![experiments::e13_lift_statistics(scale)],
-        Some("e14") => vec![experiments::e14_appendix_a(scale)],
-        Some("e15") => vec![experiments::e15_coloring(scale)],
-        Some("e16") => vec![experiments::e16_footnote2(scale)],
-        Some(other) => {
-            eprintln!("unknown experiment id: {other}");
-            std::process::exit(2);
-        }
+        Some(id) => match experiments::by_id(id, scale) {
+            Some(t) => vec![t],
+            None => {
+                eprintln!("unknown experiment id: {id} (e1..e17)");
+                std::process::exit(2);
+            }
+        },
         None => experiments::all(scale),
     };
     for table in tables {

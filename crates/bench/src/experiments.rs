@@ -1,16 +1,17 @@
 //! The per-theorem experiments (DESIGN.md §5 index).
 //!
-//! Every function is deterministic given its scale and reuses the public
-//! APIs of the workspace crates. `Scale::Quick` keeps each experiment in
+//! Every function is deterministic given its scale and drives the
+//! workspace through the *unified* algorithm API: experiments look
+//! algorithms up in [`localavg_core::algo::registry`] and consume the
+//! shared [`AlgoRun`] result type, so adding an algorithm family never
+//! requires touching the harness. `Scale::Quick` keeps each experiment in
 //! the sub-second range (used by `cargo bench` and tests); `Scale::Full`
 //! produces the EXPERIMENTS.md numbers.
 
 use crate::table::{f2, Table};
-use localavg_core::metrics::{CompletionTimes, ComplexityReport, RunAggregate};
-use localavg_core::orientation::DetOrientParams;
-use localavg_core::ruling::DetRulingParams;
+use localavg_core::algo::{registry, AlgoRun, Algorithm, DetRulingSpec, RulingDet};
+use localavg_core::metrics::{CompletionTimes, RunAggregate};
 use localavg_core::subroutines::log_star;
-use localavg_core::{coloring, matching, mis, orientation, ruling};
 use localavg_graph::rng::Rng;
 use localavg_graph::{analysis, gen, lift, Graph};
 use localavg_lowerbound::base_graph::{BaseGraph, LiftedGk};
@@ -48,17 +49,49 @@ fn regular(n: usize, d: usize, seed: u64) -> Graph {
     gen::random_regular(n, d, &mut rng).expect("regular graph")
 }
 
-/// Mean over seeds of a per-run metric.
-fn mean_over_seeds(scale: Scale, mut f: impl FnMut(u64) -> f64) -> f64 {
+/// Looks an algorithm up by registry key (experiments only reference
+/// algorithms through their string keys).
+fn algo(name: &str) -> &'static dyn localavg_core::algo::DynAlgorithm {
+    registry()
+        .get(name)
+        .unwrap_or_else(|| panic!("algorithm {name} not registered"))
+}
+
+/// Runs `name` on a fresh graph per seed and averages `K` metrics
+/// extracted from each verified run — one run per seed, however many
+/// scalars the caller wants out of it.
+fn mean_metrics<const K: usize>(
+    scale: Scale,
+    name: &str,
+    graph_of: impl Fn(u64) -> Graph,
+    seed_of: impl Fn(u64) -> u64,
+    metrics: impl Fn(&Graph, &AlgoRun) -> [f64; K],
+) -> [f64; K] {
+    let a = algo(name);
     let s = scale.seeds();
-    (0..s).map(&mut f).sum::<f64>() / s as f64
+    let mut acc = [0.0f64; K];
+    for i in 0..s {
+        let g = graph_of(i);
+        let run = a.run(&g, seed_of(i));
+        run.verify(&g).expect("registered algorithm must be valid");
+        for (slot, x) in acc.iter_mut().zip(metrics(&g, &run)) {
+            *slot += x / s as f64;
+        }
+    }
+    acc
 }
 
 /// E1 — Figure 1: cluster-tree skeleton structure for k = 0..3.
 pub fn e1_figure1(_scale: Scale) -> Table {
     let mut t = Table::new(
         "E1 (Figure 1) — cluster tree skeletons CT_k",
-        &["k", "nodes", "internal", "leaves", "directed edges (incl. self-loops)"],
+        &[
+            "k",
+            "nodes",
+            "internal",
+            "leaves",
+            "directed edges (incl. self-loops)",
+        ],
     );
     for k in 0..=3 {
         let ct = ClusterTree::new(k);
@@ -86,15 +119,13 @@ pub fn e2_two_two_ruling(scale: Scale) -> Table {
             if d >= n {
                 continue;
             }
-            let avg = mean_over_seeds(scale, |s| {
-                let g = regular(n, d, s);
-                let run = ruling::two_two(&g, s + 1);
-                ComplexityReport::from_run(&g, &run.transcript).node_averaged
-            });
-            let worst = mean_over_seeds(scale, |s| {
-                let g = regular(n, d, s);
-                ruling::two_two(&g, s + 1).worst_case() as f64
-            });
+            let [avg, worst] = mean_metrics(
+                scale,
+                "ruling/two-two",
+                |s| regular(n, d, s),
+                |s| s + 1,
+                |g, run| [run.report(g).node_averaged, run.worst_case() as f64],
+            );
             t.row(vec![
                 n.to_string(),
                 d.to_string(),
@@ -104,7 +135,9 @@ pub fn e2_two_two_ruling(scale: Scale) -> Table {
             ]);
         }
     }
-    t.note("Theorem 2 claim: node-averaged O(1) — the node-avg column should not grow with n or d.");
+    t.note(
+        "Theorem 2 claim: node-averaged O(1) — the node-avg column should not grow with n or d.",
+    );
     t
 }
 
@@ -120,18 +153,22 @@ pub fn e3_det_ruling(scale: Scale) -> Table {
             continue;
         }
         let g = regular(n, d, 7);
-        for (name, params) in [
-            ("log Δ", DetRulingParams::for_log_delta(&g)),
-            ("log log n", DetRulingParams::for_log_log_n(&g)),
+        for (name, spec) in [
+            ("log Δ", DetRulingSpec::LogDelta),
+            ("log log n", DetRulingSpec::LogLogN),
         ] {
-            let run = ruling::deterministic(&g, params);
-            assert!(analysis::is_ruling_set(&g, &run.in_set, 2, run.beta));
-            let rep = ComplexityReport::from_run(&g, &run.transcript);
+            let run = RulingDet.run_with(&g, 0, &spec);
+            run.verify(&g).expect("valid ruling set");
+            let beta = match run.solution {
+                localavg_core::algo::Solution::RulingSet { beta, .. } => beta,
+                ref other => panic!("ruling/det produced {other:?}"),
+            };
+            let rep = run.report(&g);
             t.row(vec![
                 n.to_string(),
                 d.to_string(),
                 name.to_string(),
-                run.beta.to_string(),
+                beta.to_string(),
                 f2(rep.node_averaged),
                 rep.rounds.to_string(),
             ]);
@@ -147,6 +184,7 @@ pub fn e4_luby_matching(scale: Scale) -> Table {
         "E4 (Theorem 4) — randomized maximal matching",
         &["n", "d", "edge-avg", "node-avg", "worst-case", "log2 n"],
     );
+    let a = algo("matching/luby");
     for &n in &scale.ns() {
         let d = 8usize;
         if d >= n {
@@ -156,8 +194,8 @@ pub fn e4_luby_matching(scale: Scale) -> Table {
         let seeds = scale.seeds();
         for s in 0..seeds {
             let g = regular(n, d, s);
-            let run = matching::luby(&g, s + 3);
-            let rep = ComplexityReport::from_run(&g, &run.transcript);
+            let run = a.run(&g, s + 3);
+            let rep = run.report(&g);
             ea += rep.edge_averaged / seeds as f64;
             na += rep.node_averaged / seeds as f64;
             wc += rep.rounds as f64 / seeds as f64;
@@ -185,14 +223,15 @@ pub fn e5_det_matching(scale: Scale) -> Table {
         Scale::Quick => vec![64, 128],
         Scale::Full => vec![256, 1024, 4096],
     };
+    let a = algo("matching/det");
     for &n in &ns {
         for d in [4usize, 8] {
             if d >= n {
                 continue;
             }
             let g = regular(n, d, 11);
-            let run = matching::deterministic(&g);
-            let rep = ComplexityReport::from_run(&g, &run.transcript);
+            let run = a.run(&g, 0);
+            let rep = run.report(&g);
             t.row(vec![
                 n.to_string(),
                 d.to_string(),
@@ -210,7 +249,14 @@ pub fn e5_det_matching(scale: Scale) -> Table {
 pub fn e6_mis_upper(scale: Scale) -> Table {
     let mut t = Table::new(
         "E6 (§3.1) — MIS node-averaged upper bounds on regular graphs",
-        &["n", "d", "algorithm", "node-avg", "edge-avg (1-endpoint)", "worst-case"],
+        &[
+            "n",
+            "d",
+            "algorithm",
+            "node-avg",
+            "edge-avg (1-endpoint)",
+            "worst-case",
+        ],
     );
     let n = match scale {
         Scale::Quick => 256,
@@ -220,16 +266,14 @@ pub fn e6_mis_upper(scale: Scale) -> Table {
         if d >= n {
             continue;
         }
-        for (name, run_fn) in [
-            ("Luby", mis::luby as fn(&Graph, u64) -> mis::MisRun),
-            ("degree-guided", mis::degree_guided as fn(&Graph, u64) -> mis::MisRun),
-        ] {
+        for name in ["mis/luby", "mis/degree-guided"] {
+            let a = algo(name);
             let (mut na, mut ea, mut wc) = (0.0, 0.0, 0.0);
             let seeds = scale.seeds();
             for s in 0..seeds {
                 let g = regular(n, d, s + 17);
-                let run = run_fn(&g, s + 1);
-                let rep = ComplexityReport::from_run(&g, &run.transcript);
+                let run = a.run(&g, s + 1);
+                let rep = run.report(&g);
                 na += rep.node_averaged / seeds as f64;
                 ea += rep.edge_averaged_one_endpoint / seeds as f64;
                 wc += rep.rounds as f64 / seeds as f64;
@@ -258,13 +302,14 @@ pub fn e7_det_orientation(scale: Scale) -> Table {
         Scale::Quick => vec![64, 256],
         Scale::Full => vec![128, 512, 2048, 8192],
     };
+    let a = algo("orientation/det");
     for &n in &ns {
         let (mut na, mut wc) = (0.0, 0.0);
         let seeds = scale.seeds();
         for s in 0..seeds {
             let g = regular(n, 3, s + 5);
-            let run = orientation::deterministic(&g, DetOrientParams::default());
-            let rep = ComplexityReport::from_run(&g, &run.transcript);
+            let run = a.run(&g, 0);
+            let rep = run.report(&g);
             na += rep.node_averaged / seeds as f64;
             wc += rep.rounds as f64 / seeds as f64;
         }
@@ -293,15 +338,13 @@ pub fn e8_rand_orientation(scale: Scale) -> Table {
     };
     for &n in &ns {
         for d in [3usize, 6] {
-            let avg = mean_over_seeds(scale, |s| {
-                let g = regular(n, d, s + 23);
-                let run = orientation::randomized(&g, s + 2);
-                ComplexityReport::from_run(&g, &run.transcript).node_averaged
-            });
-            let wc = mean_over_seeds(scale, |s| {
-                let g = regular(n, d, s + 23);
-                orientation::randomized(&g, s + 2).worst_case() as f64
-            });
+            let [avg, wc] = mean_metrics(
+                scale,
+                "orientation/rand",
+                |s| regular(n, d, s + 23),
+                |s| s + 2,
+                |g, run| [run.report(g).node_averaged, run.worst_case() as f64],
+            );
             t.row(vec![n.to_string(), d.to_string(), f2(avg), f2(wc)]);
         }
     }
@@ -321,7 +364,13 @@ pub fn e9_mis_lower_bound(scale: Scale) -> Table {
     let mut t = Table::new(
         "E9 (Theorem 16) — MIS on the lifted cluster-tree graphs G̃_k",
         &[
-            "k", "β", "q", "n", "algo", "node-avg", "S0 undecided @ round 3k",
+            "k",
+            "β",
+            "q",
+            "n",
+            "algo",
+            "node-avg",
+            "S0 undecided @ round 3k",
             "(2,2)-RS node-avg",
         ],
     );
@@ -333,20 +382,16 @@ pub fn e9_mis_lower_bound(scale: Scale) -> Table {
         let lg = lifted_gk(k, beta, q, 42 + k as u64);
         let g = lg.graph();
         let s0 = lg.s0();
-        for (name, run_fn) in [
-            ("Luby", mis::luby as fn(&Graph, u64) -> mis::MisRun),
-            ("degree-guided", mis::degree_guided as fn(&Graph, u64) -> mis::MisRun),
-        ] {
-            let run = run_fn(g, 9);
-            let rep = ComplexityReport::from_run(g, &run.transcript);
+        for name in ["mis/luby", "mis/degree-guided"] {
+            let run = algo(name).run(g, 9);
+            let rep = run.report(g);
             let threshold = 3 * k; // the engine uses ~3 rounds per Luby iteration
             let undecided = s0
                 .iter()
                 .filter(|&&v| run.transcript.node_commit_round[v] > threshold)
                 .count() as f64
                 / s0.len() as f64;
-            let rs = ruling::two_two(g, 9);
-            let rs_avg = ComplexityReport::from_run(g, &rs.transcript).node_averaged;
+            let rs_avg = algo("ruling/two-two").run(g, 9).report(g).node_averaged;
             t.row(vec![
                 k.to_string(),
                 beta.to_string(),
@@ -385,8 +430,8 @@ pub fn e10_tree_mis(scale: Scale) -> Table {
             continue;
         };
         let tv = TreeView::extract(g, v0, k).expect("tree view");
-        let luby = mis::luby(&tv.tree, 3);
-        let greedy = mis::greedy_by_id(&tv.tree);
+        let luby = algo("mis/luby").run(&tv.tree, 3);
+        let greedy = algo("mis/greedy").run(&tv.tree, 0);
         t.row(vec![
             k.to_string(),
             tv.tree.n().to_string(),
@@ -402,7 +447,15 @@ pub fn e10_tree_mis(scale: Scale) -> Table {
 pub fn e11_matching_lower_bound(scale: Scale) -> Table {
     let mut t = Table::new(
         "E11 (Theorem 17) — maximal matching on the doubled KMW graphs",
-        &["k", "β", "q", "n", "node-avg", "cross edges in matching", "cross decided @ round 4k"],
+        &[
+            "k",
+            "β",
+            "q",
+            "n",
+            "node-avg",
+            "cross edges in matching",
+            "cross decided @ round 4k",
+        ],
     );
     let configs: Vec<(usize, u64, usize)> = match scale {
         Scale::Quick => vec![(1, 4, 1)],
@@ -411,9 +464,10 @@ pub fn e11_matching_lower_bound(scale: Scale) -> Table {
     for (k, beta, q) in configs {
         let lg = lifted_gk(k, beta, q, 5);
         let d = DoubledGk::build(&lg);
-        let run = matching::luby(&d.graph, 13);
-        let rep = ComplexityReport::from_run(&d.graph, &run.transcript);
-        let cross = d.cross_fraction(&run.in_matching);
+        let run = algo("matching/luby").run(&d.graph, 13);
+        let rep = run.report(&d.graph);
+        let in_matching = run.solution.matching().expect("matching output");
+        let cross = d.cross_fraction(in_matching);
         let threshold = 4 * k; // ~4 rounds per matching iteration
         let early = d
             .cross_edges
@@ -439,7 +493,15 @@ pub fn e11_matching_lower_bound(scale: Scale) -> Table {
 pub fn e12_isomorphism(scale: Scale) -> Table {
     let mut t = Table::new(
         "E12 (Theorem 11) — Algorithm 1 view isomorphism between S(c0) and S(c1)",
-        &["k", "β", "q", "S0 tree-like frac", "pair found", "|view|", "verified"],
+        &[
+            "k",
+            "β",
+            "q",
+            "S0 tree-like frac",
+            "pair found",
+            "|view|",
+            "verified",
+        ],
     );
     let configs: Vec<(usize, u64, usize)> = match scale {
         Scale::Quick => vec![(1, 4, 8)],
@@ -503,12 +565,20 @@ pub fn e13_lift_statistics(scale: Scale) -> Table {
 pub fn e14_appendix_a(scale: Scale) -> Table {
     let mut t = Table::new(
         "E14 (Appendix A) — AVG_V ≤ AVG^w_V ≤ EXP_V ≤ WORST for Luby MIS",
-        &["graph", "AVG_V", "adversarial AVG^w_V", "EXP_V", "E[WORST]", "chain holds"],
+        &[
+            "graph",
+            "AVG_V",
+            "adversarial AVG^w_V",
+            "EXP_V",
+            "E[WORST]",
+            "chain holds",
+        ],
     );
     let n = match scale {
         Scale::Quick => 128,
         Scale::Full => 1024,
     };
+    let a = algo("mis/luby");
     for (name, g) in [
         ("4-regular", regular(n, 4, 3)),
         ("G(n, 8/n)", {
@@ -516,11 +586,8 @@ pub fn e14_appendix_a(scale: Scale) -> Table {
             gen::gnp(n, 8.0 / n as f64, &mut rng)
         }),
     ] {
-        let runs: Vec<_> = (0..10u64).map(|s| mis::luby(&g, s)).collect();
-        let times: Vec<CompletionTimes> = runs
-            .iter()
-            .map(|r| CompletionTimes::from_transcript(&g, &r.transcript))
-            .collect();
+        let runs: Vec<AlgoRun> = (0..10u64).map(|s| a.run(&g, s)).collect();
+        let times: Vec<CompletionTimes> = runs.iter().map(|r| r.completion_times(&g)).collect();
         let rounds: Vec<usize> = runs.iter().map(|r| r.worst_case()).collect();
         let agg = RunAggregate::from_times(&times, &rounds);
         t.row(vec![
@@ -546,15 +613,13 @@ pub fn e15_coloring(scale: Scale) -> Table {
         if d >= n {
             continue;
         }
-        let avg = mean_over_seeds(scale, |s| {
-            let g = regular(n, d, s + 31);
-            let run = coloring::random_trial(&g, s + 1);
-            ComplexityReport::from_run(&g, &run.transcript).node_averaged
-        });
-        let wc = mean_over_seeds(scale, |s| {
-            let g = regular(n, d, s + 31);
-            coloring::random_trial(&g, s + 1).worst_case() as f64
-        });
+        let [avg, wc] = mean_metrics(
+            scale,
+            "coloring/trial",
+            |s| regular(n, d, s + 31),
+            |s| s + 1,
+            |g, run| [run.report(g).node_averaged, run.worst_case() as f64],
+        );
         t.row(vec![n.to_string(), d.to_string(), f2(avg), f2(wc)]);
     }
     t.note("Every node keeps a proposed color with constant probability: node-avg O(1), worst case Θ(log n).");
@@ -565,16 +630,21 @@ pub fn e15_coloring(scale: Scale) -> Table {
 pub fn e16_footnote2(scale: Scale) -> Table {
     let mut t = Table::new(
         "E16 (footnote 2) — Luby MIS edge-averaged: one-endpoint vs Definition 1",
-        &["graph", "edge-avg (1-endpoint)", "edge-avg (Def. 1)", "node-avg"],
+        &[
+            "graph",
+            "edge-avg (1-endpoint)",
+            "edge-avg (Def. 1)",
+            "node-avg",
+        ],
     );
     let (k, beta, q) = match scale {
         Scale::Quick => (1, 4u64, 2usize),
         Scale::Full => (2, 4u64, 2usize),
     };
+    let a = algo("mis/luby");
     let lg = lifted_gk(k, beta, q, 3);
     let g = lg.graph();
-    let run = mis::luby(g, 7);
-    let rep = ComplexityReport::from_run(g, &run.transcript);
+    let rep = a.run(g, 7).report(g);
     t.row(vec![
         format!("G̃_{k} (β={beta}, q={q})"),
         f2(rep.edge_averaged_one_endpoint),
@@ -586,8 +656,7 @@ pub fn e16_footnote2(scale: Scale) -> Table {
         Scale::Full => 2048,
     };
     let g = regular(n, 8, 2);
-    let run = mis::luby(&g, 7);
-    let rep = ComplexityReport::from_run(&g, &run.transcript);
+    let rep = a.run(&g, 7).report(&g);
     t.row(vec![
         format!("8-regular n={n}"),
         f2(rep.edge_averaged_one_endpoint),
@@ -595,6 +664,56 @@ pub fn e16_footnote2(scale: Scale) -> Table {
         f2(rep.node_averaged),
     ]);
     t.note("Under the relaxed convention Luby is O(1); under Definition 1 the edge average is pinned to node decisions (Theorem 16 lower-bounds it on G̃_k).");
+    t
+}
+
+/// E17 — the unified-API sweep: every registered algorithm, one line each.
+///
+/// The generic driver the redesign enables: no per-family code at all —
+/// the registry decides what runs, the shared [`AlgoRun`] provides the
+/// metrics, and problems whose domain excludes the instance (sinkless
+/// orientation needs min degree 3) are skipped by their own declaration.
+pub fn e17_registry_sweep(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E17 (unified API) — every registered algorithm on one regular graph",
+        &[
+            "algorithm",
+            "problem",
+            "det",
+            "node-avg",
+            "edge-avg",
+            "worst-case",
+            "peak msg bits",
+        ],
+    );
+    let n = match scale {
+        Scale::Quick => 128,
+        Scale::Full => 1024,
+    };
+    let g = regular(n, 4, 19);
+    for a in registry().iter() {
+        if a.problem().min_degree() > g.min_degree() {
+            t.note(format!(
+                "{} skipped: needs min degree {}",
+                a.name(),
+                a.problem().min_degree()
+            ));
+            continue;
+        }
+        let run = a.run(&g, 7);
+        run.verify(&g).expect("registered algorithm must be valid");
+        let rep = run.report(&g);
+        t.row(vec![
+            a.name().to_string(),
+            a.problem().label().to_string(),
+            a.deterministic().to_string(),
+            f2(rep.node_averaged),
+            f2(rep.edge_averaged),
+            rep.rounds.to_string(),
+            run.transcript.peak_message_bits().to_string(),
+        ]);
+    }
+    t.note("d=4 keeps sinkless orientation in scope (its domain needs min degree 3).");
     t
 }
 
@@ -617,7 +736,33 @@ pub fn all(scale: Scale) -> Vec<Table> {
         e14_appendix_a(scale),
         e15_coloring(scale),
         e16_footnote2(scale),
+        e17_registry_sweep(scale),
     ]
+}
+
+/// Experiment ids accepted by the `exp` binary, with their runners.
+pub fn by_id(id: &str, scale: Scale) -> Option<Table> {
+    let f: fn(Scale) -> Table = match id {
+        "e1" => e1_figure1,
+        "e2" => e2_two_two_ruling,
+        "e3" => e3_det_ruling,
+        "e4" => e4_luby_matching,
+        "e5" => e5_det_matching,
+        "e6" => e6_mis_upper,
+        "e7" => e7_det_orientation,
+        "e8" => e8_rand_orientation,
+        "e9" => e9_mis_lower_bound,
+        "e10" => e10_tree_mis,
+        "e11" => e11_matching_lower_bound,
+        "e12" => e12_isomorphism,
+        "e13" => e13_lift_statistics,
+        "e14" => e14_appendix_a,
+        "e15" => e15_coloring,
+        "e16" => e16_footnote2,
+        "e17" => e17_registry_sweep,
+        _ => return None,
+    };
+    Some(f(scale))
 }
 
 #[cfg(test)]
@@ -633,5 +778,23 @@ mod tests {
                 table.title
             );
         }
+    }
+
+    #[test]
+    fn registry_sweep_covers_every_family() {
+        let t = e17_registry_sweep(Scale::Quick);
+        for family in ["mis/", "ruling/", "matching/", "orientation/", "coloring/"] {
+            assert!(
+                t.rows.iter().any(|r| r[0].starts_with(family)),
+                "family {family} missing from the sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn by_id_knows_every_experiment() {
+        assert!(by_id("e1", Scale::Quick).is_some());
+        assert!(by_id("e17", Scale::Quick).is_some());
+        assert!(by_id("e99", Scale::Quick).is_none());
     }
 }

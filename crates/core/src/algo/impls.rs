@@ -1,0 +1,368 @@
+//! [`Algorithm`] implementations for every family in the workspace.
+//!
+//! Each implementation is a zero-sized unit struct wrapping the family
+//! module's entry point and converting its legacy `*Run` into the unified
+//! [`AlgoRun`]. The legacy free functions (`mis::luby`, `ruling::two_two`,
+//! …) stay available as thin shims for code that wants the typed outputs
+//! directly.
+
+use super::{AlgoRun, Algorithm, Problem};
+use crate::orientation::DetOrientParams;
+use crate::ruling::DetRulingParams;
+use crate::{coloring, matching, mis, orientation, ruling};
+use localavg_graph::Graph;
+
+/// Luby's randomized MIS (`"mis/luby"`, §3.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MisLuby;
+
+impl Algorithm for MisLuby {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "mis/luby"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Mis
+    }
+
+    fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
+        AlgoRun::from(mis::luby(g, seed)).named(self.name())
+    }
+}
+
+/// Ghaffari-style degree-guided MIS (`"mis/degree-guided"`, §3.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MisDegreeGuided;
+
+impl Algorithm for MisDegreeGuided {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "mis/degree-guided"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Mis
+    }
+
+    fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
+        AlgoRun::from(mis::degree_guided(g, seed)).named(self.name())
+    }
+}
+
+/// Deterministic greedy-by-id MIS baseline (`"mis/greedy"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MisGreedy;
+
+impl Algorithm for MisGreedy {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "mis/greedy"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Mis
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn run_with(&self, g: &Graph, _seed: u64, _params: &()) -> AlgoRun {
+        AlgoRun::from(mis::greedy_by_id(g)).named(self.name())
+    }
+}
+
+/// Theorem 2's randomized (2,2)-ruling set (`"ruling/two-two"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RulingTwoTwo;
+
+impl Algorithm for RulingTwoTwo {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "ruling/two-two"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::RulingSet
+    }
+
+    fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
+        AlgoRun::from(ruling::two_two(g, seed)).named(self.name())
+    }
+}
+
+/// How `"ruling/det"` chooses Theorem 3's iteration count. The
+/// graph-dependent variants are resolved against the input graph inside
+/// `run_with`, which is what lets `Default` stay graph-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DetRulingSpec {
+    /// Theorem 3's (2, O(log Δ)) variant (the default).
+    #[default]
+    LogDelta,
+    /// Theorem 3's (2, O(log log n)) variant.
+    LogLogN,
+    /// Explicit iteration count.
+    Fixed(DetRulingParams),
+}
+
+impl DetRulingSpec {
+    /// Resolves the spec to concrete parameters for `g`.
+    pub fn resolve(&self, g: &Graph) -> DetRulingParams {
+        match self {
+            DetRulingSpec::LogDelta => DetRulingParams::for_log_delta(g),
+            DetRulingSpec::LogLogN => DetRulingParams::for_log_log_n(g),
+            DetRulingSpec::Fixed(p) => *p,
+        }
+    }
+}
+
+/// Theorem 3's deterministic (2,β)-ruling set (`"ruling/det"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RulingDet;
+
+impl Algorithm for RulingDet {
+    type Params = DetRulingSpec;
+
+    fn name(&self) -> &'static str {
+        "ruling/det"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::RulingSet
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn run_with(&self, g: &Graph, _seed: u64, params: &DetRulingSpec) -> AlgoRun {
+        AlgoRun::from(ruling::deterministic(g, params.resolve(g))).named(self.name())
+    }
+}
+
+/// Theorem 4's randomized maximal matching (`"matching/luby"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchingLuby;
+
+impl Algorithm for MatchingLuby {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "matching/luby"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::MaximalMatching
+    }
+
+    fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
+        AlgoRun::from(matching::luby(g, seed)).named(self.name())
+    }
+}
+
+/// Theorem 5's deterministic maximal matching (`"matching/det"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchingDet;
+
+impl Algorithm for MatchingDet {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "matching/det"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::MaximalMatching
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn run_with(&self, g: &Graph, _seed: u64, _params: &()) -> AlgoRun {
+        AlgoRun::from(matching::deterministic(g)).named(self.name())
+    }
+}
+
+/// Deterministic proposal-matching baseline (`"matching/greedy"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchingGreedy;
+
+impl Algorithm for MatchingGreedy {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "matching/greedy"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::MaximalMatching
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn run_with(&self, g: &Graph, _seed: u64, _params: &()) -> AlgoRun {
+        AlgoRun::from(matching::greedy(g)).named(self.name())
+    }
+}
+
+/// Randomized sinkless orientation (`"orientation/rand"`, \[GS17a\]-style).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OrientationRand;
+
+impl Algorithm for OrientationRand {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "orientation/rand"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::SinklessOrientation
+    }
+
+    fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
+        AlgoRun::from(orientation::randomized(g, seed)).named(self.name())
+    }
+}
+
+/// Theorem 6's deterministic sinkless orientation (`"orientation/det"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OrientationDet;
+
+impl Algorithm for OrientationDet {
+    type Params = DetOrientParams;
+
+    fn name(&self) -> &'static str {
+        "orientation/det"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::SinklessOrientation
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn run_with(&self, g: &Graph, _seed: u64, params: &DetOrientParams) -> AlgoRun {
+        AlgoRun::from(orientation::deterministic(g, *params)).named(self.name())
+    }
+}
+
+/// Randomized (Δ+1)-coloring by color trials (`"coloring/trial"`, §1.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColoringTrial;
+
+impl Algorithm for ColoringTrial {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "coloring/trial"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Coloring
+    }
+
+    fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
+        AlgoRun::from(coloring::random_trial(g, seed)).named(self.name())
+    }
+}
+
+/// Linial's deterministic O(log* n) coloring (`"coloring/linial"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColoringLinial;
+
+impl Algorithm for ColoringLinial {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "coloring/linial"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Coloring
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn run_with(&self, g: &Graph, _seed: u64, _params: &()) -> AlgoRun {
+        AlgoRun::from(coloring::linial(g)).named(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::Solution;
+    use localavg_graph::gen;
+    use localavg_graph::rng::Rng;
+
+    #[test]
+    fn det_ruling_spec_variants_resolve() {
+        let g = gen::grid(6, 6);
+        let spec = DetRulingSpec::default();
+        assert_eq!(spec, DetRulingSpec::LogDelta);
+        assert_eq!(spec.resolve(&g), DetRulingParams::for_log_delta(&g));
+        assert_eq!(
+            DetRulingSpec::LogLogN.resolve(&g),
+            DetRulingParams::for_log_log_n(&g)
+        );
+        let fixed = DetRulingParams { iterations: 4 };
+        assert_eq!(DetRulingSpec::Fixed(fixed).resolve(&g), fixed);
+    }
+
+    #[test]
+    fn ruling_det_beta_tracks_spec() {
+        let g = gen::grid(5, 5);
+        let run = RulingDet.run_with(
+            &g,
+            0,
+            &DetRulingSpec::Fixed(DetRulingParams { iterations: 3 }),
+        );
+        match run.solution {
+            Solution::RulingSet { beta, .. } => assert_eq!(beta, 7),
+            ref other => panic!("wrong solution kind: {other:?}"),
+        }
+        run.verify(&g).expect("valid ruling set");
+    }
+
+    #[test]
+    fn deterministic_flags_match_seed_behavior() {
+        let mut rng = Rng::seed_from(4);
+        let g = gen::random_regular(40, 4, &mut rng).unwrap();
+        for algo in crate::algo::registry().iter() {
+            if algo.problem().min_degree() > g.min_degree() || !algo.deterministic() {
+                continue;
+            }
+            let a = algo.run(&g, 1);
+            let b = algo.run(&g, 99);
+            assert_eq!(
+                a.solution,
+                b.solution,
+                "{} claims determinism but depends on the seed",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn orientation_algorithms_run_on_cubic_graph() {
+        let mut rng = Rng::seed_from(7);
+        let g = gen::random_regular(32, 3, &mut rng).unwrap();
+        for name in ["orientation/rand", "orientation/det"] {
+            let run = crate::algo::registry().get(name).unwrap().run(&g, 2);
+            run.verify(&g).expect("sinkless");
+        }
+    }
+}

@@ -1,0 +1,707 @@
+//! Unified algorithm API: one trait, one result type, one registry.
+//!
+//! The paper measures every algorithm with the same yardstick — the
+//! per-node/per-edge commit times of Definition 1 — yet each family
+//! (MIS, ruling sets, matching, orientation, coloring) naturally produces
+//! a differently-typed output. This module erases that difference:
+//!
+//! * [`Algorithm`] — the one trait every implementation satisfies:
+//!   `name()`, `problem()`, a typed [`Algorithm::Params`] with a sane
+//!   `Default`, and `run(&Graph, seed) -> AlgoRun`.
+//! * [`AlgoRun`] — the single result type: an output-erased transcript
+//!   (commit clocks survive; labels move into [`Solution`]) plus shared
+//!   [`AlgoRun::worst_case`], [`AlgoRun::report`], and
+//!   [`AlgoRun::verify`] wired to the `localavg_graph::analysis`
+//!   validators.
+//! * [`registry`] — the string-keyed catalog (`"mis/luby"`,
+//!   `"ruling/two-two"`, `"matching/det"`, …) for dynamic dispatch:
+//!   sweep drivers iterate it instead of special-casing five families.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use localavg_core::algo::registry;
+//! use localavg_graph::{gen, rng::Rng};
+//!
+//! let mut rng = Rng::seed_from(1);
+//! let g = gen::random_regular(64, 4, &mut rng).expect("graph");
+//!
+//! // Dynamic dispatch by name…
+//! let run = registry().get("mis/luby").expect("registered").run(&g, 7);
+//! run.verify(&g).expect("valid MIS");
+//! assert!(run.report(&g).node_averaged < 32.0);
+//!
+//! // …or sweep everything that solves a node problem.
+//! for algo in registry().iter() {
+//!     if algo.problem().min_degree() <= g.min_degree() {
+//!         algo.run(&g, 7).verify(&g).expect("every algorithm is valid");
+//!     }
+//! }
+//! ```
+
+mod impls;
+
+pub use impls::{
+    ColoringLinial, ColoringTrial, DetRulingSpec, MatchingDet, MatchingGreedy, MatchingLuby,
+    MisDegreeGuided, MisGreedy, MisLuby, OrientationDet, OrientationRand, RulingDet, RulingTwoTwo,
+};
+
+use crate::coloring::ColoringRun;
+use crate::matching::MatchingRun;
+use crate::metrics::{CompletionTimes, ComplexityReport};
+use crate::mis::MisRun;
+use crate::orientation::OrientationRun;
+use crate::ruling::RulingRun;
+use localavg_graph::analysis::{self, Orientation};
+use localavg_graph::Graph;
+use localavg_sim::transcript::{Round, Transcript};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// The problem an algorithm solves (the LCL class, in the landscape
+/// papers' terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Problem {
+    /// Maximal independent set (§3.1).
+    Mis,
+    /// (2, β)-ruling set (Theorems 2–3).
+    RulingSet,
+    /// Maximal matching (Theorems 4–5).
+    MaximalMatching,
+    /// Sinkless orientation (Theorem 6 / \[GS17a\]).
+    SinklessOrientation,
+    /// Proper (vertex) coloring (§1.2).
+    Coloring,
+}
+
+impl Problem {
+    /// Minimum degree the problem's domain requires (sinkless orientation
+    /// is only defined on graphs of minimum degree 3).
+    pub fn min_degree(&self) -> usize {
+        match self {
+            Problem::SinklessOrientation => 3,
+            _ => 0,
+        }
+    }
+
+    /// Short human-readable label (used by `exp --list`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Problem::Mis => "maximal independent set",
+            Problem::RulingSet => "ruling set",
+            Problem::MaximalMatching => "maximal matching",
+            Problem::SinklessOrientation => "sinkless orientation",
+            Problem::Coloring => "coloring",
+        }
+    }
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The typed output of a run, one variant per problem family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Solution {
+    /// MIS indicator per node.
+    Mis {
+        /// `in_set[v]` iff node `v` joined the independent set.
+        in_set: Vec<bool>,
+    },
+    /// Ruling-set indicator per node with the guaranteed domination radius.
+    RulingSet {
+        /// `in_set[v]` iff node `v` joined the ruling set.
+        in_set: Vec<bool>,
+        /// Every node is within distance `beta` of the set.
+        beta: usize,
+    },
+    /// Matching indicator per edge.
+    Matching {
+        /// `in_matching[e]` iff edge `e` was matched.
+        in_matching: Vec<bool>,
+    },
+    /// Orientation label per edge.
+    Orientation {
+        /// Direction of every edge.
+        orientation: Vec<Orientation>,
+    },
+    /// Color per node.
+    Coloring {
+        /// The color assigned to every node.
+        colors: Vec<usize>,
+    },
+}
+
+impl Solution {
+    /// The problem this solution answers.
+    pub fn problem(&self) -> Problem {
+        match self {
+            Solution::Mis { .. } => Problem::Mis,
+            Solution::RulingSet { .. } => Problem::RulingSet,
+            Solution::Matching { .. } => Problem::MaximalMatching,
+            Solution::Orientation { .. } => Problem::SinklessOrientation,
+            Solution::Coloring { .. } => Problem::Coloring,
+        }
+    }
+
+    /// Node-set indicator, for MIS and ruling-set solutions.
+    pub fn node_set(&self) -> Option<&[bool]> {
+        match self {
+            Solution::Mis { in_set } | Solution::RulingSet { in_set, .. } => Some(in_set),
+            _ => None,
+        }
+    }
+
+    /// Matching indicator, for matching solutions.
+    pub fn matching(&self) -> Option<&[bool]> {
+        match self {
+            Solution::Matching { in_matching } => Some(in_matching),
+            _ => None,
+        }
+    }
+
+    /// Edge orientations, for orientation solutions.
+    pub fn orientation(&self) -> Option<&[Orientation]> {
+        match self {
+            Solution::Orientation { orientation } => Some(orientation),
+            _ => None,
+        }
+    }
+
+    /// Node colors, for coloring solutions.
+    pub fn colors(&self) -> Option<&[usize]> {
+        match self {
+            Solution::Coloring { colors } => Some(colors),
+            _ => None,
+        }
+    }
+}
+
+/// Why a [`Solution`] failed validation against a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationError {
+    /// Output vector length does not match the graph.
+    SizeMismatch {
+        /// Elements the graph expects (nodes or edges).
+        expected: usize,
+        /// Elements the solution carries.
+        got: usize,
+    },
+    /// The node set is not a maximal independent set.
+    NotMaximalIndependentSet,
+    /// The node set is not a (2, β)-ruling set.
+    NotRulingSet {
+        /// The β the run promised.
+        beta: usize,
+    },
+    /// The edge set is not a maximal matching.
+    NotMaximalMatching,
+    /// Some node of degree ≥ 1 has out-degree 0.
+    HasSink,
+    /// Two adjacent nodes share a color.
+    NotProperColoring,
+    /// The transcript never committed every required output.
+    IncompleteTranscript,
+}
+
+impl fmt::Display for ViolationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationError::SizeMismatch { expected, got } => {
+                write!(f, "solution size mismatch: expected {expected}, got {got}")
+            }
+            ViolationError::NotMaximalIndependentSet => {
+                f.write_str("not a maximal independent set")
+            }
+            ViolationError::NotRulingSet { beta } => {
+                write!(f, "not a (2, {beta})-ruling set")
+            }
+            ViolationError::NotMaximalMatching => f.write_str("not a maximal matching"),
+            ViolationError::HasSink => f.write_str("orientation has a sink"),
+            ViolationError::NotProperColoring => f.write_str("coloring is not proper"),
+            ViolationError::IncompleteTranscript => {
+                f.write_str("transcript incomplete: some output never committed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ViolationError {}
+
+/// The unified result of running any [`Algorithm`].
+///
+/// The transcript is output-erased (labels live in [`Solution`]), so every
+/// family shares the same metrics plumbing: [`AlgoRun::report`] feeds it to
+/// [`ComplexityReport`] and [`AlgoRun::completion_times`] to
+/// [`CompletionTimes`] / [`crate::metrics::RunAggregate`].
+#[derive(Debug, Clone)]
+pub struct AlgoRun {
+    /// Registry key of the algorithm that produced this run (`""` when the
+    /// run was converted from a legacy `*Run` by hand).
+    pub algorithm: &'static str,
+    /// Output-erased execution transcript (commit clocks, halt rounds, and
+    /// the CONGEST message audit all survive erasure).
+    pub transcript: Transcript<(), ()>,
+    /// The typed output labels.
+    pub solution: Solution,
+}
+
+impl AlgoRun {
+    /// Stamps the registry key onto the run (builder style).
+    pub fn named(mut self, name: &'static str) -> Self {
+        self.algorithm = name;
+        self
+    }
+
+    /// The problem this run solved.
+    pub fn problem(&self) -> Problem {
+        self.solution.problem()
+    }
+
+    /// Total rounds until global termination (classic worst case).
+    pub fn worst_case(&self) -> Round {
+        self.transcript.rounds
+    }
+
+    /// Definition 1 / Appendix A complexity measures of this run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transcript is incomplete (see
+    /// [`ComplexityReport::from_run`]).
+    pub fn report(&self, g: &Graph) -> ComplexityReport {
+        ComplexityReport::from_run(g, &self.transcript)
+    }
+
+    /// Per-element completion times (for [`crate::metrics::RunAggregate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transcript is incomplete.
+    pub fn completion_times(&self, g: &Graph) -> CompletionTimes {
+        CompletionTimes::from_transcript(g, &self.transcript)
+    }
+
+    /// Validates the solution against `g` using the
+    /// [`localavg_graph::analysis`] validators.
+    pub fn verify(&self, g: &Graph) -> Result<(), ViolationError> {
+        if !self.transcript.is_complete() {
+            return Err(ViolationError::IncompleteTranscript);
+        }
+        let check_len = |expected: usize, got: usize| {
+            if expected == got {
+                Ok(())
+            } else {
+                Err(ViolationError::SizeMismatch { expected, got })
+            }
+        };
+        match &self.solution {
+            Solution::Mis { in_set } => {
+                check_len(g.n(), in_set.len())?;
+                if analysis::is_maximal_independent_set(g, in_set) {
+                    Ok(())
+                } else {
+                    Err(ViolationError::NotMaximalIndependentSet)
+                }
+            }
+            Solution::RulingSet { in_set, beta } => {
+                check_len(g.n(), in_set.len())?;
+                if analysis::is_ruling_set(g, in_set, 2, *beta) {
+                    Ok(())
+                } else {
+                    Err(ViolationError::NotRulingSet { beta: *beta })
+                }
+            }
+            Solution::Matching { in_matching } => {
+                check_len(g.m(), in_matching.len())?;
+                if analysis::is_maximal_matching(g, in_matching) {
+                    Ok(())
+                } else {
+                    Err(ViolationError::NotMaximalMatching)
+                }
+            }
+            Solution::Orientation { orientation } => {
+                check_len(g.m(), orientation.len())?;
+                if analysis::is_sinkless_orientation(g, orientation) {
+                    Ok(())
+                } else {
+                    Err(ViolationError::HasSink)
+                }
+            }
+            Solution::Coloring { colors } => {
+                check_len(g.n(), colors.len())?;
+                if analysis::is_proper_coloring(g, colors) {
+                    Ok(())
+                } else {
+                    Err(ViolationError::NotProperColoring)
+                }
+            }
+        }
+    }
+}
+
+impl From<MisRun> for AlgoRun {
+    fn from(run: MisRun) -> Self {
+        AlgoRun {
+            algorithm: "",
+            transcript: run.transcript.erased(),
+            solution: Solution::Mis { in_set: run.in_set },
+        }
+    }
+}
+
+impl From<RulingRun> for AlgoRun {
+    fn from(run: RulingRun) -> Self {
+        AlgoRun {
+            algorithm: "",
+            transcript: run.transcript.erased(),
+            solution: Solution::RulingSet {
+                in_set: run.in_set,
+                beta: run.beta,
+            },
+        }
+    }
+}
+
+impl From<MatchingRun> for AlgoRun {
+    fn from(run: MatchingRun) -> Self {
+        AlgoRun {
+            algorithm: "",
+            transcript: run.transcript.erased(),
+            solution: Solution::Matching {
+                in_matching: run.in_matching,
+            },
+        }
+    }
+}
+
+impl From<OrientationRun> for AlgoRun {
+    fn from(run: OrientationRun) -> Self {
+        AlgoRun {
+            algorithm: "",
+            transcript: run.transcript.erased(),
+            solution: Solution::Orientation {
+                orientation: run.orientation,
+            },
+        }
+    }
+}
+
+impl From<ColoringRun> for AlgoRun {
+    fn from(run: ColoringRun) -> Self {
+        AlgoRun {
+            algorithm: "",
+            transcript: run.transcript.erased(),
+            solution: Solution::Coloring { colors: run.colors },
+        }
+    }
+}
+
+/// The unified algorithm interface with statically-typed parameters.
+///
+/// Implementations are zero-sized unit structs (e.g. [`MisLuby`]); the
+/// registry exposes them through the object-safe [`DynAlgorithm`] facade
+/// with default parameters. Call [`Algorithm::run_with`] directly when you
+/// need non-default parameters.
+pub trait Algorithm {
+    /// Tuning parameters. `Default` must be sensible on any input graph
+    /// (graph-dependent defaults are resolved inside `run_with`).
+    type Params: Clone + Default + fmt::Debug;
+
+    /// Stable registry key, e.g. `"mis/luby"`.
+    fn name(&self) -> &'static str;
+
+    /// The problem this algorithm solves.
+    fn problem(&self) -> Problem;
+
+    /// Whether the run is a pure function of the graph (the seed is
+    /// ignored).
+    fn deterministic(&self) -> bool {
+        false
+    }
+
+    /// Runs with explicit parameters.
+    fn run_with(&self, g: &Graph, seed: u64, params: &Self::Params) -> AlgoRun;
+
+    /// Runs with default parameters.
+    fn run(&self, g: &Graph, seed: u64) -> AlgoRun {
+        self.run_with(g, seed, &Self::Params::default())
+    }
+}
+
+/// Object-safe facade over [`Algorithm`] for the string-keyed registry
+/// (the typed `Params` associated type keeps `Algorithm` itself out of
+/// trait-object land). Blanket-implemented for every `Algorithm`.
+pub trait DynAlgorithm: Send + Sync {
+    /// Stable registry key.
+    fn name(&self) -> &'static str;
+    /// The problem solved.
+    fn problem(&self) -> Problem;
+    /// Whether the seed is ignored.
+    fn deterministic(&self) -> bool;
+    /// Runs with default parameters.
+    fn run(&self, g: &Graph, seed: u64) -> AlgoRun;
+}
+
+impl<A: Algorithm + Send + Sync> DynAlgorithm for A {
+    fn name(&self) -> &'static str {
+        Algorithm::name(self)
+    }
+
+    fn problem(&self) -> Problem {
+        Algorithm::problem(self)
+    }
+
+    fn deterministic(&self) -> bool {
+        Algorithm::deterministic(self)
+    }
+
+    fn run(&self, g: &Graph, seed: u64) -> AlgoRun {
+        Algorithm::run(self, g, seed)
+    }
+}
+
+/// The string-keyed catalog of every registered algorithm.
+pub struct Registry {
+    entries: Vec<&'static dyn DynAlgorithm>,
+}
+
+impl Registry {
+    /// Looks an algorithm up by its registry key.
+    pub fn get(&self, name: &str) -> Option<&'static dyn DynAlgorithm> {
+        self.entries.iter().copied().find(|a| a.name() == name)
+    }
+
+    /// All registered algorithms, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &'static dyn DynAlgorithm> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// All registry keys, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.iter().map(|a| a.name())
+    }
+
+    /// Number of registered algorithms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty (it never is).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registered key closest to `name` by edit distance — the basis
+    /// of `exp`'s "unknown algorithm, did you mean …" error. Returns
+    /// `None` when even the best candidate is too far off to be a typo
+    /// (distance above half the query length), so garbage input doesn't
+    /// get a misleading suggestion.
+    pub fn suggest(&self, name: &str) -> Option<&'static str> {
+        let threshold = (name.chars().count() / 2).max(2);
+        self.names()
+            .map(|k| (edit_distance(k, name), k))
+            .min()
+            .filter(|&(d, _)| d <= threshold)
+            .map(|(_, k)| k)
+    }
+}
+
+/// Classic two-row Levenshtein distance (ASCII-ish keys, tiny inputs).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The global registry of every algorithm in the workspace.
+///
+/// Keys follow `family/variant`:
+///
+/// | key | problem | paper result |
+/// |---|---|---|
+/// | `mis/luby` | MIS | §3.1, Luby \[Lub86, ABI86\] |
+/// | `mis/degree-guided` | MIS | §3.1, Ghaffari-style desire levels |
+/// | `mis/greedy` | MIS | deterministic greedy-by-id baseline |
+/// | `ruling/two-two` | ruling set | Theorem 2, randomized (2,2) |
+/// | `ruling/det` | ruling set | Theorem 3, deterministic (2,β) |
+/// | `matching/luby` | matching | Theorem 4, randomized |
+/// | `matching/det` | matching | Theorem 5, fractional rounding |
+/// | `matching/greedy` | matching | deterministic proposal baseline |
+/// | `orientation/rand` | sinkless orientation | \[GS17a\]-style |
+/// | `orientation/det` | sinkless orientation | Theorem 6 |
+/// | `coloring/trial` | coloring | §1.2, random (Δ+1) trials |
+/// | `coloring/linial` | coloring | Linial's O(log* n) |
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        entries: vec![
+            &MisLuby,
+            &MisDegreeGuided,
+            &MisGreedy,
+            &RulingTwoTwo,
+            &RulingDet,
+            &MatchingLuby,
+            &MatchingDet,
+            &MatchingGreedy,
+            &OrientationRand,
+            &OrientationDet,
+            &ColoringTrial,
+            &ColoringLinial,
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use localavg_graph::gen;
+    use localavg_graph::rng::Rng;
+
+    #[test]
+    fn registry_keys_are_unique_and_stable() {
+        let names: Vec<&str> = registry().names().collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len(), "duplicate registry keys");
+        for key in [
+            "mis/luby",
+            "ruling/two-two",
+            "matching/det",
+            "orientation/det",
+            "coloring/linial",
+        ] {
+            assert!(registry().get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(registry().len(), 12);
+    }
+
+    #[test]
+    fn dyn_run_matches_typed_run() {
+        let mut rng = Rng::seed_from(2);
+        let g = gen::random_regular(48, 4, &mut rng).unwrap();
+        let dynamic = registry().get("mis/luby").unwrap().run(&g, 5);
+        let typed = Algorithm::run(&MisLuby, &g, 5);
+        assert_eq!(dynamic.solution, typed.solution);
+        assert_eq!(
+            dynamic.transcript.node_commit_round,
+            typed.transcript.node_commit_round
+        );
+        assert_eq!(dynamic.algorithm, "mis/luby");
+    }
+
+    #[test]
+    fn verify_accepts_valid_and_rejects_corrupted() {
+        let g = gen::grid(4, 4);
+        let run = registry().get("mis/greedy").unwrap().run(&g, 0);
+        assert_eq!(run.verify(&g), Ok(()));
+        let mut bad = run.clone();
+        if let Solution::Mis { in_set } = &mut bad.solution {
+            for b in in_set.iter_mut() {
+                *b = false; // empty set is not maximal
+            }
+        }
+        assert_eq!(
+            bad.verify(&g),
+            Err(ViolationError::NotMaximalIndependentSet)
+        );
+        let mut short = run.clone();
+        if let Solution::Mis { in_set } = &mut short.solution {
+            in_set.pop();
+        }
+        assert!(matches!(
+            short.verify(&g),
+            Err(ViolationError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_checks_each_family() {
+        let mut rng = Rng::seed_from(9);
+        let g = gen::random_regular(32, 4, &mut rng).unwrap();
+        for algo in registry().iter() {
+            if algo.problem().min_degree() > g.min_degree() {
+                continue;
+            }
+            let run = algo.run(&g, 3);
+            assert_eq!(run.verify(&g), Ok(()), "{} failed", algo.name());
+            assert_eq!(run.problem(), algo.problem());
+            assert!(run.worst_case() == run.transcript.rounds);
+        }
+    }
+
+    #[test]
+    fn ruling_set_beta_violation_detected() {
+        // A (2,2)-ruling set claimed as beta is fine, but an empty set is
+        // not a ruling set at all on a nonempty graph.
+        let g = gen::path(5);
+        let bad = AlgoRun {
+            algorithm: "",
+            transcript: {
+                let mut t =
+                    Transcript::empty(localavg_sim::transcript::OutputKind::NodeLabels, 5, 4);
+                t.node_commit_round = vec![0; 5];
+                t.node_output = vec![Some(()); 5];
+                t
+            },
+            solution: Solution::RulingSet {
+                in_set: vec![false; 5],
+                beta: 2,
+            },
+        };
+        assert_eq!(
+            bad.verify(&g),
+            Err(ViolationError::NotRulingSet { beta: 2 })
+        );
+    }
+
+    #[test]
+    fn suggest_finds_close_matches() {
+        let r = registry();
+        assert_eq!(r.suggest("mis/lubby"), Some("mis/luby"));
+        assert_eq!(r.suggest("matchign/det"), Some("matching/det"));
+        assert_eq!(r.suggest("coloring/linail"), Some("coloring/linial"));
+    }
+
+    #[test]
+    fn suggest_rejects_garbage() {
+        // Nothing remotely close: no misleading "did you mean".
+        assert_eq!(registry().suggest("foobar"), None);
+        assert_eq!(registry().suggest("xx"), None);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn solution_accessors() {
+        let s = Solution::Mis {
+            in_set: vec![true, false],
+        };
+        assert_eq!(s.node_set(), Some(&[true, false][..]));
+        assert!(s.matching().is_none());
+        let m = Solution::Matching {
+            in_matching: vec![true],
+        };
+        assert_eq!(m.matching(), Some(&[true][..]));
+        assert!(m.colors().is_none());
+        assert_eq!(m.problem(), Problem::MaximalMatching);
+    }
+}

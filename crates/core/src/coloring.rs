@@ -26,7 +26,10 @@ pub struct ColoringRun {
 impl ColoringRun {
     /// Number of distinct colors used.
     pub fn palette_size(&self) -> usize {
-        self.colors.iter().collect::<std::collections::HashSet<_>>().len()
+        self.colors
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len()
     }
 
     /// Total rounds of the run.

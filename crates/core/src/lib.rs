@@ -7,6 +7,7 @@
 //!
 //! | Module | Paper result |
 //! |---|---|
+//! | [`algo`] | Unified [`algo::Algorithm`] trait, [`algo::AlgoRun`] result type, and the string-keyed [`algo::registry`] over every implementation |
 //! | [`metrics`] | Definition 1 (`AVG_V`, `AVG_E`, footnote-2 convention), Appendix A (weighted, expected, worst case) |
 //! | [`mis`] | §3.1: Luby's MIS, degree-guided MIS, deterministic greedy |
 //! | [`ruling`] | Theorem 2 ((2,2)-ruling set, node-avg O(1)) and Theorem 3 (deterministic (2,β)-ruling sets, node-avg O(log\* n)) |
@@ -18,20 +19,19 @@
 //! Every algorithm runs on the [`localavg_sim`] engine and returns a
 //! transcript whose per-node/per-edge commit rounds feed the metrics.
 //!
-//! # Example: Theorem 2's separation from MIS
+//! # Example: Theorem 2's separation from MIS, via the unified API
 //!
 //! ```
 //! use localavg_graph::{gen, rng::Rng};
-//! use localavg_core::{mis, ruling, metrics::ComplexityReport};
+//! use localavg_core::algo::registry;
 //!
 //! let mut rng = Rng::seed_from(1);
 //! let g = gen::random_regular(128, 8, &mut rng).expect("graph");
 //!
-//! let mis_run = mis::luby(&g, 7);
-//! let rs_run = ruling::two_two(&g, 7);
-//!
-//! let mis_avg = ComplexityReport::from_run(&g, &mis_run.transcript).node_averaged;
-//! let rs_avg = ComplexityReport::from_run(&g, &rs_run.transcript).node_averaged;
+//! let mis_avg = registry().get("mis/luby").expect("registered")
+//!     .run(&g, 7).report(&g).node_averaged;
+//! let rs_avg = registry().get("ruling/two-two").expect("registered")
+//!     .run(&g, 7).report(&g).node_averaged;
 //! // Both are small here; the separation appears on the lower-bound
 //! // graphs (see the localavg-lowerbound crate).
 //! assert!(mis_avg < 32.0 && rs_avg < 32.0);
@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algo;
 pub mod coloring;
 pub mod matching;
 pub mod metrics;

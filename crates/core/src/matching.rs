@@ -572,7 +572,12 @@ impl DetMatching {
 
     /// Relay round after CV: each link node tells every paired edge the
     /// final color and id of its partner on this side.
-    fn relay_color_round(&mut self, ctx: &mut Ctx<'_, Self>, inbox: &[Envelope<DetMatchMsg>], k: usize) {
+    fn relay_color_round(
+        &mut self,
+        ctx: &mut Ctx<'_, Self>,
+        inbox: &[Envelope<DetMatchMsg>],
+        k: usize,
+    ) {
         self.note_cv_colors(inbox);
         for p in ctx.ports() {
             if self.value[p] != EdgeValue::Exp(k) {
@@ -623,7 +628,13 @@ impl DetMatching {
     /// The CV coloring is proper along owner-side pair links; pair links at
     /// non-owner endpoints may join two same-colored path-adjacent edges,
     /// so equal-color adjacencies are additionally broken by edge id.
-    fn sweep_join_round(&mut self, ctx: &mut Ctx<'_, Self>, inbox: &[Envelope<DetMatchMsg>], k: usize, c: u64) {
+    fn sweep_join_round(
+        &mut self,
+        ctx: &mut Ctx<'_, Self>,
+        inbox: &[Envelope<DetMatchMsg>],
+        k: usize,
+        c: u64,
+    ) {
         self.note_partner_joins(inbox);
         for p in ctx.ports() {
             if self.value[p] != EdgeValue::Exp(k)
@@ -871,7 +882,8 @@ impl Process for DetMatching {
 
     fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
         let degree = ctx.degree();
-        let sched = DetMatchSchedule::new(ctx.n(), ctx.n() * ctx.max_degree().max(1), ctx.max_degree());
+        let sched =
+            DetMatchSchedule::new(ctx.n(), ctx.n() * ctx.max_degree().max(1), ctx.max_degree());
         let mut state = DetMatching {
             sched,
             nbr_active: vec![true; degree],
@@ -1029,7 +1041,11 @@ mod tests {
         let run = luby(&g, 5);
         check(&g, &run);
         let r = ComplexityReport::from_run(&g, &run.transcript);
-        assert!(r.edge_averaged < 30.0, "edge averaged = {}", r.edge_averaged);
+        assert!(
+            r.edge_averaged < 30.0,
+            "edge averaged = {}",
+            r.edge_averaged
+        );
         assert!(r.rounds > 0);
     }
 

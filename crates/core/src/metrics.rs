@@ -114,11 +114,7 @@ fn weighted_mean(xs: &[Round], w: &[f64]) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    xs.iter()
-        .zip(w)
-        .map(|(&x, &wi)| x as f64 * wi)
-        .sum::<f64>()
-        / total
+    xs.iter().zip(w).map(|(&x, &wi)| x as f64 * wi).sum::<f64>() / total
 }
 
 /// All single-run complexity measures of one execution.

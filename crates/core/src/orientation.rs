@@ -726,7 +726,7 @@ pub fn deterministic(g: &Graph, params: DetOrientParams) -> OrientationRun {
         vedge_dir: vec![None; vg.vedges.len()],
         vnode_clock: vec![0; vg.host.len()],
     };
-    solve_level(g, &vg, &params, 1, 0, 0, &mut ledger, &mut result);
+    solve_level(&vg, &params, 1, 0, 0, &mut ledger, &mut result);
 
     // Decide node clocks from vnode clocks.
     for (v, &c) in result.vnode_clock.iter().enumerate() {
@@ -752,7 +752,6 @@ fn idx_for(seen: &HashMap<EdgeId, usize>, e: EdgeId) -> usize {
 /// and clock of every vedge and the decision clock of every vnode.
 #[allow(clippy::too_many_arguments)]
 fn solve_level(
-    g: &Graph,
     vg: &VGraph,
     params: &DetOrientParams,
     stretch: usize,
@@ -803,9 +802,9 @@ fn solve_level(
                 orient_vedge(vg, ve, from_side, cycle_clock, ledger, result);
             }
         }
-        for v in 0..n {
-            if !decided[v] && has_outward(vg, v, result) {
-                decided[v] = true;
+        for (v, d) in decided.iter_mut().enumerate() {
+            if !*d && has_outward(vg, v, result) {
+                *d = true;
                 result.vnode_clock[v] = cycle_clock;
             }
         }
@@ -990,7 +989,6 @@ fn solve_level(
         vnode_clock: vec![0; next_vg.host.len()],
     };
     solve_level(
-        g,
         &next_vg,
         params,
         stretch * (4 * r + 4),
@@ -1008,7 +1006,7 @@ fn solve_level(
             .copied()
             .find(|&ni| {
                 let (from_a, _) = next_result.vedge_dir[ni].expect("deeper level oriented all");
-                
+
                 if from_a {
                     next_vg.vedges[ni].a == ci
                 } else {
@@ -1049,7 +1047,11 @@ fn solve_level(
                     == vg.vedges[link_ve].path.first().map(|&(e, _)| e)
                     && next_vg.vedges[ni].path.first().map(|&(_, s)| s)
                         == vg.vedges[link_ve].path.first().map(|&(_, s)| s);
-                let from_a = if same_order { from_a_next } else { !from_a_next };
+                let from_a = if same_order {
+                    from_a_next
+                } else {
+                    !from_a_next
+                };
                 result.vedge_dir[link_ve] = Some((from_a, cl));
             }
         }
@@ -1134,7 +1136,9 @@ fn short_cycle_orientations(
                 if !usable(ve) || ves.contains(&ve) {
                     continue;
                 }
-                let Some(nxt) = vg.other(ve, cur) else { continue };
+                let Some(nxt) = vg.other(ve, cur) else {
+                    continue;
+                };
                 if nxt == a && ves.len() >= 2 {
                     // Found a cycle.
                     let mut cyc = ves.clone();
@@ -1521,12 +1525,7 @@ fn ball_finisher(
                     .get(&a)
                     .filter(|&&(p, _)| p == b)
                     .map(|&(_, ve)| ve)
-                    .or_else(|| {
-                        parent
-                            .get(&b)
-                            .filter(|&&(p, _)| p == a)
-                            .map(|&(_, ve)| ve)
-                    })
+                    .or_else(|| parent.get(&b).filter(|&&(p, _)| p == a).map(|&(_, ve)| ve))
                     .expect("cycle vedge")
             };
             if result.vedge_dir[ve].is_none() {
@@ -1562,12 +1561,7 @@ fn ball_finisher(
 
 /// Default-orients every leftover vedge of the level (both endpoints are
 /// decided by now): away from the larger host.
-fn default_orient_level(
-    vg: &VGraph,
-    clock: usize,
-    ledger: &mut Ledger,
-    result: &mut LevelResult,
-) {
+fn default_orient_level(vg: &VGraph, clock: usize, ledger: &mut Ledger, result: &mut LevelResult) {
     for ve in 0..vg.vedges.len() {
         if result.vedge_dir[ve].is_some() {
             continue;

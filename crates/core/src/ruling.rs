@@ -23,7 +23,9 @@
 //! pseudo-forest (computed by Cole–Vishkin 6-coloring of pointer chains in
 //! O(log* n) rounds plus a 6-phase color sweep).
 
-use crate::subroutines::{ceil_log2, cv_rounds, cv_step, cv_step_root, linial_schedule, LinialStep};
+use crate::subroutines::{
+    ceil_log2, cv_rounds, cv_step, cv_step_root, linial_schedule, LinialStep,
+};
 use localavg_graph::{analysis, Graph};
 use localavg_sim::prelude::*;
 
@@ -122,7 +124,7 @@ impl TwoTwoRuling {
 
     fn near_phase(&mut self, ctx: &mut Ctx<'_, Self>, inbox: &[Envelope<TwoTwoMsg>]) {
         if inbox.iter().any(|env| matches!(env.msg, TwoTwoMsg::Joined)) {
-            // Distance 1 from the set: deleted;告知 distance-2 nodes.
+            // Distance 1 from the set: deleted; notify distance-2 nodes.
             ctx.commit_node(false);
             ctx.broadcast(TwoTwoMsg::NearSet);
             ctx.halt();
@@ -130,7 +132,10 @@ impl TwoTwoRuling {
     }
 
     fn far_phase(&mut self, ctx: &mut Ctx<'_, Self>, inbox: &[Envelope<TwoTwoMsg>]) {
-        if inbox.iter().any(|env| matches!(env.msg, TwoTwoMsg::NearSet)) {
+        if inbox
+            .iter()
+            .any(|env| matches!(env.msg, TwoTwoMsg::NearSet))
+        {
             // Distance 2 from the set: deleted.
             ctx.commit_node(false);
             ctx.broadcast(TwoTwoMsg::Removed);
@@ -437,8 +442,7 @@ impl DetRuling {
                     let sweep_idx = off - sweep_base;
                     for env in inbox {
                         if matches!(env.msg, DetMsg::InForestMis)
-                            && (Some(env.port) == self.forest_parent
-                                || self.in_children[env.port])
+                            && (Some(env.port) == self.forest_parent || self.in_children[env.port])
                         {
                             self.forest_covered = true;
                         }
@@ -715,7 +719,10 @@ mod tests {
         let a = deterministic(&g, params);
         let b = deterministic(&g, params);
         assert_eq!(a.in_set, b.in_set);
-        assert_eq!(a.transcript.node_commit_round, b.transcript.node_commit_round);
+        assert_eq!(
+            a.transcript.node_commit_round,
+            b.transcript.node_commit_round
+        );
     }
 
     #[test]

@@ -155,10 +155,8 @@ pub fn random_tree(n: usize, rng: &mut Rng) -> Graph {
     // Min-heap over current leaves.
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut leaves: BinaryHeap<Reverse<NodeId>> = (0..n)
-        .filter(|&v| degree[v] == 1)
-        .map(Reverse)
-        .collect();
+    let mut leaves: BinaryHeap<Reverse<NodeId>> =
+        (0..n).filter(|&v| degree[v] == 1).map(Reverse).collect();
     let mut g = Graph::empty(n);
     for &v in &prufer {
         let Reverse(leaf) = leaves.pop().expect("Prüfer decoding always has a leaf");

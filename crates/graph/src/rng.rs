@@ -80,7 +80,8 @@ impl Rng {
     pub fn fork(&self, tag: u64) -> Self {
         // Mix the tag through SplitMix64 twice so consecutive tags land far
         // apart, then reseed.
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let _ = splitmix64(&mut sm);
         Rng::seed_from(splitmix64(&mut sm))
     }
@@ -89,10 +90,7 @@ impl Rng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

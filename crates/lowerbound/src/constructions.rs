@@ -57,11 +57,7 @@ impl DoubledGk {
     /// Theorem 17 tracks (any maximal matching needs `(1-o(1))` of the
     /// `S(c0)`–`S(c0)'` cross edges).
     pub fn cross_fraction(&self, in_matching: &[bool]) -> f64 {
-        let hits = self
-            .cross_edges
-            .iter()
-            .filter(|&&e| in_matching[e])
-            .count();
+        let hits = self.cross_edges.iter().filter(|&&e| in_matching[e]).count();
         hits as f64 / self.cross_edges.len() as f64
     }
 }

@@ -109,8 +109,12 @@ fn walk(
             pairs.push((*a, *b));
         }
     }
-    let longer_v: Vec<usize> = (0..nv.len()).filter(|&i| nv[i].len() > nw[i].len()).collect();
-    let longer_w: Vec<usize> = (0..nv.len()).filter(|&i| nw[i].len() > nv[i].len()).collect();
+    let longer_v: Vec<usize> = (0..nv.len())
+        .filter(|&i| nv[i].len() > nw[i].len())
+        .collect();
+    let longer_w: Vec<usize> = (0..nv.len())
+        .filter(|&i| nw[i].len() > nv[i].len())
+        .collect();
     match (longer_v.len(), longer_w.len()) {
         (0, 0) => {}
         (1, 1)

@@ -115,21 +115,19 @@ impl<P: Process> RunState<P> {
                         self.transcript.node_commit_round[v] = round;
                         self.transcript.node_output[v] = Some(out);
                     }
-                    Event::Edge(e, out) => {
-                        match &self.transcript.edge_output[e] {
-                            None => {
-                                self.transcript.edge_commit_round[e] = round;
-                                self.transcript.edge_output[e] = Some(out);
-                            }
-                            Some(prev) => {
-                                assert!(
-                                    *prev == out,
-                                    "edge {e} committed with conflicting labels \
-                                     ({prev:?} vs {out:?}) — algorithm bug"
-                                );
-                            }
+                    Event::Edge(e, out) => match &self.transcript.edge_output[e] {
+                        None => {
+                            self.transcript.edge_commit_round[e] = round;
+                            self.transcript.edge_output[e] = Some(out);
                         }
-                    }
+                        Some(prev) => {
+                            assert!(
+                                *prev == out,
+                                "edge {e} committed with conflicting labels \
+                                     ({prev:?} vs {out:?}) — algorithm bug"
+                            );
+                        }
+                    },
                 }
             }
         }
@@ -327,35 +325,24 @@ fn step_all<P: Process>(
     let halts = state.halted.chunks_mut(chunk);
     let outs = state.outboxes.chunks_mut(chunk);
     let evs = state.events.chunks_mut(chunk);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (ci, ((((p, r), h), o), e)) in procs.zip(rngs).zip(halts).zip(outs).zip(evs).enumerate()
         {
             let base = ci * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for i in 0..p.len() {
                     let v = base + i;
                     if round > 0 && h[i] {
                         continue;
                     }
                     activate::<P>(
-                        g,
-                        cfg,
-                        params,
-                        v,
-                        round,
-                        max_degree,
-                        &mut p[i],
-                        &mut r[i],
-                        &mut h[i],
-                        &mut o[i],
-                        &mut e[i],
-                        &inbox[v],
+                        g, cfg, params, v, round, max_degree, &mut p[i], &mut r[i], &mut h[i],
+                        &mut o[i], &mut e[i], &inbox[v],
                     );
                 }
             });
         }
-    })
-    .expect("simulation worker panicked");
+    });
 }
 
 #[cfg(test)]

@@ -112,6 +112,37 @@ impl<NO, EO> Transcript<NO, EO> {
     }
 }
 
+impl<NO, EO> Transcript<NO, EO> {
+    /// Erases the output types, keeping every timing/audit field.
+    ///
+    /// The erased transcript carries `()` placeholders wherever an output
+    /// was committed, so completeness checks and all of Definition 1's
+    /// completion-time accounting keep working. This is what lets
+    /// heterogeneous algorithm families share one result type
+    /// (`localavg_core::algo::AlgoRun`).
+    pub fn erased(&self) -> Transcript<(), ()> {
+        Transcript {
+            kind: self.kind,
+            rounds: self.rounds,
+            node_output: self
+                .node_output
+                .iter()
+                .map(|o| o.as_ref().map(|_| ()))
+                .collect(),
+            edge_output: self
+                .edge_output
+                .iter()
+                .map(|o| o.as_ref().map(|_| ()))
+                .collect(),
+            node_commit_round: self.node_commit_round.clone(),
+            edge_commit_round: self.edge_commit_round.clone(),
+            node_halt_round: self.node_halt_round.clone(),
+            max_message_bits: self.max_message_bits.clone(),
+            messages_sent: self.messages_sent,
+        }
+    }
+}
+
 impl<NO: Clone, EO: Clone> Transcript<NO, EO> {
     /// Extracts the node outputs, panicking on any missing one.
     ///
@@ -123,7 +154,10 @@ impl<NO: Clone, EO: Clone> Transcript<NO, EO> {
         self.node_output
             .iter()
             .enumerate()
-            .map(|(v, o)| o.clone().unwrap_or_else(|| panic!("node {v} never committed")))
+            .map(|(v, o)| {
+                o.clone()
+                    .unwrap_or_else(|| panic!("node {v} never committed"))
+            })
             .collect()
     }
 
@@ -136,7 +170,10 @@ impl<NO: Clone, EO: Clone> Transcript<NO, EO> {
         self.edge_output
             .iter()
             .enumerate()
-            .map(|(e, o)| o.clone().unwrap_or_else(|| panic!("edge {e} never committed")))
+            .map(|(e, o)| {
+                o.clone()
+                    .unwrap_or_else(|| panic!("edge {e} never committed"))
+            })
             .collect()
     }
 }

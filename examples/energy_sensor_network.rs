@@ -7,8 +7,7 @@
 //! cargo run --release --example energy_sensor_network
 //! ```
 
-use localavg::core::metrics::ComplexityReport;
-use localavg::core::{mis, ruling};
+use localavg::core::algo::registry;
 use localavg::graph::{analysis, gen, rng::Rng, transform};
 
 fn main() {
@@ -33,19 +32,31 @@ fn main() {
         g.max_degree()
     );
 
-    // Cluster-head election via MIS...
-    let mis_run = mis::luby(&g, 1);
-    let mis_report = ComplexityReport::from_run(&g, &mis_run.transcript);
-    // ...or via the relaxed (2,2)-ruling set of Theorem 2.
-    let rs_run = ruling::two_two(&g, 1);
-    assert!(analysis::is_ruling_set(&g, &rs_run.in_set, 2, 2));
-    let rs_report = ComplexityReport::from_run(&g, &rs_run.transcript);
+    // Cluster-head election via MIS, or via the relaxed (2,2)-ruling set
+    // of Theorem 2 — the same three lines either way.
+    let mis_run = registry().get("mis/luby").expect("registered").run(&g, 1);
+    mis_run.verify(&g).expect("valid MIS");
+    let rs_run = registry()
+        .get("ruling/two-two")
+        .expect("registered")
+        .run(&g, 1);
+    rs_run.verify(&g).expect("valid (2,2)-ruling set");
+    let mis_report = mis_run.report(&g);
+    let rs_report = rs_run.report(&g);
 
+    let heads = |run: &localavg::core::algo::AlgoRun| {
+        run.solution
+            .node_set()
+            .expect("node-set output")
+            .iter()
+            .filter(|&&b| b)
+            .count()
+    };
     println!("\n                       MIS (Luby)   (2,2)-ruling set");
     println!(
         "cluster heads          {:>10}   {:>16}",
-        mis_run.in_set.iter().filter(|&&b| b).count(),
-        rs_run.in_set.iter().filter(|&&b| b).count()
+        heads(&mis_run),
+        heads(&rs_run)
     );
     println!(
         "avg energy (node-avg)  {:>10.2}   {:>16.2}",

@@ -7,8 +7,7 @@
 //! cargo run --release --example kmw_lower_bound
 //! ```
 
-use localavg::core::metrics::ComplexityReport;
-use localavg::core::mis;
+use localavg::core::algo::registry;
 use localavg::graph::rng::Rng;
 use localavg::lowerbound::base_graph::{BaseGraph, LiftedGk};
 use localavg::lowerbound::cluster_tree::ClusterTree;
@@ -52,8 +51,12 @@ fn main() {
     );
 
     // Theorem 16's consequence: Luby cannot decide most of S(c0) quickly.
-    let run = mis::luby(lg.graph(), 3);
-    let report = ComplexityReport::from_run(lg.graph(), &run.transcript);
+    let run = registry()
+        .get("mis/luby")
+        .expect("registered")
+        .run(lg.graph(), 3);
+    run.verify(lg.graph()).expect("valid MIS");
+    let report = run.report(lg.graph());
     let s0 = lg.s0();
     let undecided = s0
         .iter()

@@ -1,21 +1,24 @@
 //! Maximal matching three ways (§3.2): randomized (Theorem 4),
 //! deterministic via fractional rounding (Theorem 5), and the greedy
-//! proposal baseline — with the paper's edge-averaged accounting.
+//! proposal baseline — all dispatched through the unified registry, with
+//! the paper's edge-averaged accounting.
 //!
 //! ```text
 //! cargo run --release --example matching_pipeline
 //! ```
 
-use localavg::core::matching::{self, MatchingRun};
-use localavg::core::metrics::ComplexityReport;
-use localavg::graph::{analysis, gen, rng::Rng, Graph};
+use localavg::core::algo::registry;
+use localavg::core::matching;
+use localavg::graph::{gen, rng::Rng, Graph};
 
-fn describe(name: &str, g: &Graph, run: &MatchingRun) {
-    assert!(analysis::is_maximal_matching(g, &run.in_matching));
-    let rep = ComplexityReport::from_run(g, &run.transcript);
+fn describe(label: &str, name: &str, g: &Graph, seed: u64) {
+    let run = registry().get(name).expect("registered").run(g, seed);
+    run.verify(g).expect("valid maximal matching");
+    let in_matching = run.solution.matching().expect("matching output");
+    let rep = run.report(g);
     println!(
-        "{name:<16} |M|={:>5}  edge-avg={:>8.2}  node-avg={:>8.2}  worst={:>5}",
-        run.size(),
+        "{label:<16} |M|={:>5}  edge-avg={:>8.2}  node-avg={:>8.2}  worst={:>5}",
+        in_matching.iter().filter(|&&b| b).count(),
         rep.edge_averaged,
         rep.node_averaged,
         rep.rounds
@@ -36,9 +39,9 @@ fn main() {
         .sum();
     println!("fractional matching weight Σ f_e·w_e = {fw:.0} (= |E|)\n");
 
-    describe("Luby (Thm 4)", &g, &matching::luby(&g, 3));
-    describe("det (Thm 5)", &g, &matching::deterministic(&g));
-    describe("greedy", &g, &matching::greedy(&g));
+    describe("Luby (Thm 4)", "matching/luby", &g, 3);
+    describe("det (Thm 5)", "matching/det", &g, 0);
+    describe("greedy", "matching/greedy", &g, 0);
 
     println!(
         "\nTheorem 4's edge-average is O(1); Theorem 5 trades randomness for \

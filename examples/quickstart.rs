@@ -1,38 +1,66 @@
-//! Quickstart: run Luby's MIS on a random regular graph and print every
-//! averaged complexity measure from the paper's Definition 1.
+//! Quickstart: pick any algorithm out of the string-keyed registry, run
+//! it, verify its output, and print every averaged complexity measure
+//! from the paper's Definition 1.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use localavg::core::metrics::ComplexityReport;
-use localavg::core::mis;
-use localavg::graph::{analysis, gen, rng::Rng};
+use localavg::core::algo::registry;
+use localavg::graph::{gen, rng::Rng};
 
 fn main() {
     let mut rng = Rng::seed_from(2022);
     let g = gen::random_regular(1024, 8, &mut rng).expect("8-regular graph");
     println!("graph: n={}, m={}, Δ={}", g.n(), g.m(), g.max_degree());
 
-    let run = mis::luby(&g, 7);
-    assert!(analysis::is_maximal_independent_set(&g, &run.in_set));
+    // One unified API for every family: look up by name, run, verify.
+    let luby = registry().get("mis/luby").expect("registered");
+    let run = luby.run(&g, 7);
+    run.verify(&g).expect("valid MIS");
+    let in_set = run.solution.node_set().expect("node-set output");
     println!(
         "Luby MIS: |S| = {}, finished in {} rounds",
-        run.in_set.iter().filter(|&&b| b).count(),
+        in_set.iter().filter(|&&b| b).count(),
         run.worst_case()
     );
 
-    let report = ComplexityReport::from_run(&g, &run.transcript);
-    println!("node-averaged complexity (AVG_V) : {:.2}", report.node_averaged);
-    println!("edge-averaged (Definition 1)     : {:.2}", report.edge_averaged);
+    let report = run.report(&g);
+    println!(
+        "node-averaged complexity (AVG_V) : {:.2}",
+        report.node_averaged
+    );
+    println!(
+        "edge-averaged (Definition 1)     : {:.2}",
+        report.edge_averaged
+    );
     println!(
         "edge-averaged (one endpoint, fn.2): {:.2}",
         report.edge_averaged_one_endpoint
     );
     println!("worst node completion            : {}", report.node_worst);
-    println!("termination-time node average    : {:.2}", report.node_averaged_termination);
+    println!(
+        "termination-time node average    : {:.2}",
+        report.node_averaged_termination
+    );
     println!(
         "CONGEST audit: peak message size = {} bits",
         run.transcript.peak_message_bits()
     );
+
+    // The registry makes sweeping every algorithm a three-line loop.
+    println!("\nregistry sweep (node-avg on the same graph):");
+    for algo in registry().iter() {
+        if algo.problem().min_degree() > g.min_degree() {
+            continue;
+        }
+        let r = algo.run(&g, 7);
+        r.verify(&g).expect("every registered algorithm is valid");
+        println!(
+            "  {:<18} {:<22} {:>8.2}",
+            algo.name(),
+            algo.problem().label(),
+            r.report(&g).node_averaged
+        );
+    }
 }

@@ -1,24 +1,27 @@
 //! Sinkless orientation (Theorem 6): node-averaged O(log* n) while the
-//! worst case is Θ(log n).
+//! worst case is Θ(log n) — both variants fetched from the registry.
 //!
 //! ```text
 //! cargo run --release --example sinkless_orientation
 //! ```
 
-use localavg::core::metrics::ComplexityReport;
-use localavg::core::orientation::{self, DetOrientParams};
+use localavg::core::algo::registry;
 use localavg::core::subroutines::log_star;
-use localavg::graph::{analysis, gen, rng::Rng};
+use localavg::graph::{gen, rng::Rng};
 
 fn main() {
+    let det = registry().get("orientation/det").expect("registered");
     println!("deterministic sinkless orientation (Theorem 6)\n");
-    println!("{:>6} {:>10} {:>10} {:>8} {:>8}", "n", "node-avg", "worst", "log*n", "log2 n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>8} {:>8}",
+        "n", "node-avg", "worst", "log*n", "log2 n"
+    );
     for n in [128usize, 512, 2048] {
         let mut rng = Rng::seed_from(5 + n as u64);
         let g = gen::random_regular(n, 3, &mut rng).expect("3-regular graph");
-        let run = orientation::deterministic(&g, DetOrientParams::default());
-        assert!(analysis::is_sinkless_orientation(&g, &run.orientation));
-        let rep = ComplexityReport::from_run(&g, &run.transcript);
+        let run = det.run(&g, 0);
+        run.verify(&g).expect("sinkless orientation");
+        let rep = run.report(&g);
         println!(
             "{:>6} {:>10.2} {:>10} {:>8} {:>8.1}",
             n,
@@ -29,14 +32,15 @@ fn main() {
         );
     }
 
+    let rand = registry().get("orientation/rand").expect("registered");
     println!("\nrandomized sinkless orientation ([GS17a]-style, node-avg O(1))\n");
     println!("{:>6} {:>10} {:>10}", "n", "node-avg", "worst");
     for n in [128usize, 512, 2048] {
         let mut rng = Rng::seed_from(11 + n as u64);
         let g = gen::random_regular(n, 3, &mut rng).expect("3-regular graph");
-        let run = orientation::randomized(&g, 9);
-        assert!(analysis::is_sinkless_orientation(&g, &run.orientation));
-        let rep = ComplexityReport::from_run(&g, &run.transcript);
+        let run = rand.run(&g, 9);
+        run.verify(&g).expect("sinkless orientation");
+        let rep = run.report(&g);
         println!("{:>6} {:>10.2} {:>10}", n, rep.node_averaged, rep.rounds);
     }
 }

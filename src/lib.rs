@@ -16,7 +16,9 @@
 //!   deterministic (Theorem 5) maximal matching, deterministic
 //!   (Theorem 6) and randomized sinkless orientation, coloring
 //!   subroutines, plus the averaged-complexity metrics of Definition 1 and
-//!   Appendix A.
+//!   Appendix A — all reachable through the unified
+//!   [`core::algo::Algorithm`] trait and the string-keyed
+//!   [`core::algo::registry`].
 //! * [`lowerbound`] ([`localavg_lowerbound`]) — the KMW-style lower-bound
 //!   machinery of §4: cluster-tree skeletons, base graphs, random lifts,
 //!   the view-isomorphism Algorithm 1, and the doubled matching
@@ -26,16 +28,15 @@
 //!
 //! ```
 //! use localavg::graph::{gen, rng::Rng};
-//! use localavg::core::mis;
-//! use localavg::core::metrics::ComplexityReport;
+//! use localavg::core::algo::registry;
 //!
 //! let mut rng = Rng::seed_from(7);
 //! let g = gen::random_regular(64, 4, &mut rng).expect("regular graph");
-//! let run = mis::luby(&g, 123);
+//! let run = registry().get("mis/luby").expect("registered").run(&g, 123);
+//! run.verify(&g).expect("valid MIS");
 //! assert!(run.worst_case() < 64);
-//! let report = ComplexityReport::from_run(&g, &run.transcript);
 //! // Constant-degree graphs: Luby decides most nodes in O(1) rounds.
-//! assert!(report.node_averaged < 16.0);
+//! assert!(run.report(&g).node_averaged < 16.0);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,47 +1,70 @@
 //! Cross-executor and cross-run determinism: the same seed must produce
-//! bit-identical transcripts sequentially, in parallel, and across calls.
+//! bit-identical transcripts sequentially, in parallel, and across calls —
+//! checked uniformly through the registry.
 
-use localavg::core::{matching, mis, ruling};
+use localavg::core::algo::registry;
 use localavg::graph::{gen, rng::Rng};
 
 #[test]
 fn luby_mis_is_seed_deterministic() {
     let mut rng = Rng::seed_from(3);
     let g = gen::random_regular(256, 6, &mut rng).unwrap();
-    let a = mis::luby(&g, 42);
-    let b = mis::luby(&g, 42);
-    assert_eq!(a.in_set, b.in_set);
-    assert_eq!(a.transcript.node_commit_round, b.transcript.node_commit_round);
-    let c = mis::luby(&g, 43);
-    assert_ne!(a.in_set, c.in_set, "different seeds should differ");
+    let luby = registry().get("mis/luby").unwrap();
+    let a = luby.run(&g, 42);
+    let b = luby.run(&g, 42);
+    assert_eq!(a.solution, b.solution);
+    assert_eq!(
+        a.transcript.node_commit_round,
+        b.transcript.node_commit_round
+    );
+    let c = luby.run(&g, 43);
+    assert_ne!(a.solution, c.solution, "different seeds should differ");
 }
 
 #[test]
-fn ruling_set_is_seed_deterministic() {
+fn every_randomized_algorithm_is_seed_deterministic() {
     let mut rng = Rng::seed_from(4);
-    let g = gen::gnp(200, 0.05, &mut rng);
-    let a = ruling::two_two(&g, 9);
-    let b = ruling::two_two(&g, 9);
-    assert_eq!(a.in_set, b.in_set);
+    let g = gen::random_regular(96, 4, &mut rng).unwrap();
+    for algo in registry().iter() {
+        if algo.problem().min_degree() > g.min_degree() {
+            continue;
+        }
+        let a = algo.run(&g, 9);
+        let b = algo.run(&g, 9);
+        assert_eq!(
+            a.solution,
+            b.solution,
+            "{} is not reproducible",
+            algo.name()
+        );
+        assert_eq!(
+            a.transcript.node_commit_round,
+            b.transcript.node_commit_round,
+            "{} commit clocks differ",
+            algo.name()
+        );
+        assert_eq!(
+            a.transcript.edge_commit_round,
+            b.transcript.edge_commit_round,
+            "{} edge clocks differ",
+            algo.name()
+        );
+    }
 }
 
 #[test]
-fn matching_is_seed_deterministic() {
-    let mut rng = Rng::seed_from(5);
-    let g = gen::gnp(150, 0.08, &mut rng);
-    let a = matching::luby(&g, 77);
-    let b = matching::luby(&g, 77);
-    assert_eq!(a.in_matching, b.in_matching);
-    assert_eq!(a.transcript.edge_commit_round, b.transcript.edge_commit_round);
-}
-
-#[test]
-fn deterministic_algorithms_are_input_deterministic() {
+fn deterministic_algorithms_ignore_the_seed() {
     let mut rng = Rng::seed_from(6);
     let g = gen::gnp(120, 0.07, &mut rng);
-    assert_eq!(mis::greedy_by_id(&g).in_set, mis::greedy_by_id(&g).in_set);
-    assert_eq!(
-        matching::deterministic(&g).in_matching,
-        matching::deterministic(&g).in_matching
-    );
+    for algo in registry().iter() {
+        if !algo.deterministic() || algo.problem().min_degree() > g.min_degree() {
+            continue;
+        }
+        assert_eq!(
+            algo.run(&g, 1).solution,
+            algo.run(&g, 999).solution,
+            "{} claims to ignore the seed",
+            algo.name()
+        );
+    }
 }

@@ -1,112 +1,134 @@
-//! Property-based tests (proptest) over the whole stack: algorithm
+//! Property-style tests over the whole stack, driven by a hand-rolled
+//! deterministic case generator (the container has no proptest): algorithm
 //! outputs are valid on arbitrary random graphs, metrics obey their
 //! defining inequalities, and structural transforms preserve invariants.
 
-use localavg::core::metrics::ComplexityReport;
-use localavg::core::{matching, mis, ruling};
+use localavg::core::algo::{registry, Problem};
+use localavg::core::matching;
 use localavg::graph::rng::Rng;
 use localavg::graph::{analysis, gen, lift, transform, Graph};
-use proptest::prelude::*;
 
-/// Strategy: a random graph from G(n, p) with given bounds.
-fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
-    (2usize..max_n, 0.0f64..0.3, 0u64..1_000).prop_map(|(n, p, seed)| {
-        let mut rng = Rng::seed_from(seed);
-        gen::gnp(n, p, &mut rng)
-    })
+/// Deterministic stream of random G(n, p) cases with n < `max_n`.
+fn cases(count: usize, max_n: usize, salt: u64) -> Vec<(Graph, u64)> {
+    let mut rng = Rng::seed_from(0xCA5E5 ^ salt);
+    (0..count)
+        .map(|_| {
+            let n = 2 + (rng.next_u64() as usize) % (max_n - 2);
+            let p = (rng.next_u64() % 1000) as f64 / 1000.0 * 0.3;
+            let g = gen::gnp(n, p, &mut rng);
+            (g, rng.next_u64() % 100)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn luby_mis_always_valid(g in arb_graph(64), seed in 0u64..100) {
-        let run = mis::luby(&g, seed);
-        prop_assert!(analysis::is_maximal_independent_set(&g, &run.in_set));
-        prop_assert!(run.transcript.all_nodes_committed());
-    }
-
-    #[test]
-    fn greedy_mis_always_valid(g in arb_graph(64)) {
-        let run = mis::greedy_by_id(&g);
-        prop_assert!(analysis::is_maximal_independent_set(&g, &run.in_set));
-    }
-
-    #[test]
-    fn two_two_ruling_always_valid(g in arb_graph(64), seed in 0u64..100) {
-        let run = ruling::two_two(&g, seed);
-        prop_assert!(analysis::is_ruling_set(&g, &run.in_set, 2, 2));
-    }
-
-    #[test]
-    fn luby_matching_always_valid(g in arb_graph(64), seed in 0u64..100) {
-        let run = matching::luby(&g, seed);
-        prop_assert!(analysis::is_maximal_matching(&g, &run.in_matching));
-    }
-
-    #[test]
-    fn det_matching_always_valid(g in arb_graph(48)) {
-        let run = matching::deterministic(&g);
-        prop_assert!(analysis::is_maximal_matching(&g, &run.in_matching));
-    }
-
-    #[test]
-    fn fractional_matching_always_feasible(g in arb_graph(64)) {
-        let f = matching::fractional_matching(&g);
-        prop_assert!(matching::fractional_is_valid(&g, &f));
-    }
-
-    #[test]
-    fn metrics_inequalities(g in arb_graph(64), seed in 0u64..100) {
-        let run = mis::luby(&g, seed);
-        let rep = ComplexityReport::from_run(&g, &run.transcript);
-        prop_assert!(rep.edge_averaged_one_endpoint <= rep.edge_averaged + 1e-9);
-        prop_assert!(rep.node_averaged <= rep.node_worst as f64 + 1e-9);
-        prop_assert!(rep.node_worst <= rep.rounds);
-    }
-
-    #[test]
-    fn line_graph_size_formula(g in arb_graph(40)) {
-        let l = transform::line_graph(&g);
-        prop_assert_eq!(l.n(), g.m());
-        let expect: usize = g.degrees().map(|d| d * (d.saturating_sub(1)) / 2).sum();
-        prop_assert_eq!(l.m(), expect);
-    }
-
-    #[test]
-    fn matching_is_mis_on_line_graph(g in arb_graph(40), seed in 0u64..100) {
-        // §1.1: a maximal matching of G is an MIS of L(G).
-        let run = matching::luby(&g, seed);
-        let l = transform::line_graph(&g);
-        prop_assert!(analysis::is_maximal_independent_set(&l, &run.in_matching));
-    }
-
-    #[test]
-    fn lifts_preserve_degree_sequences(g in arb_graph(32), q in 1usize..5, seed in 0u64..100) {
-        let mut rng = Rng::seed_from(seed);
-        let lifted = lift::lift(&g, q, &mut rng);
-        prop_assert_eq!(lifted.graph.n(), g.n() * q);
-        prop_assert_eq!(lifted.graph.m(), g.m() * q);
-        for x in lifted.graph.nodes() {
-            prop_assert_eq!(lifted.graph.degree(x), g.degree(lifted.project(x)));
+#[test]
+fn every_node_and_edge_problem_is_valid_on_random_graphs() {
+    // The registry-wide generalization of the old per-family properties:
+    // every algorithm whose domain admits the instance must verify.
+    for (g, seed) in cases(12, 64, 1) {
+        for algo in registry().iter() {
+            if algo.problem().min_degree() > g.min_degree() {
+                continue;
+            }
+            let run = algo.run(&g, seed);
+            run.verify(&g)
+                .unwrap_or_else(|e| panic!("{} invalid on n={}: {e}", algo.name(), g.n()));
         }
     }
+}
 
-    #[test]
-    fn induced_subgraph_degrees_bounded(g in arb_graph(48), mask_seed in 0u64..100) {
+#[test]
+fn orientation_valid_on_random_cubic_graphs() {
+    // Sinkless orientation's domain (min degree 3) rarely appears in the
+    // G(n,p) stream above; cover it with regular graphs explicitly.
+    for seed in 0..6u64 {
+        let mut rng = Rng::seed_from(seed + 400);
+        let g = gen::random_regular(48, 3, &mut rng).expect("cubic graph");
+        for algo in registry().iter() {
+            if algo.problem() != Problem::SinklessOrientation {
+                continue;
+            }
+            let run = algo.run(&g, seed);
+            run.verify(&g)
+                .unwrap_or_else(|e| panic!("{} invalid at seed {seed}: {e}", algo.name()));
+        }
+    }
+}
+
+#[test]
+fn fractional_matching_always_feasible() {
+    for (g, _) in cases(12, 64, 2) {
+        let f = matching::fractional_matching(&g);
+        assert!(matching::fractional_is_valid(&g, &f), "n={}", g.n());
+    }
+}
+
+#[test]
+fn metrics_inequalities() {
+    let luby = registry().get("mis/luby").expect("registered");
+    for (g, seed) in cases(12, 64, 3) {
+        let rep = luby.run(&g, seed).report(&g);
+        assert!(rep.edge_averaged_one_endpoint <= rep.edge_averaged + 1e-9);
+        assert!(rep.node_averaged <= rep.node_worst as f64 + 1e-9);
+        assert!(rep.node_worst <= rep.rounds);
+    }
+}
+
+#[test]
+fn line_graph_size_formula() {
+    for (g, _) in cases(10, 40, 4) {
+        let l = transform::line_graph(&g);
+        assert_eq!(l.n(), g.m());
+        let expect: usize = g.degrees().map(|d| d * (d.saturating_sub(1)) / 2).sum();
+        assert_eq!(l.m(), expect);
+    }
+}
+
+#[test]
+fn matching_is_mis_on_line_graph() {
+    // §1.1: a maximal matching of G is an MIS of L(G).
+    let luby = registry().get("matching/luby").expect("registered");
+    for (g, seed) in cases(10, 40, 5) {
+        let run = luby.run(&g, seed);
+        let in_matching = run.solution.matching().expect("matching output");
+        let l = transform::line_graph(&g);
+        assert!(analysis::is_maximal_independent_set(&l, in_matching));
+    }
+}
+
+#[test]
+fn lifts_preserve_degree_sequences() {
+    for (i, (g, seed)) in cases(10, 32, 6).into_iter().enumerate() {
+        let q = 1 + i % 4;
+        let mut rng = Rng::seed_from(seed);
+        let lifted = lift::lift(&g, q, &mut rng);
+        assert_eq!(lifted.graph.n(), g.n() * q);
+        assert_eq!(lifted.graph.m(), g.m() * q);
+        for x in lifted.graph.nodes() {
+            assert_eq!(lifted.graph.degree(x), g.degree(lifted.project(x)));
+        }
+    }
+}
+
+#[test]
+fn induced_subgraph_degrees_bounded() {
+    for (g, mask_seed) in cases(10, 48, 7) {
         let mut rng = Rng::seed_from(mask_seed);
         let keep: Vec<bool> = g.nodes().map(|_| rng.chance(0.6)).collect();
         let (sub, new_to_old, _) = transform::induced_subgraph(&g, &keep);
         for v in sub.nodes() {
-            prop_assert!(sub.degree(v) <= g.degree(new_to_old[v]));
+            assert!(sub.degree(v) <= g.degree(new_to_old[v]));
         }
     }
+}
 
-    #[test]
-    fn power_graph_contains_original(g in arb_graph(32), k in 1usize..4) {
+#[test]
+fn power_graph_contains_original() {
+    for (i, (g, _)) in cases(10, 32, 8).into_iter().enumerate() {
+        let k = 1 + i % 3;
         let p = transform::power_graph(&g, k);
         for (_, u, v) in g.edges() {
-            prop_assert!(p.has_edge(u, v));
+            assert!(p.has_edge(u, v));
         }
     }
 }
