@@ -1,13 +1,15 @@
 //! Dependency-free bench harness (`harness = false`): times every
-//! quick-scale experiment plus registry-driven engine micro-benchmarks
-//! with `std::time::Instant`. The container has no Criterion, so this
-//! prints a simple min/mean table instead.
+//! quick-scale experiment, registry-driven engine micro-benchmarks, and
+//! the sweep engine at several thread counts with `std::time::Instant`.
+//! The container has no Criterion, so this prints a simple min/mean
+//! table instead.
 //!
 //! ```text
 //! cargo bench -p localavg-bench
 //! ```
 
 use localavg_bench::experiments::{self, Scale};
+use localavg_bench::sweep;
 use localavg_core::algo::registry;
 use localavg_graph::{gen, rng::Rng};
 use std::time::Instant;
@@ -52,6 +54,17 @@ fn main() {
         let (min, mean) = time_it(5, || algo.run(&g, 7));
         println!(
             "{name:<28} min {:>9.3} ms   mean {:>9.3} ms",
+            min * 1e3,
+            mean * 1e3
+        );
+    }
+
+    println!("\n== sweep engine (quick grid, by thread count) ==");
+    let spec = sweep::SweepSpec::for_scale(Scale::Quick);
+    for threads in [1usize, 2, 4, 8] {
+        let (min, mean) = time_it(3, || sweep::run(&spec, threads).expect("sweep runs"));
+        println!(
+            "sweep --threads {threads:<12} min {:>9.3} ms   mean {:>9.3} ms",
             min * 1e3,
             mean * 1e3
         );

@@ -1,4 +1,4 @@
-//! Experiment runner and registry-driven algorithm driver.
+//! Experiment runner, sweep driver, and registry-driven algorithm driver.
 //!
 //! ```text
 //! cargo run --release -p localavg-bench --bin exp              # all experiments, full scale
@@ -6,14 +6,20 @@
 //! cargo run --release -p localavg-bench --bin exp -- e9        # one experiment
 //! cargo run --release -p localavg-bench --bin exp -- --list    # list registered algorithms
 //! cargo run --release -p localavg-bench --bin exp -- --algo mis/luby --n 512 --d 8 --seed 3
+//! cargo run --release -p localavg-bench --bin exp -- sweep --scale quick --threads 8 --out out.json
 //! ```
 //!
 //! `--algo` runs a single algorithm (looked up in the string registry) on
 //! a random d-regular graph and prints its verified complexity report;
 //! unknown names fail with a closest-match suggestion.
+//!
+//! `sweep` runs the sharded parallel sweep engine (DESIGN.md §6) over a
+//! grid of registry algorithms × named graph families × sizes × seeds and
+//! emits machine-readable JSON or CSV; output bytes are independent of
+//! `--threads`.
 
 use localavg_bench::experiments::{self, Scale};
-use localavg_bench::Table;
+use localavg_bench::{emit, sweep, Table};
 use localavg_core::algo::registry;
 use localavg_graph::{gen, rng::Rng};
 
@@ -118,9 +124,159 @@ fn run_single_algo(args: &[String], name: &str) {
     );
 }
 
+/// Parses a comma-separated `--flag a,b,c` list, if present.
+fn flag_list(args: &[String], flag: &str) -> Option<Vec<String>> {
+    flag_value(args, flag).map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+}
+
+fn parse_scale(args: &[String]) -> Scale {
+    match flag_value(args, "--scale").as_deref() {
+        None | Some("quick") => Scale::Quick,
+        Some("full") => Scale::Full,
+        Some(other) => {
+            eprintln!("error: --scale expects `quick` or `full`, got `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Rejects unknown or value-less `exp sweep` options up front: in a
+/// measurement pipeline a silently-dropped typo (`--size` for `--sizes`)
+/// would emit results for a different grid than the user asked for.
+fn validate_sweep_args(args: &[String]) {
+    const VALUED: [&str; 9] = [
+        "--scale",
+        "--threads",
+        "--out",
+        "--format",
+        "--algorithms",
+        "--generators",
+        "--sizes",
+        "--seeds",
+        "--master-seed",
+    ];
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--list-generators" {
+            i += 1;
+        } else if VALUED.contains(&a) {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => i += 2,
+                _ => {
+                    eprintln!("error: {a} expects a value");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            eprintln!("error: unknown sweep option `{a}`");
+            eprintln!(
+                "known options: --scale quick|full, --threads N, --out FILE, --format json|csv, \
+                 --algorithms a,b, --generators g,h, --sizes n,m, --seeds K, --master-seed S, \
+                 --list-generators"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `exp sweep` subcommand: grid → sharded run → JSON/CSV.
+fn run_sweep(args: &[String]) {
+    validate_sweep_args(args);
+    if args.iter().any(|a| a == "--list-generators") {
+        let mut t = Table::new(
+            "Registered graph families (`--generators a,b` selects a subset)",
+            &["name", "description"],
+        );
+        for g in gen::registry().iter() {
+            t.row(vec![g.name().to_string(), g.description().to_string()]);
+        }
+        println!("{t}");
+        return;
+    }
+
+    let mut spec = sweep::SweepSpec::for_scale(parse_scale(args));
+    if let Some(algos) = flag_list(args, "--algorithms") {
+        spec.algorithms = algos;
+    }
+    if let Some(gens) = flag_list(args, "--generators") {
+        spec.generators = gens;
+    }
+    if let Some(sizes) = flag_list(args, "--sizes") {
+        spec.sizes = sizes
+            .iter()
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --sizes expects integers, got `{s}`");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+    }
+    spec.seeds = parse_usize(args, "--seeds", spec.seeds as usize) as u64;
+    spec.master_seed = parse_usize(args, "--master-seed", spec.master_seed as usize) as u64;
+    let threads = parse_usize(
+        args,
+        "--threads",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+
+    let format = flag_value(args, "--format").unwrap_or_else(|| "json".to_string());
+    if format != "json" && format != "csv" {
+        eprintln!("error: --format expects `json` or `csv`, got `{format}`");
+        std::process::exit(2);
+    }
+
+    let report = sweep::run(&spec, threads).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        eprintln!("hint: `exp sweep --list-generators` and `exp --list` print the registries");
+        std::process::exit(2);
+    });
+
+    match flag_value(args, "--out") {
+        None => {
+            // No --out: machine output goes to stdout, pipeable.
+            if format == "json" {
+                print!("{}", emit::to_json(&report));
+            } else {
+                print!("{}", emit::cells_csv(&report));
+            }
+        }
+        Some(out) => {
+            let write = |path: &str, data: &str| {
+                std::fs::write(path, data).unwrap_or_else(|e| {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+                println!("wrote {path}");
+            };
+            if format == "json" {
+                write(&out, &emit::to_json(&report));
+            } else {
+                write(&out, &emit::cells_csv(&report));
+                let groups_path = match out.rsplit_once('.') {
+                    Some((stem, ext)) => format!("{stem}-groups.{ext}"),
+                    None => format!("{out}-groups"),
+                };
+                write(&groups_path, &emit::groups_csv(&report));
+            }
+            println!(
+                "{} cells, {} groups, {threads} thread(s)\n",
+                report.cells.len(),
+                report.groups.len()
+            );
+            println!("{}", emit::groups_table(&report));
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
+    if args.first().map(String::as_str) == Some("sweep") {
+        run_sweep(&args[1..]);
+        return;
+    }
     if args.iter().any(|a| a == "--list") {
         print_algo_list();
         return;

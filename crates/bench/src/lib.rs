@@ -1,14 +1,25 @@
-//! # localavg-bench — experiment harness
+//! # localavg-bench — experiment harness and sweep engine
 //!
-//! One experiment per theorem/figure of the paper (see DESIGN.md §5 for
-//! the index). Every experiment is a pure function returning a [`Table`];
-//! the `exp` binary prints them as markdown (the rows EXPERIMENTS.md
-//! records), and `cargo bench` runs quick-scale versions under Criterion.
+//! Two measurement front ends share the workspace's unified algorithm
+//! registry:
+//!
+//! * [`experiments`] — one experiment per theorem/figure of the paper
+//!   (see DESIGN.md §5 for the index). Every experiment is a pure
+//!   function returning a [`Table`]; the `exp` binary prints them as
+//!   markdown (the rows EXPERIMENTS.md records), and `cargo bench` times
+//!   quick-scale versions with the std-only harness.
+//! * [`sweep`] + [`emit`] — the sharded parallel sweep engine
+//!   (DESIGN.md §6): a [`sweep::SweepSpec`] grid of algorithms × named
+//!   graph families × sizes × seeds, run across `std::thread::scope`
+//!   workers with byte-identical output at any thread count, serialized
+//!   to JSON/CSV by the zero-dependency emitters (`exp sweep`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod emit;
 pub mod experiments;
+pub mod sweep;
 pub mod table;
 
 pub use table::Table;

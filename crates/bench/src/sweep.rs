@@ -1,0 +1,586 @@
+//! Sharded parallel sweep engine (DESIGN.md §6).
+//!
+//! A [`SweepSpec`] describes a full measurement grid — registry algorithm
+//! keys × named graph families × target sizes × seeds — and [`run`]
+//! expands it into cells, shards the cells across `std::thread::scope`
+//! workers, and collects a [`SweepReport`] that the [`crate::emit`]
+//! module serializes to JSON and CSV.
+//!
+//! # Determinism
+//!
+//! Parallel and sequential execution produce *byte-identical* reports:
+//!
+//! * every cell's randomness is derived from the master seed through the
+//!   [`localavg_graph::rng::Rng::fork`] substream discipline, keyed by the
+//!   cell's **content** (generator key, target size, seed index, algorithm
+//!   key) — never by scheduling order or worker id;
+//! * each `(generator, n)` pair names one fixed graph instance, built
+//!   once up front, so every algorithm and every seed of a group runs on
+//!   the same topology (that is what makes the per-group
+//!   [`RunAggregate`] an estimate of Appendix A's expected complexities);
+//! * results are written into a slot indexed by cell position and
+//!   serialized in expansion order, so thread interleaving never shows.
+//!
+//! Deterministic algorithms ignore their seed, so the sweep collapses
+//! their seed axis to a single run per group.
+
+use localavg_core::algo::{registry, DynAlgorithm};
+use localavg_core::metrics::{CompletionTimes, RunAggregate};
+use localavg_graph::gen::{self, NamedGenerator};
+use localavg_graph::rng::{splitmix64, Rng};
+use localavg_graph::Graph;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::experiments::Scale;
+
+/// A full measurement grid: algorithms × graph families × sizes × seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Algorithm registry keys (see [`localavg_core::algo::registry`]).
+    pub algorithms: Vec<String>,
+    /// Generator registry keys (see [`localavg_graph::gen::registry`]).
+    pub generators: Vec<String>,
+    /// Target graph sizes (families round to their nearest legal size).
+    pub sizes: Vec<usize>,
+    /// Seeds per (algorithm, generator, size) group; deterministic
+    /// algorithms collapse this axis to 1.
+    pub seeds: u64,
+    /// Master seed every per-cell substream is forked from.
+    pub master_seed: u64,
+}
+
+impl SweepSpec {
+    /// The default grid for a [`Scale`]: every registered algorithm on a
+    /// representative family set. `Quick` stays sub-second for tests;
+    /// `Full` is the EXPERIMENTS.md grid.
+    pub fn for_scale(scale: Scale) -> SweepSpec {
+        let algorithms: Vec<String> = registry().names().map(str::to_string).collect();
+        match scale {
+            Scale::Quick => SweepSpec {
+                algorithms,
+                generators: vec!["regular/4".into(), "gnp/deg8".into(), "tree/random".into()],
+                sizes: vec![64, 128],
+                seeds: 2,
+                master_seed: 0,
+            },
+            Scale::Full => SweepSpec {
+                algorithms,
+                generators: vec![
+                    "regular/3".into(),
+                    "regular/4".into(),
+                    "regular/8".into(),
+                    "regular/16".into(),
+                    "gnp/0.05".into(),
+                    "gnp/deg8".into(),
+                    "tree/random".into(),
+                    "grid".into(),
+                    "hypercube".into(),
+                ],
+                sizes: vec![256, 1024, 4096],
+                seeds: 3,
+                master_seed: 0,
+            },
+        }
+    }
+
+    /// Expands the grid into cells in canonical order (generator, size,
+    /// algorithm, seed), applying the static domain filter: an algorithm
+    /// is skipped on families whose guaranteed minimum degree is below
+    /// its problem's requirement.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown algorithm or generator keys (with a closest-match
+    /// suggestion for algorithms) and on empty grid axes.
+    pub fn cells(&self) -> Result<Vec<SweepCell>, SweepError> {
+        if self.algorithms.is_empty()
+            || self.generators.is_empty()
+            || self.sizes.is_empty()
+            || self.seeds == 0
+        {
+            return Err(SweepError::EmptyAxis);
+        }
+        let mut algos: Vec<&'static dyn DynAlgorithm> = Vec::new();
+        for name in &self.algorithms {
+            match registry().get(name) {
+                Some(a) => algos.push(a),
+                None => {
+                    return Err(SweepError::UnknownAlgorithm {
+                        name: name.clone(),
+                        suggestion: registry().suggest(name).map(str::to_string),
+                    })
+                }
+            }
+        }
+        let mut gens: Vec<&'static NamedGenerator> = Vec::new();
+        for name in &self.generators {
+            match gen::registry().get(name) {
+                Some(g) => gens.push(g),
+                None => return Err(SweepError::UnknownGenerator { name: name.clone() }),
+            }
+        }
+        let mut cells = Vec::new();
+        for g in &gens {
+            for &n in &self.sizes {
+                for a in &algos {
+                    if a.problem().min_degree() > g.min_degree(n) {
+                        continue;
+                    }
+                    let seeds = if a.deterministic() { 1 } else { self.seeds };
+                    for seed in 0..seeds {
+                        cells.push(SweepCell {
+                            algorithm: a.name(),
+                            generator: g.name(),
+                            n,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(cells)
+    }
+}
+
+/// One grid cell: a single (algorithm, family, size, seed) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Algorithm registry key.
+    pub algorithm: &'static str,
+    /// Generator registry key.
+    pub generator: &'static str,
+    /// Target size (the family may round it).
+    pub n: usize,
+    /// Seed index within the cell's group.
+    pub seed: u64,
+}
+
+/// Why a sweep could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// An algorithm key is not in the registry.
+    UnknownAlgorithm {
+        /// The offending key.
+        name: String,
+        /// Closest registered key, if any is plausible.
+        suggestion: Option<String>,
+    },
+    /// A generator key is not in the registry.
+    UnknownGenerator {
+        /// The offending key.
+        name: String,
+    },
+    /// Some grid axis is empty.
+    EmptyAxis,
+    /// A graph family failed to build an instance.
+    GraphBuild {
+        /// Generator registry key.
+        generator: String,
+        /// Target size.
+        n: usize,
+        /// Error rendered by the generator.
+        message: String,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::UnknownAlgorithm { name, suggestion } => {
+                write!(f, "unknown algorithm `{name}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " — did you mean `{s}`?")?;
+                }
+                Ok(())
+            }
+            SweepError::UnknownGenerator { name } => {
+                write!(f, "unknown generator `{name}` (known: ")?;
+                let names: Vec<&str> = gen::registry().names().collect();
+                write!(f, "{})", names.join(", "))
+            }
+            SweepError::EmptyAxis => f.write_str("sweep grid has an empty axis"),
+            SweepError::GraphBuild {
+                generator,
+                n,
+                message,
+            } => write!(f, "generator `{generator}` failed at n={n}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Measured result of one cell (one verified run).
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that was run.
+    pub cell: SweepCell,
+    /// Realized node count of the instance.
+    pub nodes: usize,
+    /// Realized edge count of the instance.
+    pub edges: usize,
+    /// Minimum degree of the instance.
+    pub min_degree: usize,
+    /// Maximum degree of the instance.
+    pub max_degree: usize,
+    /// `AVG_V` — node-averaged complexity (Definition 1).
+    pub node_averaged: f64,
+    /// `AVG_E` — edge-averaged complexity (Definition 1).
+    pub edge_averaged: f64,
+    /// Edge average under the relaxed one-endpoint convention (fn. 2).
+    pub edge_averaged_one_endpoint: f64,
+    /// Maximum node completion time.
+    pub node_worst: usize,
+    /// Total rounds until global termination (classic worst case).
+    pub rounds: usize,
+    /// Peak CONGEST message size observed, in bits.
+    pub peak_message_bits: usize,
+}
+
+/// Per-group aggregate over the seed axis: Appendix A's expected
+/// complexities on the group's fixed graph instance.
+#[derive(Debug, Clone)]
+pub struct GroupResult {
+    /// Algorithm registry key.
+    pub algorithm: String,
+    /// Generator registry key.
+    pub generator: String,
+    /// Target size of the group's instance.
+    pub n: usize,
+    /// Number of aggregated runs (1 for deterministic algorithms).
+    pub runs: usize,
+    /// Mean of the per-run node-averaged complexities (estimates `AVG_V`).
+    pub node_averaged: f64,
+    /// Mean of the per-run edge-averaged complexities (estimates `AVG_E`).
+    pub edge_averaged: f64,
+    /// `EXP_V = max_v E[T_v]` (Appendix A).
+    pub node_expected: f64,
+    /// `EXP_E = max_e E[T_e]` (Appendix A).
+    pub edge_expected: f64,
+    /// Mean worst case over the runs.
+    pub worst_case: f64,
+    /// Whether Appendix A's `AVG ≤ AVG^w ≤ EXP ≤ WORST` chain held.
+    pub chain_holds: bool,
+}
+
+/// A complete sweep: the spec that produced it, every cell in canonical
+/// order, and the per-group aggregates.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The grid that was run.
+    pub spec: SweepSpec,
+    /// One verified result per cell, in expansion order.
+    pub cells: Vec<CellResult>,
+    /// Per-(generator, size, algorithm) aggregates, in expansion order.
+    pub groups: Vec<GroupResult>,
+}
+
+/// Hashes a registry key into a substream tag (iterated SplitMix64 over
+/// the bytes) — part of the content-addressed seeding discipline: cell
+/// seeds depend on *what* runs, never on *where* or *when*.
+fn key_tag(s: &str) -> u64 {
+    let mut acc = 0x5EED0F5EED ^ s.len() as u64;
+    for &b in s.as_bytes() {
+        let mut st = acc ^ u64::from(b);
+        acc = splitmix64(&mut st);
+    }
+    acc
+}
+
+/// The seed a `(generator, n)` instance is built from: forked from the
+/// master seed by generator key and target size only, so every algorithm
+/// and every seed index of a group sees the same topology.
+fn graph_seed(master: u64, generator: &str, n: usize) -> u64 {
+    Rng::seed_from(master)
+        .fork(key_tag(generator))
+        .fork(n as u64)
+        .next_u64()
+}
+
+/// The seed a cell's algorithm run draws from: additionally forked by
+/// algorithm key and seed index.
+fn algo_seed(master: u64, cell: &SweepCell) -> u64 {
+    Rng::seed_from(master)
+        .fork(key_tag(cell.generator))
+        .fork(cell.n as u64)
+        .fork(key_tag(cell.algorithm))
+        .fork(cell.seed)
+        .next_u64()
+}
+
+/// Runs the sweep over `threads` workers.
+///
+/// The report is byte-for-byte independent of `threads` (see the module
+/// docs); `threads` is clamped to `1..=cells`.
+///
+/// # Errors
+///
+/// Returns [`SweepError`] for invalid specs or graph-construction
+/// failures.
+///
+/// # Panics
+///
+/// Panics if a registered algorithm produces an output that fails
+/// verification — that is a bug in the algorithm, not in the caller.
+pub fn run(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> {
+    let cells = spec.cells()?;
+    // Build every (generator, n) instance once, up front and sequentially
+    // — deterministic, and workers then share read-only graphs.
+    let mut graphs: BTreeMap<(&'static str, usize), Graph> = BTreeMap::new();
+    for c in &cells {
+        if graphs.contains_key(&(c.generator, c.n)) {
+            continue;
+        }
+        let g = gen::registry()
+            .get(c.generator)
+            .expect("cells() validated the key")
+            .build(c.n, graph_seed(spec.master_seed, c.generator, c.n))
+            .map_err(|e| SweepError::GraphBuild {
+                generator: c.generator.to_string(),
+                n: c.n,
+                message: format!("{e:?}"),
+            })?;
+        graphs.insert((c.generator, c.n), g);
+    }
+
+    struct Outcome {
+        result: CellResult,
+        times: CompletionTimes,
+    }
+
+    let threads = threads.clamp(1, cells.len().max(1));
+    let slots: Vec<Mutex<Option<Outcome>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let cell = cells[i];
+                let g = &graphs[&(cell.generator, cell.n)];
+                let algo = registry().get(cell.algorithm).expect("validated key");
+                let run = algo.run(g, algo_seed(spec.master_seed, &cell));
+                run.verify(g).unwrap_or_else(|e| {
+                    panic!(
+                        "{} produced an invalid output on {} n={} seed={}: {e}",
+                        cell.algorithm, cell.generator, cell.n, cell.seed
+                    )
+                });
+                let times = run.completion_times(g);
+                let result = CellResult {
+                    cell,
+                    nodes: g.n(),
+                    edges: g.m(),
+                    min_degree: g.min_degree(),
+                    max_degree: g.degrees().max().unwrap_or(0),
+                    node_averaged: times.node_mean(),
+                    edge_averaged: times.edge_mean(),
+                    edge_averaged_one_endpoint: times.edge_one_endpoint_mean(),
+                    node_worst: times.node_max(),
+                    rounds: run.worst_case(),
+                    peak_message_bits: run.transcript.peak_message_bits(),
+                };
+                *slots[i].lock().expect("result slot") = Some(Outcome { result, times });
+            });
+        }
+    });
+    let outcomes: Vec<Outcome> = slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot")
+                .expect("every cell ran")
+        })
+        .collect();
+
+    // Group aggregation over the seed axis, preserving expansion order.
+    let mut groups: Vec<GroupResult> = Vec::new();
+    let mut i = 0;
+    while i < outcomes.len() {
+        let head = &outcomes[i].result.cell;
+        let mut j = i;
+        while j < outcomes.len() {
+            let c = &outcomes[j].result.cell;
+            if (c.algorithm, c.generator, c.n) != (head.algorithm, head.generator, head.n) {
+                break;
+            }
+            j += 1;
+        }
+        let group = &outcomes[i..j];
+        let times: Vec<CompletionTimes> = group.iter().map(|o| o.times.clone()).collect();
+        let rounds: Vec<usize> = group.iter().map(|o| o.result.rounds).collect();
+        let agg = RunAggregate::from_times(&times, &rounds);
+        groups.push(GroupResult {
+            algorithm: head.algorithm.to_string(),
+            generator: head.generator.to_string(),
+            n: head.n,
+            runs: agg.runs,
+            node_averaged: agg.node_averaged,
+            edge_averaged: agg.edge_averaged,
+            node_expected: agg.node_expected,
+            edge_expected: agg.edge_expected,
+            worst_case: agg.worst_case,
+            chain_holds: agg.inequality_chain_holds(),
+        });
+        i = j;
+    }
+
+    Ok(SweepReport {
+        spec: spec.clone(),
+        cells: outcomes.into_iter().map(|o| o.result).collect(),
+        groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            algorithms: vec![
+                "mis/luby".into(),
+                "mis/greedy".into(),
+                "ruling/two-two".into(),
+            ],
+            generators: vec!["regular/4".into(), "tree/random".into()],
+            sizes: vec![32, 64],
+            seeds: 2,
+            master_seed: 7,
+        }
+    }
+
+    #[test]
+    fn cells_expand_in_canonical_order_with_domain_filter() {
+        let spec = SweepSpec {
+            algorithms: vec!["orientation/rand".into(), "mis/luby".into()],
+            generators: vec!["regular/3".into(), "tree/random".into()],
+            sizes: vec![32],
+            seeds: 2,
+            master_seed: 0,
+        };
+        let cells = spec.cells().unwrap();
+        // Orientation (min degree 3) runs on regular/3 but not on trees.
+        assert!(cells
+            .iter()
+            .any(|c| c.algorithm == "orientation/rand" && c.generator == "regular/3"));
+        assert!(!cells
+            .iter()
+            .any(|c| c.algorithm == "orientation/rand" && c.generator == "tree/random"));
+        assert!(cells
+            .iter()
+            .any(|c| c.algorithm == "mis/luby" && c.generator == "tree/random"));
+    }
+
+    #[test]
+    fn deterministic_algorithms_collapse_the_seed_axis() {
+        let spec = SweepSpec {
+            algorithms: vec!["mis/greedy".into(), "mis/luby".into()],
+            generators: vec!["regular/4".into()],
+            sizes: vec![32],
+            seeds: 3,
+            master_seed: 0,
+        };
+        let cells = spec.cells().unwrap();
+        let greedy = cells.iter().filter(|c| c.algorithm == "mis/greedy").count();
+        let luby = cells.iter().filter(|c| c.algorithm == "mis/luby").count();
+        assert_eq!(greedy, 1);
+        assert_eq!(luby, 3);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_suggestions() {
+        let mut spec = tiny_spec();
+        spec.algorithms.push("mis/lubby".into());
+        match spec.cells() {
+            Err(SweepError::UnknownAlgorithm { name, suggestion }) => {
+                assert_eq!(name, "mis/lubby");
+                assert_eq!(suggestion.as_deref(), Some("mis/luby"));
+            }
+            other => panic!("expected UnknownAlgorithm, got {other:?}"),
+        }
+        let mut spec = tiny_spec();
+        spec.generators.push("regullar/4".into());
+        assert!(matches!(
+            spec.cells(),
+            Err(SweepError::UnknownGenerator { .. })
+        ));
+        let mut spec = tiny_spec();
+        spec.sizes.clear();
+        assert_eq!(spec.cells(), Err(SweepError::EmptyAxis));
+    }
+
+    #[test]
+    fn parallel_report_is_identical_to_sequential() {
+        let spec = tiny_spec();
+        let a = run(&spec, 1).unwrap();
+        let b = run(&spec, 8).unwrap();
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.cell, y.cell);
+            assert_eq!(x.node_averaged.to_bits(), y.node_averaged.to_bits());
+            assert_eq!(x.rounds, y.rounds);
+        }
+        for (x, y) in a.groups.iter().zip(&b.groups) {
+            assert_eq!(x.node_expected.to_bits(), y.node_expected.to_bits());
+            assert_eq!(x.chain_holds, y.chain_holds);
+        }
+    }
+
+    #[test]
+    fn groups_share_one_instance_and_satisfy_appendix_a() {
+        let report = run(&tiny_spec(), 4).unwrap();
+        assert!(!report.groups.is_empty());
+        for g in &report.groups {
+            assert!(
+                g.chain_holds,
+                "{}/{} n={} chain broken",
+                g.algorithm, g.generator, g.n
+            );
+        }
+        // All cells of one group report the same instance stats.
+        for w in report.cells.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if (a.cell.algorithm, a.cell.generator, a.cell.n)
+                == (b.cell.algorithm, b.cell.generator, b.cell.n)
+            {
+                assert_eq!(a.edges, b.edges);
+                assert_eq!(a.nodes, b.nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn seeding_is_content_addressed() {
+        // The graph seed ignores the algorithm; the algo seed does not.
+        assert_eq!(
+            graph_seed(1, "regular/4", 64),
+            graph_seed(1, "regular/4", 64)
+        );
+        assert_ne!(
+            graph_seed(1, "regular/4", 64),
+            graph_seed(1, "regular/4", 128)
+        );
+        assert_ne!(
+            graph_seed(1, "regular/4", 64),
+            graph_seed(2, "regular/4", 64)
+        );
+        let c1 = SweepCell {
+            algorithm: "mis/luby",
+            generator: "regular/4",
+            n: 64,
+            seed: 0,
+        };
+        let c2 = SweepCell {
+            algorithm: "mis/greedy",
+            ..c1
+        };
+        assert_ne!(algo_seed(1, &c1), algo_seed(1, &c2));
+        assert_eq!(algo_seed(1, &c1), algo_seed(1, &c1.clone()));
+    }
+}

@@ -1,0 +1,113 @@
+//! Golden-file and determinism tests for the sweep engine and emitters.
+//!
+//! The golden files under `tests/golden/` pin the exact bytes of the
+//! JSON/CSV emitters for a fixed tiny spec. If an intentional change to
+//! the engine, the seeding discipline, or the schema shifts the bytes,
+//! regenerate them with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p localavg-bench --test sweep_golden
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use localavg_bench::{emit, sweep};
+
+/// The pinned spec: small enough to run in milliseconds, wide enough to
+/// exercise node problems, edge problems, deterministic seed collapsing,
+/// and the min-degree domain filter (orientation on regular/3 only).
+fn golden_spec() -> sweep::SweepSpec {
+    sweep::SweepSpec {
+        algorithms: vec![
+            "mis/luby".into(),
+            "mis/greedy".into(),
+            "matching/luby".into(),
+            "orientation/rand".into(),
+        ],
+        generators: vec!["regular/3".into(), "tree/random".into()],
+        sizes: vec![24, 48],
+        seeds: 2,
+        master_seed: 2022,
+    }
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares emitted bytes against a golden file; `BLESS=1` rewrites it.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {} ({e}); run with BLESS=1 to create", name));
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from the golden bytes; if intentional, re-bless with BLESS=1"
+    );
+}
+
+#[test]
+fn json_emitter_matches_golden_bytes() {
+    let report = sweep::run(&golden_spec(), 2).expect("sweep runs");
+    check_golden("sweep.json", &emit::to_json(&report));
+}
+
+#[test]
+fn csv_emitters_match_golden_bytes() {
+    let report = sweep::run(&golden_spec(), 2).expect("sweep runs");
+    check_golden("sweep-cells.csv", &emit::cells_csv(&report));
+    check_golden("sweep-groups.csv", &emit::groups_csv(&report));
+}
+
+#[test]
+fn emitted_bytes_are_independent_of_thread_count() {
+    let spec = golden_spec();
+    let sequential = sweep::run(&spec, 1).expect("sequential sweep");
+    let parallel = sweep::run(&spec, 8).expect("parallel sweep");
+    assert_eq!(
+        emit::to_json(&sequential),
+        emit::to_json(&parallel),
+        "JSON bytes differ between --threads 1 and --threads 8"
+    );
+    assert_eq!(emit::cells_csv(&sequential), emit::cells_csv(&parallel));
+    assert_eq!(emit::groups_csv(&sequential), emit::groups_csv(&parallel));
+}
+
+#[test]
+fn golden_json_is_parseable_by_a_naive_scanner() {
+    // The emitter is hand-rolled; sanity-check its bracket/quote balance
+    // on the real document (string contents here never contain braces).
+    let report = sweep::run(&golden_spec(), 2).expect("sweep runs");
+    let json = emit::to_json(&report);
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for c in json.chars() {
+        if in_str {
+            if prev_escape {
+                prev_escape = false;
+            } else if c == '\\' {
+                prev_escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced JSON");
+    }
+    assert_eq!(depth, 0, "unbalanced JSON document");
+    assert!(!in_str, "unterminated string");
+}

@@ -99,6 +99,36 @@ impl CompletionTimes {
             edge_one_endpoint: edge_one,
         }
     }
+
+    /// Mean node completion time — the per-run `AVG_V` of Definition 1.
+    ///
+    /// Scalar accessors exist so sweep emitters (DESIGN.md §6) can
+    /// serialize a run from one `CompletionTimes` without recomputing the
+    /// transcript scan through [`ComplexityReport`].
+    pub fn node_mean(&self) -> f64 {
+        mean(&self.node)
+    }
+
+    /// Mean edge completion time — the per-run `AVG_E` of Definition 1.
+    pub fn edge_mean(&self) -> f64 {
+        mean(&self.edge)
+    }
+
+    /// Mean edge completion time under the relaxed one-endpoint
+    /// convention (footnote 2).
+    pub fn edge_one_endpoint_mean(&self) -> f64 {
+        mean(&self.edge_one_endpoint)
+    }
+
+    /// Maximum node completion time (0 on an empty graph).
+    pub fn node_max(&self) -> Round {
+        self.node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum edge completion time (0 on an edgeless graph).
+    pub fn edge_max(&self) -> Round {
+        self.edge.iter().copied().max().unwrap_or(0)
+    }
 }
 
 fn mean(xs: &[Round]) -> f64 {
@@ -319,6 +349,19 @@ mod tests {
         let g = gen::path(2);
         let t: Transcript<bool, ()> = Transcript::empty(OutputKind::NodeLabels, 2, 1);
         let _ = CompletionTimes::from_transcript(&g, &t);
+    }
+
+    #[test]
+    fn completion_time_accessors_match_report() {
+        let g = gen::path(3);
+        let t = node_problem_transcript(&g, &[0, 6, 3]);
+        let ct = CompletionTimes::from_transcript(&g, &t);
+        let r = ComplexityReport::from_run(&g, &t);
+        assert!((ct.node_mean() - r.node_averaged).abs() < 1e-12);
+        assert!((ct.edge_mean() - r.edge_averaged).abs() < 1e-12);
+        assert!((ct.edge_one_endpoint_mean() - r.edge_averaged_one_endpoint).abs() < 1e-12);
+        assert_eq!(ct.node_max(), r.node_worst);
+        assert_eq!(ct.edge_max(), 6);
     }
 
     #[test]

@@ -368,6 +368,270 @@ pub fn petersen() -> Graph {
     Graph::from_edges(10, &edges).expect("Petersen is simple")
 }
 
+// ---------------------------------------------------------------------------
+// The string-keyed generator registry (DESIGN.md §6).
+// ---------------------------------------------------------------------------
+
+/// A named, seedable graph family — one entry of the generator
+/// [`registry`].
+///
+/// Entries mirror the algorithm registry of `localavg-core`: sweep drivers
+/// reference families through stable string keys (`"regular/3"`,
+/// `"gnp/0.05"`, `"tree/random"`, …) instead of calling the typed
+/// generator functions directly. Every family maps a *target size* `n` and
+/// a seed to a concrete graph; families with structural size constraints
+/// (regular parity, hypercube powers of two, near-square grids) round the
+/// target to the nearest legal size deterministically, so the realized
+/// node count is a pure function of `(key, n)`.
+pub struct NamedGenerator {
+    name: &'static str,
+    description: &'static str,
+    min_degree_of: fn(usize) -> usize,
+    build_fn: fn(usize, u64) -> Result<Graph, GraphError>,
+}
+
+impl NamedGenerator {
+    /// Stable registry key, e.g. `"regular/3"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line human-readable description (used by
+    /// `exp sweep --list-generators`).
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// Minimum degree every instance of target size `n` is guaranteed to
+    /// have — the static domain filter sweep drivers use to decide whether
+    /// an algorithm (e.g. sinkless orientation, min degree 3) can run on
+    /// this family without building the graph first.
+    pub fn min_degree(&self, n: usize) -> usize {
+        (self.min_degree_of)(n)
+    }
+
+    /// Builds an instance of target size `n` from `seed`.
+    ///
+    /// Deterministic: the result is a pure function of `(key, n, seed)` on
+    /// every platform (the randomized families draw from
+    /// [`Rng::seed_from`]`(seed)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError::InvalidParameters`] from the underlying
+    /// generator for degenerate targets (e.g. regular sampling failures).
+    pub fn build(&self, n: usize, seed: u64) -> Result<Graph, GraphError> {
+        (self.build_fn)(n, seed)
+    }
+}
+
+/// The string-keyed catalog of named graph families.
+pub struct GenRegistry {
+    entries: Vec<NamedGenerator>,
+}
+
+impl GenRegistry {
+    /// Looks a family up by its registry key.
+    pub fn get(&self, name: &str) -> Option<&NamedGenerator> {
+        self.entries.iter().find(|g| g.name == name)
+    }
+
+    /// All registered families, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &NamedGenerator> + '_ {
+        self.entries.iter()
+    }
+
+    /// All registry keys, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.iter().map(|g| g.name)
+    }
+
+    /// Number of registered families.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty (it never is).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn md_zero(_n: usize) -> usize {
+    0
+}
+
+fn md_cycle(_n: usize) -> usize {
+    2
+}
+
+fn md_tree(n: usize) -> usize {
+    usize::from(n >= 2)
+}
+
+fn md_grid(n: usize) -> usize {
+    // isqrt(n) >= 2 and the column count >= 2 once n >= 4.
+    if n >= 4 {
+        2
+    } else {
+        0
+    }
+}
+
+fn md_regular<const D: usize>(_n: usize) -> usize {
+    D
+}
+
+fn md_hypercube(n: usize) -> usize {
+    n.max(2).ilog2() as usize
+}
+
+fn build_path(n: usize, _seed: u64) -> Result<Graph, GraphError> {
+    Ok(path(n))
+}
+
+fn build_cycle(n: usize, _seed: u64) -> Result<Graph, GraphError> {
+    Ok(cycle(n.max(3)))
+}
+
+fn build_grid(n: usize, _seed: u64) -> Result<Graph, GraphError> {
+    let rows = n.max(1).isqrt().max(1);
+    let cols = n.max(1).div_ceil(rows);
+    Ok(grid(rows, cols))
+}
+
+fn build_hypercube(n: usize, _seed: u64) -> Result<Graph, GraphError> {
+    Ok(hypercube(n.max(2).ilog2()))
+}
+
+fn build_tree_random(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    Ok(random_tree(n.max(1), &mut Rng::seed_from(seed)))
+}
+
+fn build_tree_binary(n: usize, _seed: u64) -> Result<Graph, GraphError> {
+    Ok(binary_tree(n.max(1)))
+}
+
+fn build_regular<const D: usize>(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    let n = n.max(D + 1);
+    let n = if (n * D) % 2 == 1 { n + 1 } else { n };
+    random_regular(n, D, &mut Rng::seed_from(seed))
+}
+
+fn build_gnp_001(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    Ok(gnp(n, 0.01, &mut Rng::seed_from(seed)))
+}
+
+fn build_gnp_005(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    Ok(gnp(n, 0.05, &mut Rng::seed_from(seed)))
+}
+
+fn build_gnp_deg8(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    let p = 8.0 / n.max(9) as f64;
+    Ok(gnp(n, p, &mut Rng::seed_from(seed)))
+}
+
+/// The global registry of named graph families.
+///
+/// Keys follow `family[/variant]`:
+///
+/// | key | family | size rounding |
+/// |---|---|---|
+/// | `path` | path `P_n` | exact |
+/// | `cycle` | cycle `C_n` | `max(n, 3)` |
+/// | `grid` | near-square grid | `isqrt(n) × ceil(n/isqrt(n))` |
+/// | `hypercube` | hypercube `Q_d` | largest `2^d <= n` |
+/// | `tree/random` | uniform labelled tree (Prüfer) | exact |
+/// | `tree/binary` | complete binary tree | exact |
+/// | `regular/3` `regular/4` `regular/8` `regular/16` | random d-regular | parity-adjusted |
+/// | `gnp/0.01` `gnp/0.05` | Erdős–Rényi `G(n, p)` | exact |
+/// | `gnp/deg8` | `G(n, 8/n)` — constant average degree | exact |
+pub fn registry() -> &'static GenRegistry {
+    static REGISTRY: std::sync::OnceLock<GenRegistry> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| GenRegistry {
+        entries: vec![
+            NamedGenerator {
+                name: "path",
+                description: "path P_n",
+                min_degree_of: md_zero,
+                build_fn: build_path,
+            },
+            NamedGenerator {
+                name: "cycle",
+                description: "cycle C_n (n rounded up to 3)",
+                min_degree_of: md_cycle,
+                build_fn: build_cycle,
+            },
+            NamedGenerator {
+                name: "grid",
+                description: "near-square grid of ~n nodes",
+                min_degree_of: md_grid,
+                build_fn: build_grid,
+            },
+            NamedGenerator {
+                name: "hypercube",
+                description: "hypercube Q_d on the largest 2^d <= n nodes",
+                min_degree_of: md_hypercube,
+                build_fn: build_hypercube,
+            },
+            NamedGenerator {
+                name: "tree/random",
+                description: "uniform random labelled tree (Prüfer)",
+                min_degree_of: md_tree,
+                build_fn: build_tree_random,
+            },
+            NamedGenerator {
+                name: "tree/binary",
+                description: "complete binary tree",
+                min_degree_of: md_tree,
+                build_fn: build_tree_binary,
+            },
+            NamedGenerator {
+                name: "regular/3",
+                description: "random 3-regular graph (parity-adjusted n)",
+                min_degree_of: md_regular::<3>,
+                build_fn: build_regular::<3>,
+            },
+            NamedGenerator {
+                name: "regular/4",
+                description: "random 4-regular graph",
+                min_degree_of: md_regular::<4>,
+                build_fn: build_regular::<4>,
+            },
+            NamedGenerator {
+                name: "regular/8",
+                description: "random 8-regular graph",
+                min_degree_of: md_regular::<8>,
+                build_fn: build_regular::<8>,
+            },
+            NamedGenerator {
+                name: "regular/16",
+                description: "random 16-regular graph",
+                min_degree_of: md_regular::<16>,
+                build_fn: build_regular::<16>,
+            },
+            NamedGenerator {
+                name: "gnp/0.01",
+                description: "Erdős–Rényi G(n, 0.01)",
+                min_degree_of: md_zero,
+                build_fn: build_gnp_001,
+            },
+            NamedGenerator {
+                name: "gnp/0.05",
+                description: "Erdős–Rényi G(n, 0.05)",
+                min_degree_of: md_zero,
+                build_fn: build_gnp_005,
+            },
+            NamedGenerator {
+                name: "gnp/deg8",
+                description: "Erdős–Rényi G(n, 8/n), constant average degree",
+                min_degree_of: md_zero,
+                build_fn: build_gnp_deg8,
+            },
+        ],
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +797,63 @@ mod tests {
         let mut rng = Rng::seed_from(7);
         let dense = random_geometric(100, 0.3, &mut rng);
         assert!(dense.m() > sparse.m());
+    }
+
+    #[test]
+    fn registry_keys_unique_and_present() {
+        let names: Vec<&str> = registry().names().collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len(), "duplicate generator keys");
+        for key in ["regular/3", "gnp/0.05", "tree/random", "grid", "hypercube"] {
+            assert!(registry().get(key).is_some(), "missing {key}");
+        }
+        assert!(!registry().is_empty());
+        assert_eq!(registry().len(), names.len());
+        assert!(registry().get("no-such-family").is_none());
+    }
+
+    #[test]
+    fn registry_builds_are_deterministic() {
+        for g in registry().iter() {
+            let a = g.build(70, 5).unwrap();
+            let b = g.build(70, 5).unwrap();
+            assert_eq!(a.n(), b.n(), "{} node count unstable", g.name());
+            let ea: Vec<_> = a.edges().collect();
+            let eb: Vec<_> = b.edges().collect();
+            assert_eq!(ea, eb, "{} edges unstable", g.name());
+        }
+    }
+
+    #[test]
+    fn registry_min_degree_guarantees_hold() {
+        for g in registry().iter() {
+            for n in [32usize, 100] {
+                let built = g.build(n, 9).unwrap();
+                assert!(
+                    built.min_degree() >= g.min_degree(n),
+                    "{} at n={n}: realized min degree {} below declared {}",
+                    g.name(),
+                    built.min_degree(),
+                    g.min_degree(n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_size_rounding() {
+        let r = registry();
+        assert_eq!(r.get("hypercube").unwrap().build(100, 0).unwrap().n(), 64);
+        assert_eq!(r.get("path").unwrap().build(17, 0).unwrap().n(), 17);
+        // 3-regular needs even n*d: 33*3 is odd, so the target is bumped.
+        let g = r.get("regular/3").unwrap().build(33, 1).unwrap();
+        assert_eq!(g.n(), 34);
+        assert!(g.degrees().all(|d| d == 3));
+        // Grid lands near the target on a near-square shape.
+        let g = r.get("grid").unwrap().build(128, 0).unwrap();
+        assert!(g.n() >= 128 && g.n() <= 140, "grid n={}", g.n());
     }
 
     #[test]
