@@ -1,0 +1,458 @@
+//! Round-engine micro-benchmark (`exp bench-engine`).
+//!
+//! Times registry algorithms through both executors on named graph
+//! families and emits a machine-readable `localavg-bench/v1` JSON
+//! document (hand-rolled like [`crate::emit`]). The committed
+//! `BENCH_<pr>.json` artifacts pin the before/after evidence for engine
+//! optimisations: pass `--baseline FILE` (a previous run of the same
+//! subcommand) and the emitted document embeds the baseline cells plus a
+//! `speedups` section computed per matching cell.
+//!
+//! Methodology: one graph instance per `(generator, n)` pair (built
+//! outside the timed region with the sweep's content-addressed seed),
+//! `reps` timed repetitions per cell, and both `best_ms` (the metric the
+//! speedup uses — least scheduler noise) and `mean_ms` recorded. The
+//! timed region is exactly `DynAlgorithm::run_exec`: the round engine
+//! plus the O(n + m) transcript-to-solution conversion, i.e. the work a
+//! sweep cell pays per run.
+
+use crate::emit::json_escape;
+use crate::sweep::{self, SweepError};
+use localavg_core::algo::{registry, Exec};
+use localavg_graph::gen;
+use localavg_graph::Graph;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// What `exp bench-engine` measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchSpec {
+    /// Algorithm registry keys to time.
+    pub algorithms: Vec<String>,
+    /// Generator registry keys to time on.
+    pub generators: Vec<String>,
+    /// Target sizes.
+    pub sizes: Vec<usize>,
+    /// Executors to time.
+    pub executors: Vec<Exec>,
+    /// Timed repetitions per cell (after one untimed warm-up run).
+    pub reps: usize,
+    /// Master seed for the content-addressed graph/run seeds.
+    pub master_seed: u64,
+    /// Free-form label recorded in the report (e.g. a refactor name).
+    pub label: String,
+}
+
+impl Default for BenchSpec {
+    /// The grid the committed `BENCH_*.json` artifacts use: Luby's MIS on
+    /// `regular/8` and `gnp/deg8` at n ∈ {10³, 10⁴, 10⁵}, sequential and
+    /// 2-thread parallel executors.
+    fn default() -> Self {
+        BenchSpec {
+            algorithms: vec!["mis/luby".into()],
+            generators: vec!["regular/8".into(), "gnp/deg8".into()],
+            sizes: vec![1_000, 10_000, 100_000],
+            executors: vec![Exec::Sequential, Exec::Parallel { threads: 2 }],
+            reps: 5,
+            master_seed: 0,
+            label: "unlabelled".into(),
+        }
+    }
+}
+
+/// One timed (algorithm, generator, n, executor) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    /// Algorithm registry key.
+    pub algorithm: String,
+    /// Generator registry key.
+    pub generator: String,
+    /// Target size.
+    pub n: usize,
+    /// Realized node count.
+    pub nodes: usize,
+    /// Realized edge count.
+    pub edges: usize,
+    /// Executor label: `"sequential"` or `"parallel/<threads>"`.
+    pub executor: String,
+    /// Timed repetitions.
+    pub reps: usize,
+    /// Fastest repetition, in milliseconds.
+    pub best_ms: f64,
+    /// Mean over the repetitions, in milliseconds.
+    pub mean_ms: f64,
+    /// Rounds the run took (identical across reps — same seed).
+    pub rounds: usize,
+}
+
+impl BenchCell {
+    fn key(&self) -> (&str, &str, usize, &str) {
+        (&self.algorithm, &self.generator, self.n, &self.executor)
+    }
+}
+
+/// A complete benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The spec that produced it.
+    pub spec: BenchSpec,
+    /// One timed result per cell, in expansion order.
+    pub cells: Vec<BenchCell>,
+}
+
+fn exec_label(exec: Exec) -> String {
+    match exec {
+        Exec::Sequential => "sequential".to_string(),
+        Exec::Parallel { threads } => format!("parallel/{threads}"),
+    }
+}
+
+/// Runs the benchmark grid.
+///
+/// # Errors
+///
+/// Fails on unknown registry keys or graph-construction failures, with
+/// the same error type as the sweep engine.
+pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
+    for name in &spec.algorithms {
+        if registry().get(name).is_none() {
+            return Err(SweepError::UnknownAlgorithm {
+                name: name.clone(),
+                suggestion: registry().suggest(name).map(str::to_string),
+            });
+        }
+    }
+    for name in &spec.generators {
+        if gen::registry().get(name).is_none() {
+            return Err(SweepError::UnknownGenerator { name: name.clone() });
+        }
+    }
+    let mut cells = Vec::new();
+    for gname in &spec.generators {
+        let family = gen::registry().get(gname).expect("validated key");
+        for &n in &spec.sizes {
+            let g: Graph = family
+                .build(n, sweep::graph_seed(spec.master_seed, gname, n))
+                .map_err(|e| SweepError::GraphBuild {
+                    generator: gname.clone(),
+                    n,
+                    message: format!("{e:?}"),
+                })?;
+            for aname in &spec.algorithms {
+                let algo = registry().get(aname).expect("validated key");
+                if algo.problem().min_degree() > g.min_degree() {
+                    continue;
+                }
+                let seed = sweep::graph_seed(spec.master_seed ^ 0xBE7C, aname, n);
+                for &exec in &spec.executors {
+                    let warm = algo.run_exec(&g, seed, exec);
+                    let rounds = warm.worst_case();
+                    let mut best = f64::INFINITY;
+                    let mut total = 0.0;
+                    for _ in 0..spec.reps.max(1) {
+                        let t0 = Instant::now();
+                        let run = algo.run_exec(&g, seed, exec);
+                        let ms = t0.elapsed().as_secs_f64() * 1e3;
+                        assert_eq!(
+                            run.worst_case(),
+                            rounds,
+                            "non-deterministic round count in a fixed-seed benchmark"
+                        );
+                        best = best.min(ms);
+                        total += ms;
+                    }
+                    cells.push(BenchCell {
+                        algorithm: aname.clone(),
+                        generator: gname.clone(),
+                        n,
+                        nodes: g.n(),
+                        edges: g.m(),
+                        executor: exec_label(exec),
+                        reps: spec.reps.max(1),
+                        best_ms: best,
+                        mean_ms: total / spec.reps.max(1) as f64,
+                        rounds,
+                    });
+                }
+            }
+        }
+    }
+    Ok(BenchReport {
+        spec: spec.clone(),
+        cells,
+    })
+}
+
+fn fmt_ms(x: f64) -> String {
+    if x.is_finite() {
+        format!("{:.3}", x)
+    } else {
+        "null".to_string()
+    }
+}
+
+fn cell_json(c: &BenchCell) -> String {
+    format!(
+        "{{\"algorithm\": \"{}\", \"generator\": \"{}\", \"n\": {}, \"nodes\": {}, \
+         \"edges\": {}, \"executor\": \"{}\", \"reps\": {}, \"best_ms\": {}, \
+         \"mean_ms\": {}, \"rounds\": {}}}",
+        json_escape(&c.algorithm),
+        json_escape(&c.generator),
+        c.n,
+        c.nodes,
+        c.edges,
+        json_escape(&c.executor),
+        c.reps,
+        fmt_ms(c.best_ms),
+        fmt_ms(c.mean_ms),
+        c.rounds
+    )
+}
+
+fn push_cells(out: &mut String, cells: &[BenchCell], indent: &str) {
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{indent}{}{}",
+            cell_json(c),
+            if i + 1 < cells.len() { "," } else { "" }
+        );
+    }
+}
+
+/// Serializes a report to the `localavg-bench/v1` JSON document.
+///
+/// When `baseline` is given, its cells are embedded under `"baseline"`
+/// and a `"speedups"` array records `baseline best_ms / current best_ms`
+/// for every cell present in both reports.
+pub fn to_json(report: &BenchReport, baseline: Option<&BenchReport>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"localavg-bench/v1\",\n");
+    let _ = writeln!(out, "  \"label\": \"{}\",", json_escape(&report.spec.label));
+    let _ = writeln!(
+        out,
+        "  \"spec\": {{\"reps\": {}, \"master_seed\": {}}},",
+        report.spec.reps, report.spec.master_seed
+    );
+    out.push_str("  \"cells\": [\n");
+    push_cells(&mut out, &report.cells, "    ");
+    out.push_str("  ]");
+    if let Some(base) = baseline {
+        out.push_str(",\n  \"baseline\": {\n");
+        let _ = writeln!(out, "    \"label\": \"{}\",", json_escape(&base.spec.label));
+        out.push_str("    \"cells\": [\n");
+        push_cells(&mut out, &base.cells, "      ");
+        out.push_str("    ]\n  },\n  \"speedups\": [\n");
+        let pairs: Vec<(&BenchCell, &BenchCell)> = report
+            .cells
+            .iter()
+            .filter_map(|c| {
+                base.cells
+                    .iter()
+                    .find(|b| b.key() == c.key())
+                    .map(|b| (c, b))
+            })
+            .collect();
+        for (i, (c, b)) in pairs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"algorithm\": \"{}\", \"generator\": \"{}\", \"n\": {}, \
+                 \"executor\": \"{}\", \"baseline_best_ms\": {}, \"best_ms\": {}, \
+                 \"speedup\": {}}}{}",
+                json_escape(&c.algorithm),
+                json_escape(&c.generator),
+                c.n,
+                json_escape(&c.executor),
+                fmt_ms(b.best_ms),
+                fmt_ms(c.best_ms),
+                fmt_ms(b.best_ms / c.best_ms),
+                if i + 1 < pairs.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]\n}\n");
+    } else {
+        out.push_str("\n}\n");
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_raw(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..]
+        .find([',', '}'])
+        .map(|i| i + start)
+        .unwrap_or(line.len());
+    Some(line[start..end].trim().to_string())
+}
+
+/// Number of current cells with no key-matching baseline cell (and thus
+/// absent from [`to_json`]'s `speedups` section). The cell key includes
+/// the executor label (`"parallel/<threads>"`), so comparing runs made
+/// with different `--threads` drops the parallel rows — callers should
+/// surface this count instead of letting the rows vanish silently.
+pub fn baseline_coverage_gap(current: &BenchReport, baseline: &BenchReport) -> usize {
+    current
+        .cells
+        .iter()
+        .filter(|c| !baseline.cells.iter().any(|b| b.key() == c.key()))
+        .count()
+}
+
+/// Parses the cells of a previously written `localavg-bench/v1` document.
+///
+/// This is a line-based reader for our own fixed emitter format (one cell
+/// object per line), not a general JSON parser; it stops at the end of
+/// the top-level `"cells"` array, so a document that itself embeds a
+/// baseline round-trips to its *current* cells only. Returns `None` for
+/// text that does not carry the `localavg-bench/v1` schema marker or has
+/// no `"cells"` array — pointing `--baseline` at the wrong file must be
+/// an error, not an empty comparison.
+pub fn parse_report(text: &str) -> Option<BenchReport> {
+    if !text.contains("\"schema\": \"localavg-bench/v1\"") {
+        return None;
+    }
+    let mut label = "unknown".to_string();
+    let mut cells = Vec::new();
+    let mut in_cells = false;
+    let mut saw_cells = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if !in_cells {
+            if t.starts_with("\"label\"") {
+                if let Some(l) = field_str(line, "label") {
+                    label = l;
+                }
+            }
+            if t.starts_with("\"cells\"") {
+                in_cells = true;
+                saw_cells = true;
+            }
+            continue;
+        }
+        if t.starts_with(']') {
+            break;
+        }
+        let cell = BenchCell {
+            algorithm: field_str(line, "algorithm")?,
+            generator: field_str(line, "generator")?,
+            n: field_raw(line, "n")?.parse().ok()?,
+            nodes: field_raw(line, "nodes")?.parse().ok()?,
+            edges: field_raw(line, "edges")?.parse().ok()?,
+            executor: field_str(line, "executor")?,
+            reps: field_raw(line, "reps")?.parse().ok()?,
+            best_ms: field_raw(line, "best_ms")?.parse().ok()?,
+            mean_ms: field_raw(line, "mean_ms")?.parse().ok()?,
+            rounds: field_raw(line, "rounds")?.parse().ok()?,
+        };
+        cells.push(cell);
+    }
+    if !saw_cells {
+        return None;
+    }
+    Some(BenchReport {
+        spec: BenchSpec {
+            label,
+            ..BenchSpec::default()
+        },
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> BenchSpec {
+        BenchSpec {
+            algorithms: vec!["mis/luby".into()],
+            generators: vec!["regular/4".into()],
+            sizes: vec![64],
+            executors: vec![Exec::Sequential, Exec::Parallel { threads: 2 }],
+            reps: 2,
+            master_seed: 3,
+            label: "test".into(),
+        }
+    }
+
+    #[test]
+    fn bench_runs_and_reports_every_executor() {
+        let report = run(&tiny_spec()).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.cells[0].executor, "sequential");
+        assert_eq!(report.cells[1].executor, "parallel/2");
+        for c in &report.cells {
+            assert!(c.best_ms.is_finite() && c.best_ms >= 0.0);
+            assert!(c.mean_ms >= c.best_ms);
+            assert!(c.rounds > 0);
+            assert_eq!(c.nodes, 64);
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let mut spec = tiny_spec();
+        spec.algorithms = vec!["mis/lubby".into()];
+        assert!(matches!(
+            run(&spec),
+            Err(SweepError::UnknownAlgorithm { .. })
+        ));
+        let mut spec = tiny_spec();
+        spec.generators = vec!["regullar/4".into()];
+        assert!(matches!(
+            run(&spec),
+            Err(SweepError::UnknownGenerator { .. })
+        ));
+    }
+
+    #[test]
+    fn json_roundtrips_through_parse_report() {
+        let report = run(&tiny_spec()).unwrap();
+        let json = to_json(&report, None);
+        assert!(json.contains("\"schema\": \"localavg-bench/v1\""));
+        let parsed = parse_report(&json).expect("parse back");
+        assert_eq!(parsed.spec.label, "test");
+        assert_eq!(parsed.cells.len(), report.cells.len());
+        for (a, b) in parsed.cells.iter().zip(&report.cells) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.rounds, b.rounds);
+            assert!((a.best_ms - b.best_ms).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn labels_are_json_escaped() {
+        let mut report = run(&tiny_spec()).unwrap();
+        report.spec.label = "quo\"te".into();
+        let json = to_json(&report, Some(&report));
+        assert!(json.contains(r#""label": "quo\"te""#));
+    }
+
+    #[test]
+    fn baseline_coverage_gap_counts_unmatched_cells() {
+        let report = run(&tiny_spec()).unwrap();
+        assert_eq!(baseline_coverage_gap(&report, &report), 0);
+        let mut other = report.clone();
+        other.cells[1].executor = "parallel/7".into();
+        assert_eq!(baseline_coverage_gap(&report, &other), 1);
+    }
+
+    #[test]
+    fn baseline_produces_speedups_section() {
+        let report = run(&tiny_spec()).unwrap();
+        let json = to_json(&report, Some(&report));
+        assert!(json.contains("\"baseline\""));
+        assert!(json.contains("\"speedups\""));
+        assert!(json.contains("\"speedup\": 1.000"));
+        // A doc with an embedded baseline parses back to the current cells.
+        let parsed = parse_report(&json).expect("parse back");
+        assert_eq!(parsed.cells.len(), report.cells.len());
+    }
+}

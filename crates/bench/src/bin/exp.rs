@@ -7,6 +7,7 @@
 //! cargo run --release -p localavg-bench --bin exp -- --list    # list registered algorithms
 //! cargo run --release -p localavg-bench --bin exp -- --algo mis/luby --n 512 --d 8 --seed 3
 //! cargo run --release -p localavg-bench --bin exp -- sweep --scale quick --threads 8 --out out.json
+//! cargo run --release -p localavg-bench --bin exp -- bench-engine --out BENCH.json
 //! ```
 //!
 //! `--algo` runs a single algorithm (looked up in the string registry) on
@@ -16,11 +17,16 @@
 //! `sweep` runs the sharded parallel sweep engine (DESIGN.md §6) over a
 //! grid of registry algorithms × named graph families × sizes × seeds and
 //! emits machine-readable JSON or CSV; output bytes are independent of
-//! `--threads`.
+//! `--threads` (`0` = all available cores, like `SimConfig::threads`).
+//!
+//! `bench-engine` times the round engine itself (sequential + parallel
+//! executors) and emits `localavg-bench/v1` JSON; `--baseline FILE`
+//! embeds a previous run and computes per-cell speedups.
 
+use localavg_bench::cli::{flag_list, flag_value};
 use localavg_bench::experiments::{self, Scale};
-use localavg_bench::{emit, sweep, Table};
-use localavg_core::algo::registry;
+use localavg_bench::{bench_engine, cli, emit, sweep, Table};
+use localavg_core::algo::{registry, Exec};
 use localavg_graph::{gen, rng::Rng};
 
 fn print_algo_list() {
@@ -43,21 +49,12 @@ fn print_algo_list() {
     println!("{t}");
 }
 
-/// Parses `--flag value` style options; returns (value, consumed).
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
+/// [`cli::parse_usize`] with the binary's exit-on-error behaviour.
 fn parse_usize(args: &[String], flag: &str, default: usize) -> usize {
-    match flag_value(args, flag) {
-        None => default,
-        Some(v) => v.parse().unwrap_or_else(|_| {
-            eprintln!("error: {flag} expects an integer, got `{v}`");
-            std::process::exit(2);
-        }),
-    }
+    cli::parse_usize(args, flag, default).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn run_single_algo(args: &[String], name: &str) {
@@ -124,11 +121,6 @@ fn run_single_algo(args: &[String], name: &str) {
     );
 }
 
-/// Parses a comma-separated `--flag a,b,c` list, if present.
-fn flag_list(args: &[String], flag: &str) -> Option<Vec<String>> {
-    flag_value(args, flag).map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
-}
-
 fn parse_scale(args: &[String]) -> Scale {
     match flag_value(args, "--scale").as_deref() {
         None | Some("quick") => Scale::Quick,
@@ -140,9 +132,8 @@ fn parse_scale(args: &[String]) -> Scale {
     }
 }
 
-/// Rejects unknown or value-less `exp sweep` options up front: in a
-/// measurement pipeline a silently-dropped typo (`--size` for `--sizes`)
-/// would emit results for a different grid than the user asked for.
+/// Rejects unknown or value-less `exp sweep` options up front (see
+/// `cli::validate_flags` for why).
 fn validate_sweep_args(args: &[String]) {
     const VALUED: [&str; 9] = [
         "--scale",
@@ -155,28 +146,14 @@ fn validate_sweep_args(args: &[String]) {
         "--seeds",
         "--master-seed",
     ];
-    let mut i = 0;
-    while i < args.len() {
-        let a = args[i].as_str();
-        if a == "--list-generators" {
-            i += 1;
-        } else if VALUED.contains(&a) {
-            match args.get(i + 1) {
-                Some(v) if !v.starts_with("--") => i += 2,
-                _ => {
-                    eprintln!("error: {a} expects a value");
-                    std::process::exit(2);
-                }
-            }
-        } else {
-            eprintln!("error: unknown sweep option `{a}`");
-            eprintln!(
-                "known options: --scale quick|full, --threads N, --out FILE, --format json|csv, \
-                 --algorithms a,b, --generators g,h, --sizes n,m, --seeds K, --master-seed S, \
-                 --list-generators"
-            );
-            std::process::exit(2);
-        }
+    if let Err(e) = cli::validate_flags(args, &VALUED, &["--list-generators"]) {
+        eprintln!("error: {e}");
+        eprintln!(
+            "known options: --scale quick|full, --threads N, --out FILE, --format json|csv, \
+             --algorithms a,b, --generators g,h, --sizes n,m, --seeds K, --master-seed S, \
+             --list-generators"
+        );
+        std::process::exit(2);
     }
 }
 
@@ -215,11 +192,12 @@ fn run_sweep(args: &[String]) {
     }
     spec.seeds = parse_usize(args, "--seeds", spec.seeds as usize) as u64;
     spec.master_seed = parse_usize(args, "--master-seed", spec.master_seed as usize) as u64;
-    let threads = parse_usize(
-        args,
-        "--threads",
-        std::thread::available_parallelism().map_or(1, |p| p.get()),
-    );
+    // `--threads 0` (and the flag's absence) mean "all available cores",
+    // mirroring `SimConfig::threads`.
+    let threads = cli::parse_threads(args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
 
     let format = flag_value(args, "--format").unwrap_or_else(|| "json".to_string());
     if format != "json" && format != "csv" {
@@ -270,11 +248,111 @@ fn run_sweep(args: &[String]) {
     }
 }
 
+/// Rejects unknown or value-less `exp bench-engine` options up front.
+fn validate_bench_args(args: &[String]) {
+    const VALUED: [&str; 8] = [
+        "--algorithms",
+        "--generators",
+        "--sizes",
+        "--reps",
+        "--threads",
+        "--label",
+        "--baseline",
+        "--out",
+    ];
+    if let Err(e) = cli::validate_flags(args, &VALUED, &[]) {
+        eprintln!("error: {e}");
+        eprintln!(
+            "known options: --algorithms a,b, --generators g,h, --sizes n,m, --reps R, \
+             --threads N, --label S, --baseline FILE, --out FILE"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// The `exp bench-engine` subcommand: timed engine runs → JSON.
+fn run_bench_engine(args: &[String]) {
+    validate_bench_args(args);
+    let mut spec = bench_engine::BenchSpec::default();
+    if let Some(algos) = flag_list(args, "--algorithms") {
+        spec.algorithms = algos;
+    }
+    if let Some(gens) = flag_list(args, "--generators") {
+        spec.generators = gens;
+    }
+    if let Some(sizes) = flag_list(args, "--sizes") {
+        spec.sizes = sizes
+            .iter()
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --sizes expects integers, got `{s}`");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+    }
+    spec.reps = parse_usize(args, "--reps", spec.reps);
+    // `--threads` sets the parallel executor's worker count (0 = auto).
+    // Unlike `sweep`, the *default* is the 2 threads of
+    // `BenchSpec::default()`, not auto: the thread count is part of the
+    // cell key, so committed artifacts must compare across machines.
+    let threads = cli::resolve_threads(parse_usize(args, "--threads", 2));
+    spec.executors = vec![Exec::Sequential, Exec::Parallel { threads }];
+    if let Some(label) = flag_value(args, "--label") {
+        spec.label = label;
+    }
+    let baseline = flag_value(args, "--baseline").map(|path| {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        bench_engine::parse_report(&text).unwrap_or_else(|| {
+            eprintln!("error: {path} is not a localavg-bench/v1 document");
+            std::process::exit(2);
+        })
+    });
+
+    let report = bench_engine::run(&spec).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    if let Some(base) = &baseline {
+        let gap = bench_engine::baseline_coverage_gap(&report, base);
+        if gap > 0 {
+            eprintln!(
+                "note: {gap} cell(s) have no matching baseline cell (different grid \
+                 or --threads?) and are omitted from the \"speedups\" section"
+            );
+        }
+    }
+    let json = bench_engine::to_json(&report, baseline.as_ref());
+    match flag_value(args, "--out") {
+        None => print!("{json}"),
+        Some(out) => {
+            std::fs::write(&out, &json).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {out}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {out}");
+            for c in &report.cells {
+                println!(
+                    "{:>14} {:>10} n={:<7} {:>12}  best {:>9.3} ms  mean {:>9.3} ms  ({} rounds)",
+                    c.algorithm, c.generator, c.n, c.executor, c.best_ms, c.mean_ms, c.rounds
+                );
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     if args.first().map(String::as_str) == Some("sweep") {
         run_sweep(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench-engine") {
+        run_bench_engine(&args[1..]);
         return;
     }
     if args.iter().any(|a| a == "--list") {

@@ -1,0 +1,159 @@
+//! Flag parsing shared by the `exp` subcommands.
+//!
+//! Kept in the library (rather than the binary) so the parsing rules are
+//! unit-testable — a measurement pipeline must not silently reinterpret
+//! its own flags.
+
+/// Returns the value following `--flag`, if present.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses an integer-valued `--flag`, falling back to `default`.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the value is present but not an
+/// integer (the binary prints it and exits 2).
+pub fn parse_usize(args: &[String], flag: &str, default: usize) -> Result<usize, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} expects an integer, got `{v}`")),
+    }
+}
+
+/// Parses a comma-separated `--flag a,b,c` list, if present.
+pub fn flag_list(args: &[String], flag: &str) -> Option<Vec<String>> {
+    flag_value(args, flag).map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+}
+
+/// Resolves a `--threads` value: `0` means "number of available cores",
+/// matching `SimConfig::threads`' convention; any other value is taken
+/// literally.
+pub fn resolve_threads(raw: usize) -> usize {
+    if raw == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        raw
+    }
+}
+
+/// Parses the `--threads` flag with the `0 = auto` convention.
+///
+/// The default (flag absent) is also "auto": sweeps want every core
+/// unless told otherwise.
+///
+/// # Errors
+///
+/// Same conditions as [`parse_usize`].
+pub fn parse_threads(args: &[String]) -> Result<usize, String> {
+    Ok(resolve_threads(parse_usize(args, "--threads", 0)?))
+}
+
+/// Validates a subcommand's flags up front: every argument must be a
+/// known value-taking flag followed by a value, or a known bare flag.
+/// In a measurement pipeline a silently-dropped typo (`--size` for
+/// `--sizes`) would emit results for a different grid than the user
+/// asked for.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending argument.
+pub fn validate_flags(args: &[String], valued: &[&str], bare: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if bare.contains(&a) {
+            i += 1;
+        } else if valued.contains(&a) {
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => i += 2,
+                _ => return Err(format!("{a} expects a value")),
+            }
+        } else {
+            return Err(format!("unknown option `{a}`"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_and_list() {
+        let a = args(&["--out", "x.json", "--sizes", "8, 16,32"]);
+        assert_eq!(flag_value(&a, "--out").as_deref(), Some("x.json"));
+        assert_eq!(flag_value(&a, "--missing"), None);
+        assert_eq!(flag_list(&a, "--sizes").unwrap(), vec!["8", "16", "32"]);
+        assert_eq!(flag_list(&a, "--missing"), None);
+    }
+
+    #[test]
+    fn parse_usize_default_and_error() {
+        let a = args(&["--seeds", "5", "--bad", "x"]);
+        assert_eq!(parse_usize(&a, "--seeds", 1), Ok(5));
+        assert_eq!(parse_usize(&a, "--missing", 7), Ok(7));
+        assert!(parse_usize(&a, "--bad", 0).is_err());
+    }
+
+    #[test]
+    fn threads_zero_means_available_cores() {
+        // `--threads 0` must behave like SimConfig::threads == 0: auto.
+        let a = args(&["--threads", "0"]);
+        let t = parse_threads(&a).unwrap();
+        assert!(t >= 1);
+        assert_eq!(
+            t,
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        );
+        assert_eq!(resolve_threads(0), t);
+    }
+
+    #[test]
+    fn threads_explicit_value_is_literal() {
+        let a = args(&["--threads", "3"]);
+        assert_eq!(parse_threads(&a).unwrap(), 3);
+        assert_eq!(resolve_threads(5), 5);
+    }
+
+    #[test]
+    fn threads_absent_defaults_to_auto() {
+        let a = args(&[]);
+        assert_eq!(parse_threads(&a).unwrap(), resolve_threads(0));
+    }
+
+    #[test]
+    fn threads_garbage_is_an_error() {
+        let a = args(&["--threads", "two"]);
+        assert!(parse_threads(&a).is_err());
+    }
+
+    #[test]
+    fn validate_flags_accepts_known_shapes() {
+        let a = args(&["--out", "x.json", "--list-generators", "--sizes", "8,16"]);
+        assert_eq!(
+            validate_flags(&a, &["--out", "--sizes"], &["--list-generators"]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_flags_rejects_typos_and_missing_values() {
+        let valued = ["--threads", "--out"];
+        assert!(validate_flags(&args(&["--thread", "2"]), &valued, &[])
+            .is_err_and(|e| e.contains("--thread")));
+        assert!(validate_flags(&args(&["--out"]), &valued, &[])
+            .is_err_and(|e| e.contains("expects a value")));
+        assert!(validate_flags(&args(&["--out", "--threads"]), &valued, &[]).is_err());
+    }
+}

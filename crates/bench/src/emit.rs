@@ -37,7 +37,7 @@ use crate::sweep::SweepReport;
 use std::fmt::Write as _;
 
 /// Escapes a string for a JSON string literal (quotes not included).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_engine;
+pub mod cli;
 pub mod emit;
 pub mod experiments;
 pub mod sweep;

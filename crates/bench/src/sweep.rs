@@ -281,7 +281,7 @@ pub struct SweepReport {
 /// Hashes a registry key into a substream tag (iterated SplitMix64 over
 /// the bytes) — part of the content-addressed seeding discipline: cell
 /// seeds depend on *what* runs, never on *where* or *when*.
-fn key_tag(s: &str) -> u64 {
+pub(crate) fn key_tag(s: &str) -> u64 {
     let mut acc = 0x5EED0F5EED ^ s.len() as u64;
     for &b in s.as_bytes() {
         let mut st = acc ^ u64::from(b);
@@ -293,7 +293,7 @@ fn key_tag(s: &str) -> u64 {
 /// The seed a `(generator, n)` instance is built from: forked from the
 /// master seed by generator key and target size only, so every algorithm
 /// and every seed index of a group sees the same topology.
-fn graph_seed(master: u64, generator: &str, n: usize) -> u64 {
+pub(crate) fn graph_seed(master: u64, generator: &str, n: usize) -> u64 {
     Rng::seed_from(master)
         .fork(key_tag(generator))
         .fork(n as u64)

@@ -6,7 +6,7 @@
 //! …) stay available as thin shims for code that wants the typed outputs
 //! directly.
 
-use super::{AlgoRun, Algorithm, Problem};
+use super::{AlgoRun, Algorithm, Exec, Problem};
 use crate::orientation::DetOrientParams;
 use crate::ruling::DetRulingParams;
 use crate::{coloring, matching, mis, orientation, ruling};
@@ -30,6 +30,10 @@ impl Algorithm for MisLuby {
     fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
         AlgoRun::from(mis::luby(g, seed)).named(self.name())
     }
+
+    fn run_with_exec(&self, g: &Graph, seed: u64, _params: &(), exec: Exec) -> AlgoRun {
+        AlgoRun::from(mis::luby_exec(g, seed, exec)).named(self.name())
+    }
 }
 
 /// Ghaffari-style degree-guided MIS (`"mis/degree-guided"`, §3.1).
@@ -49,6 +53,10 @@ impl Algorithm for MisDegreeGuided {
 
     fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
         AlgoRun::from(mis::degree_guided(g, seed)).named(self.name())
+    }
+
+    fn run_with_exec(&self, g: &Graph, seed: u64, _params: &(), exec: Exec) -> AlgoRun {
+        AlgoRun::from(mis::degree_guided_exec(g, seed, exec)).named(self.name())
     }
 }
 
@@ -74,6 +82,10 @@ impl Algorithm for MisGreedy {
     fn run_with(&self, g: &Graph, _seed: u64, _params: &()) -> AlgoRun {
         AlgoRun::from(mis::greedy_by_id(g)).named(self.name())
     }
+
+    fn run_with_exec(&self, g: &Graph, _seed: u64, _params: &(), exec: Exec) -> AlgoRun {
+        AlgoRun::from(mis::greedy_by_id_exec(g, exec)).named(self.name())
+    }
 }
 
 /// Theorem 2's randomized (2,2)-ruling set (`"ruling/two-two"`).
@@ -93,6 +105,10 @@ impl Algorithm for RulingTwoTwo {
 
     fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
         AlgoRun::from(ruling::two_two(g, seed)).named(self.name())
+    }
+
+    fn run_with_exec(&self, g: &Graph, seed: u64, _params: &(), exec: Exec) -> AlgoRun {
+        AlgoRun::from(ruling::two_two_exec(g, seed, exec)).named(self.name())
     }
 }
 
@@ -143,6 +159,10 @@ impl Algorithm for RulingDet {
     fn run_with(&self, g: &Graph, _seed: u64, params: &DetRulingSpec) -> AlgoRun {
         AlgoRun::from(ruling::deterministic(g, params.resolve(g))).named(self.name())
     }
+
+    fn run_with_exec(&self, g: &Graph, _seed: u64, params: &DetRulingSpec, exec: Exec) -> AlgoRun {
+        AlgoRun::from(ruling::deterministic_exec(g, params.resolve(g), exec)).named(self.name())
+    }
 }
 
 /// Theorem 4's randomized maximal matching (`"matching/luby"`).
@@ -162,6 +182,10 @@ impl Algorithm for MatchingLuby {
 
     fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
         AlgoRun::from(matching::luby(g, seed)).named(self.name())
+    }
+
+    fn run_with_exec(&self, g: &Graph, seed: u64, _params: &(), exec: Exec) -> AlgoRun {
+        AlgoRun::from(matching::luby_exec(g, seed, exec)).named(self.name())
     }
 }
 
@@ -187,6 +211,10 @@ impl Algorithm for MatchingDet {
     fn run_with(&self, g: &Graph, _seed: u64, _params: &()) -> AlgoRun {
         AlgoRun::from(matching::deterministic(g)).named(self.name())
     }
+
+    fn run_with_exec(&self, g: &Graph, _seed: u64, _params: &(), exec: Exec) -> AlgoRun {
+        AlgoRun::from(matching::deterministic_exec(g, exec)).named(self.name())
+    }
 }
 
 /// Deterministic proposal-matching baseline (`"matching/greedy"`).
@@ -211,6 +239,10 @@ impl Algorithm for MatchingGreedy {
     fn run_with(&self, g: &Graph, _seed: u64, _params: &()) -> AlgoRun {
         AlgoRun::from(matching::greedy(g)).named(self.name())
     }
+
+    fn run_with_exec(&self, g: &Graph, _seed: u64, _params: &(), exec: Exec) -> AlgoRun {
+        AlgoRun::from(matching::greedy_exec(g, exec)).named(self.name())
+    }
 }
 
 /// Randomized sinkless orientation (`"orientation/rand"`, \[GS17a\]-style).
@@ -230,6 +262,10 @@ impl Algorithm for OrientationRand {
 
     fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
         AlgoRun::from(orientation::randomized(g, seed)).named(self.name())
+    }
+
+    fn run_with_exec(&self, g: &Graph, seed: u64, _params: &(), exec: Exec) -> AlgoRun {
+        AlgoRun::from(orientation::randomized_exec(g, seed, exec)).named(self.name())
     }
 }
 
@@ -275,6 +311,10 @@ impl Algorithm for ColoringTrial {
     fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
         AlgoRun::from(coloring::random_trial(g, seed)).named(self.name())
     }
+
+    fn run_with_exec(&self, g: &Graph, seed: u64, _params: &(), exec: Exec) -> AlgoRun {
+        AlgoRun::from(coloring::random_trial_exec(g, seed, exec)).named(self.name())
+    }
 }
 
 /// Linial's deterministic O(log* n) coloring (`"coloring/linial"`).
@@ -298,6 +338,10 @@ impl Algorithm for ColoringLinial {
 
     fn run_with(&self, g: &Graph, _seed: u64, _params: &()) -> AlgoRun {
         AlgoRun::from(coloring::linial(g)).named(self.name())
+    }
+
+    fn run_with_exec(&self, g: &Graph, _seed: u64, _params: &(), exec: Exec) -> AlgoRun {
+        AlgoRun::from(coloring::linial_exec(g, exec)).named(self.name())
     }
 }
 

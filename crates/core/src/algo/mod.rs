@@ -54,6 +54,7 @@ use crate::orientation::OrientationRun;
 use crate::ruling::RulingRun;
 use localavg_graph::analysis::{self, Orientation};
 use localavg_graph::Graph;
+pub use localavg_sim::engine::Exec;
 use localavg_sim::transcript::{Round, Transcript};
 use std::fmt;
 use std::sync::OnceLock;
@@ -425,9 +426,26 @@ pub trait Algorithm {
     /// Runs with explicit parameters.
     fn run_with(&self, g: &Graph, seed: u64, params: &Self::Params) -> AlgoRun;
 
+    /// Runs with explicit parameters on a chosen executor.
+    ///
+    /// Executors are bit-identical (see `localavg_sim::engine`), so this is
+    /// a pure performance knob. The default ignores `exec` — correct for
+    /// structural algorithms that never enter the round engine;
+    /// engine-driven implementations override it so benchmark harnesses
+    /// and the determinism tests can drive the parallel executor.
+    fn run_with_exec(&self, g: &Graph, seed: u64, params: &Self::Params, exec: Exec) -> AlgoRun {
+        let _ = exec;
+        self.run_with(g, seed, params)
+    }
+
     /// Runs with default parameters.
     fn run(&self, g: &Graph, seed: u64) -> AlgoRun {
         self.run_with(g, seed, &Self::Params::default())
+    }
+
+    /// Runs with default parameters on a chosen executor.
+    fn run_exec(&self, g: &Graph, seed: u64, exec: Exec) -> AlgoRun {
+        self.run_with_exec(g, seed, &Self::Params::default(), exec)
     }
 }
 
@@ -443,6 +461,8 @@ pub trait DynAlgorithm: Send + Sync {
     fn deterministic(&self) -> bool;
     /// Runs with default parameters.
     fn run(&self, g: &Graph, seed: u64) -> AlgoRun;
+    /// Runs with default parameters on a chosen executor.
+    fn run_exec(&self, g: &Graph, seed: u64, exec: Exec) -> AlgoRun;
 }
 
 impl<A: Algorithm + Send + Sync> DynAlgorithm for A {
@@ -460,6 +480,10 @@ impl<A: Algorithm + Send + Sync> DynAlgorithm for A {
 
     fn run(&self, g: &Graph, seed: u64) -> AlgoRun {
         Algorithm::run(self, g, seed)
+    }
+
+    fn run_exec(&self, g: &Graph, seed: u64, exec: Exec) -> AlgoRun {
+        Algorithm::run_exec(self, g, seed, exec)
     }
 }
 

@@ -132,7 +132,12 @@ impl Process for RandomTrial {
 /// assert!(run.colors.iter().all(|&c| c <= g.max_degree()));
 /// ```
 pub fn random_trial(g: &Graph, seed: u64) -> ColoringRun {
-    let t = run_sequential::<RandomTrial>(g, &(), &SimConfig::new(seed));
+    random_trial_exec(g, seed, Exec::Sequential)
+}
+
+/// [`random_trial`] on a chosen executor (bit-identical across executors).
+pub fn random_trial_exec(g: &Graph, seed: u64, exec: Exec) -> ColoringRun {
+    let t = exec.run::<RandomTrial>(g, &(), &SimConfig::new(seed));
     let colors: Vec<usize> = t.node_labels().iter().map(|&c| c as usize).collect();
     debug_assert!(analysis::is_proper_coloring(g, &colors));
     ColoringRun {
@@ -201,7 +206,12 @@ impl Process for LinialColoring {
 /// [`linial_schedule`] — a log*-type schedule all nodes derive from
 /// `(n, Δ)`.
 pub fn linial(g: &Graph) -> ColoringRun {
-    let t = run_sequential::<LinialColoring>(g, &(), &SimConfig::new(0));
+    linial_exec(g, Exec::Sequential)
+}
+
+/// [`linial`] on a chosen executor (bit-identical across executors).
+pub fn linial_exec(g: &Graph, exec: Exec) -> ColoringRun {
+    let t = exec.run::<LinialColoring>(g, &(), &SimConfig::new(0));
     let colors: Vec<usize> = t.node_labels().iter().map(|&c| c as usize).collect();
     debug_assert!(analysis::is_proper_coloring(g, &colors));
     ColoringRun {

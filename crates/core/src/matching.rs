@@ -221,7 +221,12 @@ impl Process for LubyMatching {
 /// assert!(analysis::is_maximal_matching(&g, &run.in_matching));
 /// ```
 pub fn luby(g: &Graph, seed: u64) -> MatchingRun {
-    let t = run_sequential::<LubyMatching>(g, &(), &SimConfig::new(seed));
+    luby_exec(g, seed, Exec::Sequential)
+}
+
+/// [`luby`] on a chosen executor (bit-identical across executors).
+pub fn luby_exec(g: &Graph, seed: u64, exec: Exec) -> MatchingRun {
+    let t = exec.run::<LubyMatching>(g, &(), &SimConfig::new(seed));
     MatchingRun::from_transcript(g, t)
 }
 
@@ -311,7 +316,12 @@ impl Process for GreedyMatching {
 
 /// Runs the deterministic greedy proposal matching (baseline).
 pub fn greedy(g: &Graph) -> MatchingRun {
-    let t = run_sequential::<GreedyMatching>(g, &(), &SimConfig::new(0));
+    greedy_exec(g, Exec::Sequential)
+}
+
+/// [`greedy`] on a chosen executor (bit-identical across executors).
+pub fn greedy_exec(g: &Graph, exec: Exec) -> MatchingRun {
+    let t = exec.run::<GreedyMatching>(g, &(), &SimConfig::new(0));
     MatchingRun::from_transcript(g, t)
 }
 
@@ -964,7 +974,12 @@ impl Process for DetMatching {
 /// assert!(analysis::is_maximal_matching(&g, &run.in_matching));
 /// ```
 pub fn deterministic(g: &Graph) -> MatchingRun {
-    let t = run_sequential::<DetMatching>(g, &(), &SimConfig::new(0));
+    deterministic_exec(g, Exec::Sequential)
+}
+
+/// [`deterministic`] on a chosen executor (bit-identical across executors).
+pub fn deterministic_exec(g: &Graph, exec: Exec) -> MatchingRun {
+    let t = exec.run::<DetMatching>(g, &(), &SimConfig::new(0));
     MatchingRun::from_transcript(g, t)
 }
 

@@ -177,7 +177,12 @@ impl Process for LubyMis {
 /// assert!(localavg_graph::analysis::is_maximal_independent_set(&g, &run.in_set));
 /// ```
 pub fn luby(g: &Graph, seed: u64) -> MisRun {
-    let t = run_sequential::<LubyMis>(g, &(), &SimConfig::new(seed));
+    luby_exec(g, seed, Exec::Sequential)
+}
+
+/// [`luby`] on a chosen executor (bit-identical across executors).
+pub fn luby_exec(g: &Graph, seed: u64, exec: Exec) -> MisRun {
+    let t = exec.run::<LubyMis>(g, &(), &SimConfig::new(seed));
     MisRun::from_transcript(g, t)
 }
 
@@ -278,7 +283,12 @@ impl Process for DegreeGuidedMis {
 
 /// Runs the degree-guided (Ghaffari-style) randomized MIS.
 pub fn degree_guided(g: &Graph, seed: u64) -> MisRun {
-    let t = run_sequential::<DegreeGuidedMis>(g, &(), &SimConfig::new(seed));
+    degree_guided_exec(g, seed, Exec::Sequential)
+}
+
+/// [`degree_guided`] on a chosen executor (bit-identical across executors).
+pub fn degree_guided_exec(g: &Graph, seed: u64, exec: Exec) -> MisRun {
+    let t = exec.run::<DegreeGuidedMis>(g, &(), &SimConfig::new(seed));
     MisRun::from_transcript(g, t)
 }
 
@@ -353,7 +363,12 @@ impl Process for GreedyMis {
 
 /// Runs the deterministic greedy-by-id MIS (baseline).
 pub fn greedy_by_id(g: &Graph) -> MisRun {
-    let t = run_sequential::<GreedyMis>(g, &(), &SimConfig::new(0));
+    greedy_by_id_exec(g, Exec::Sequential)
+}
+
+/// [`greedy_by_id`] on a chosen executor (bit-identical across executors).
+pub fn greedy_by_id_exec(g: &Graph, exec: Exec) -> MisRun {
+    let t = exec.run::<GreedyMis>(g, &(), &SimConfig::new(0));
     MisRun::from_transcript(g, t)
 }
 

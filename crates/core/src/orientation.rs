@@ -341,12 +341,17 @@ impl Process for RandOrient {
 /// assert!(analysis::is_sinkless_orientation(&g, &run.orientation));
 /// ```
 pub fn randomized(g: &Graph, seed: u64) -> OrientationRun {
+    randomized_exec(g, seed, Exec::Sequential)
+}
+
+/// [`randomized`] on a chosen executor (bit-identical across executors).
+pub fn randomized_exec(g: &Graph, seed: u64, exec: Exec) -> OrientationRun {
     assert!(
         g.n() == 0 || g.min_degree() >= 3,
         "sinkless orientation requires minimum degree 3"
     );
     const ITERATIONS: usize = 8;
-    let t = run_sequential::<RandOrient>(g, &ITERATIONS, &SimConfig::new(seed));
+    let t = exec.run::<RandOrient>(g, &ITERATIONS, &SimConfig::new(seed));
 
     // Transfer the phase-1 commits into the ledger, then finish structurally.
     let mut ledger = Ledger::new(g);

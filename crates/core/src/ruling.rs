@@ -185,7 +185,12 @@ impl Process for TwoTwoRuling {
 /// assert!(analysis::is_ruling_set(&g, &run.in_set, 2, 2));
 /// ```
 pub fn two_two(g: &Graph, seed: u64) -> RulingRun {
-    let t = run_sequential::<TwoTwoRuling>(g, &(), &SimConfig::new(seed));
+    two_two_exec(g, seed, Exec::Sequential)
+}
+
+/// [`two_two`] on a chosen executor (bit-identical across executors).
+pub fn two_two_exec(g: &Graph, seed: u64, exec: Exec) -> RulingRun {
+    let t = exec.run::<TwoTwoRuling>(g, &(), &SimConfig::new(seed));
     let in_set = t.node_labels();
     debug_assert!(analysis::is_ruling_set(g, &in_set, 2, 2));
     RulingRun {
@@ -593,7 +598,12 @@ impl Process for DetRuling {
 /// assert!(analysis::is_ruling_set(&g, &run.in_set, 2, run.beta));
 /// ```
 pub fn deterministic(g: &Graph, params: DetRulingParams) -> RulingRun {
-    let t = run_sequential::<DetRuling>(g, &(params, g.max_degree()), &SimConfig::new(0));
+    deterministic_exec(g, params, Exec::Sequential)
+}
+
+/// [`deterministic`] on a chosen executor (bit-identical across executors).
+pub fn deterministic_exec(g: &Graph, params: DetRulingParams, exec: Exec) -> RulingRun {
+    let t = exec.run::<DetRuling>(g, &(params, g.max_degree()), &SimConfig::new(0));
     let in_set = t.node_labels();
     let beta = 2 * params.iterations + 1;
     debug_assert!(analysis::is_ruling_set(g, &in_set, 2, beta));

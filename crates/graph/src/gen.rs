@@ -22,11 +22,11 @@ use crate::rng::Rng;
 /// assert_eq!(g.m(), 3);
 /// ```
 pub fn path(n: usize) -> Graph {
-    let mut g = Graph::empty(n);
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
     for v in 1..n {
-        g.add_edge(v - 1, v).expect("path edges are valid");
+        b.add_edge(v - 1, v).expect("path edges are valid");
     }
-    g
+    b.build()
 }
 
 /// Cycle `C_n` on `n >= 3` nodes.
@@ -36,31 +36,36 @@ pub fn path(n: usize) -> Graph {
 /// Panics if `n < 3` (a 2-cycle would be a multi-edge).
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle requires n >= 3, got {n}");
-    let mut g = path(n);
-    g.add_edge(n - 1, 0).expect("closing edge is valid");
-    g
+    let mut b = GraphBuilder::with_edge_capacity(n, n);
+    for v in 1..n {
+        b.add_edge(v - 1, v).expect("path edges are valid");
+    }
+    b.add_edge(n - 1, 0).expect("closing edge is valid");
+    b.build()
 }
 
 /// Complete graph `K_n`.
 pub fn complete(n: usize) -> Graph {
-    let mut g = Graph::empty(n);
+    let mut b = GraphBuilder::with_edge_capacity(n, n * n.saturating_sub(1) / 2);
     for u in 0..n {
         for v in (u + 1)..n {
-            g.add_edge(u, v).expect("complete edges are valid");
+            b.add_edge(u, v).expect("complete edges are valid");
         }
     }
-    g
+    b.build()
 }
 
 /// Complete bipartite graph `K_{a,b}`; the first `a` nodes form one side.
 pub fn complete_bipartite(a: usize, b: usize) -> Graph {
-    let mut g = Graph::empty(a + b);
+    let mut builder = GraphBuilder::with_edge_capacity(a + b, a * b);
     for u in 0..a {
         for v in 0..b {
-            g.add_edge(u, a + v).expect("bipartite edges are valid");
+            builder
+                .add_edge(u, a + v)
+                .expect("bipartite edges are valid");
         }
     }
-    g
+    builder.build()
 }
 
 /// Star `K_{1,n-1}` with node 0 at the center.
@@ -70,68 +75,68 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
 /// Panics if `n == 0`.
 pub fn star(n: usize) -> Graph {
     assert!(n >= 1, "star requires at least one node");
-    let mut g = Graph::empty(n);
+    let mut b = GraphBuilder::with_edge_capacity(n, n - 1);
     for v in 1..n {
-        g.add_edge(0, v).expect("star edges are valid");
+        b.add_edge(0, v).expect("star edges are valid");
     }
-    g
+    b.build()
 }
 
 /// `rows × cols` grid graph.
 pub fn grid(rows: usize, cols: usize) -> Graph {
     let idx = |r: usize, c: usize| r * cols + c;
-    let mut g = Graph::empty(rows * cols);
+    let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                g.add_edge(idx(r, c), idx(r, c + 1)).expect("grid edge");
+                b.add_edge(idx(r, c), idx(r, c + 1)).expect("grid edge");
             }
             if r + 1 < rows {
-                g.add_edge(idx(r, c), idx(r + 1, c)).expect("grid edge");
+                b.add_edge(idx(r, c), idx(r + 1, c)).expect("grid edge");
             }
         }
     }
-    g
+    b.build()
 }
 
 /// `d`-dimensional hypercube `Q_d` on `2^d` nodes.
 pub fn hypercube(d: u32) -> Graph {
     let n = 1usize << d;
-    let mut g = Graph::empty(n);
+    let mut b = GraphBuilder::with_edge_capacity(n, n * d as usize / 2);
     for v in 0..n {
         for bit in 0..d {
             let u = v ^ (1 << bit);
             if u > v {
-                g.add_edge(v, u).expect("hypercube edge");
+                b.add_edge(v, u).expect("hypercube edge");
             }
         }
     }
-    g
+    b.build()
 }
 
 /// Complete binary tree with `n` nodes (heap indexing: children of `v` are
 /// `2v+1`, `2v+2`).
 pub fn binary_tree(n: usize) -> Graph {
-    let mut g = Graph::empty(n);
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
     for v in 1..n {
-        g.add_edge(v, (v - 1) / 2).expect("tree edge");
+        b.add_edge(v, (v - 1) / 2).expect("tree edge");
     }
-    g
+    b.build()
 }
 
 /// Caterpillar: a path of `spine` nodes, each with `legs` pendant leaves.
 pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     let n = spine + spine * legs;
-    let mut g = Graph::empty(n);
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
     for v in 1..spine {
-        g.add_edge(v - 1, v).expect("spine edge");
+        b.add_edge(v - 1, v).expect("spine edge");
     }
     for s in 0..spine {
         for l in 0..legs {
-            g.add_edge(s, spine + s * legs + l).expect("leg edge");
+            b.add_edge(s, spine + s * legs + l).expect("leg edge");
         }
     }
-    g
+    b.build()
 }
 
 /// Uniformly random labelled tree on `n` nodes via Prüfer sequences.
@@ -157,10 +162,10 @@ pub fn random_tree(n: usize, rng: &mut Rng) -> Graph {
     use std::collections::BinaryHeap;
     let mut leaves: BinaryHeap<Reverse<NodeId>> =
         (0..n).filter(|&v| degree[v] == 1).map(Reverse).collect();
-    let mut g = Graph::empty(n);
+    let mut builder = GraphBuilder::with_edge_capacity(n, n - 1);
     for &v in &prufer {
         let Reverse(leaf) = leaves.pop().expect("Prüfer decoding always has a leaf");
-        g.add_edge(leaf, v).expect("tree edge");
+        builder.add_edge(leaf, v).expect("tree edge");
         degree[v] -= 1;
         if degree[v] == 1 {
             leaves.push(Reverse(v));
@@ -168,20 +173,20 @@ pub fn random_tree(n: usize, rng: &mut Rng) -> Graph {
     }
     let Reverse(a) = leaves.pop().expect("two leaves remain");
     let Reverse(b) = leaves.pop().expect("two leaves remain");
-    g.add_edge(a, b).expect("final tree edge");
-    g
+    builder.add_edge(a, b).expect("final tree edge");
+    builder.build()
 }
 
 /// Erdős–Rényi graph `G(n, p)`: each pair is an edge independently with
 /// probability `p`.
 pub fn gnp(n: usize, p: f64, rng: &mut Rng) -> Graph {
-    let mut g = Graph::empty(n);
     if p <= 0.0 {
-        return g;
+        return Graph::empty(n);
     }
     if p >= 1.0 {
         return complete(n);
     }
+    let mut b = GraphBuilder::new(n);
     // Geometric skipping (Batagelj–Brandes) for sparse p.
     let log_q = (1.0 - p).ln();
     let mut v: usize = 1;
@@ -194,10 +199,10 @@ pub fn gnp(n: usize, p: f64, rng: &mut Rng) -> Graph {
             v += 1;
         }
         if v < n {
-            g.add_edge(w as usize, v).expect("gnp edge");
+            b.add_edge(w as usize, v).expect("gnp edge");
         }
     }
-    g
+    b.build()
 }
 
 /// Random `d`-regular graph on `n` nodes via the configuration model with
@@ -340,17 +345,17 @@ pub fn random_biregular(
 pub fn random_geometric(n: usize, radius: f64, rng: &mut Rng) -> Graph {
     let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64_unit(), rng.f64_unit())).collect();
     let r2 = radius * radius;
-    let mut g = Graph::empty(n);
+    let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
             let dx = pts[u].0 - pts[v].0;
             let dy = pts[u].1 - pts[v].1;
             if dx * dx + dy * dy <= r2 {
-                g.add_edge(u, v).expect("rgg edge");
+                b.add_edge(u, v).expect("rgg edge");
             }
         }
     }
-    g
+    b.build()
 }
 
 /// The Petersen graph (3-regular, girth 5) — a handy fixed test instance

@@ -1,4 +1,4 @@
-//! The core undirected simple-graph data structure.
+//! The core undirected simple-graph data structure (immutable CSR).
 //!
 //! The LOCAL model (paper §2) works on an undirected graph `G = (V, E)`
 //! where nodes exchange messages over edges. Two representation details
@@ -6,12 +6,29 @@
 //!
 //! * **Ports.** A node of degree `d` addresses its neighbors through ports
 //!   `0..d`; [`Graph::neighbors`] returns neighbors in port order, and the
-//!   port order is a stable function of insertion order, so the simulator's
-//!   behaviour is deterministic.
+//!   port order is a stable function of edge insertion order, so the
+//!   simulator's behaviour is deterministic.
 //! * **Edge identifiers.** The paper's edge-averaged complexity
 //!   (Definition 1) assigns a completion time to every *edge*; stable
 //!   [`EdgeId`]s let the simulator keep a per-edge commit ledger and let
 //!   algorithms output edge labellings (matchings, orientations).
+//!
+//! # Representation
+//!
+//! [`Graph`] is **frozen**: it is produced by a [`GraphBuilder`] (or the
+//! [`Graph::from_edges`] convenience) and never mutated afterwards. The
+//! adjacency lives in compressed-sparse-row (CSR) form — one flat
+//! `(neighbor, edge)` array indexed by per-node offsets — so the
+//! simulator's hot loops walk contiguous memory instead of chasing one
+//! heap allocation per node. Two flat side tables are precomputed at
+//! build time for the round engine's message routing:
+//!
+//! * the **edge-port table** ([`Graph::edge_ports`]): for edge
+//!   `e = {u, v}` with `u < v`, the port of `e` at `u` and at `v`;
+//! * the **reverse-port table** ([`Graph::rev_port`]): for every directed
+//!   *arc* (a `(node, port)` pair, globally indexed by
+//!   `csr_offset(node) + port`), the port of the same edge at the other
+//!   endpoint — exactly the lookup a message delivery needs.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -56,17 +73,23 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
-/// An undirected simple graph with stable edge ids and port numbering.
+/// An immutable undirected simple graph in CSR form, with stable edge ids
+/// and port numbering.
+///
+/// Construction goes through [`GraphBuilder`] (incremental) or
+/// [`Graph::from_edges`] (one shot); see the [module docs](self) for the
+/// layout. All read accessors are cheap slice/offset arithmetic.
 ///
 /// # Example
 ///
 /// ```
-/// use localavg_graph::Graph;
+/// use localavg_graph::GraphBuilder;
 ///
 /// # fn main() -> Result<(), localavg_graph::GraphError> {
-/// let mut g = Graph::empty(3);
-/// let e01 = g.add_edge(0, 1)?;
-/// let e12 = g.add_edge(1, 2)?;
+/// let mut b = GraphBuilder::new(3);
+/// let e01 = b.add_edge(0, 1)?;
+/// let e12 = b.add_edge(1, 2)?;
+/// let g = b.build();
 /// assert_eq!(g.n(), 3);
 /// assert_eq!(g.m(), 2);
 /// assert_eq!(g.degree(1), 2);
@@ -75,12 +98,19 @@ impl std::error::Error for GraphError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
-    /// adjacency\[v\] = (neighbor, edge id) in port order.
-    adj: Vec<Vec<(NodeId, EdgeId)>>,
-    /// edges\[e\] = (u, v) with u < v.
+    /// CSR offsets: node `v`'s ports occupy `nbrs[offsets[v]..offsets[v+1]]`.
+    offsets: Vec<usize>,
+    /// Flat adjacency: `(neighbor, edge id)` per arc, in port order.
+    nbrs: Vec<(NodeId, EdgeId)>,
+    /// Edge-endpoint table: `edges[e] = (u, v)` with `u < v`.
     edges: Vec<(NodeId, NodeId)>,
+    /// Edge-port table: `edge_ports[e] = (port at u, port at v)`.
+    edge_ports: Vec<(u32, u32)>,
+    /// Reverse-port table per arc: the same edge's port at the *other*
+    /// endpoint (what a delivered message reports as its receiver port).
+    rev_ports: Vec<u32>,
 }
 
 impl fmt::Debug for Graph {
@@ -89,12 +119,21 @@ impl fmt::Debug for Graph {
     }
 }
 
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::empty(0)
+    }
+}
+
 impl Graph {
     /// Creates a graph with `n` nodes and no edges.
     pub fn empty(n: usize) -> Self {
         Graph {
-            adj: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            nbrs: Vec::new(),
             edges: Vec::new(),
+            edge_ports: Vec::new(),
+            rev_ports: Vec::new(),
         }
     }
 
@@ -114,65 +153,56 @@ impl Graph {
     /// # Ok::<(), localavg_graph::GraphError>(())
     /// ```
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
-        let mut g = Graph::empty(n);
+        let mut b = GraphBuilder::with_edge_capacity(n, edges.len());
         let mut seen = HashSet::with_capacity(edges.len());
         for &(u, v) in edges {
             let key = if u < v { (u, v) } else { (v, u) };
             if !seen.insert(key) {
                 return Err(GraphError::DuplicateEdge(u, v));
             }
-            g.add_edge_raw(u, v)?;
+            b.add_edge(u, v)?;
         }
-        Ok(g)
-    }
-
-    /// Adds an undirected edge and returns its id.
-    ///
-    /// This checks range and self-loops but, for performance, **not**
-    /// duplicates; use [`Graph::from_edges`], [`GraphBuilder`], or
-    /// [`Graph::has_edge`] when duplicate protection is needed. Duplicate
-    /// insertion is caught by `debug_assert!` in debug builds.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on out-of-range endpoints or self-loops.
-    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
-        debug_assert!(
-            !self.has_edge(u, v),
-            "duplicate edge {{{u}, {v}}} inserted via add_edge"
-        );
-        self.add_edge_raw(u, v)
-    }
-
-    fn add_edge_raw(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
-        let n = self.n();
-        if u >= n {
-            return Err(GraphError::NodeOutOfRange { node: u, n });
-        }
-        if v >= n {
-            return Err(GraphError::NodeOutOfRange { node: v, n });
-        }
-        if u == v {
-            return Err(GraphError::SelfLoop(u));
-        }
-        let id = self.edges.len();
-        let (a, b) = if u < v { (u, v) } else { (v, u) };
-        self.edges.push((a, b));
-        self.adj[u].push((v, id));
-        self.adj[v].push((u, id));
-        Ok(id)
+        Ok(b.build())
     }
 
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of edges.
     #[inline]
     pub fn m(&self) -> usize {
         self.edges.len()
+    }
+
+    /// The CSR offset of node `v`: its ports are the arcs
+    /// `csr_offset(v) .. csr_offset(v) + degree(v)` of [`Graph::arcs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v > n`.
+    #[inline]
+    pub fn csr_offset(&self, v: NodeId) -> usize {
+        self.offsets[v]
+    }
+
+    /// The global arc-index range of node `v`'s ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn arc_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// The whole flat `(neighbor, edge id)` arc array (`2m` entries, node
+    /// by node in port order).
+    #[inline]
+    pub fn arcs(&self) -> &[(NodeId, EdgeId)] {
+        &self.nbrs
     }
 
     /// Degree of node `v`.
@@ -182,12 +212,12 @@ impl Graph {
     /// Panics if `v >= n`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v].len()
+        self.offsets[v + 1] - self.offsets[v]
     }
 
     /// Iterator over all node degrees, in node order.
     pub fn degrees(&self) -> impl Iterator<Item = usize> + '_ {
-        self.adj.iter().map(Vec::len)
+        self.offsets.windows(2).map(|w| w[1] - w[0])
     }
 
     /// Maximum degree Δ (0 for the empty graph).
@@ -200,19 +230,20 @@ impl Graph {
         self.degrees().min().unwrap_or(0)
     }
 
-    /// Neighbors of `v` as `(neighbor, edge id)` pairs, in port order.
+    /// Neighbors of `v` as `(neighbor, edge id)` pairs, in port order — a
+    /// contiguous slice of the CSR arc array.
     ///
     /// # Panics
     ///
     /// Panics if `v >= n`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.adj[v]
+        &self.nbrs[self.offsets[v]..self.offsets[v + 1]]
     }
 
     /// Iterator over just the neighbor ids of `v`, in port order.
     pub fn neighbor_ids(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj[v].iter().map(|&(u, _)| u)
+        self.neighbors(v).iter().map(|&(u, _)| u)
     }
 
     /// Endpoints `(u, v)` of edge `e`, with `u < v`.
@@ -223,6 +254,30 @@ impl Graph {
     #[inline]
     pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
         self.edges[e]
+    }
+
+    /// The ports of edge `e` at its two endpoints, in
+    /// [`Graph::endpoints`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= m`.
+    #[inline]
+    pub fn edge_ports(&self, e: EdgeId) -> (usize, usize) {
+        let (pu, pv) = self.edge_ports[e];
+        (pu as usize, pv as usize)
+    }
+
+    /// For the arc `csr_offset(v) + port`, the port of the same edge at
+    /// the other endpoint — the receiver-side port of a message sent by
+    /// `v` over `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arc >= 2m`.
+    #[inline]
+    pub fn rev_port(&self, arc: usize) -> usize {
+        self.rev_ports[arc] as usize
     }
 
     /// The endpoint of `e` that is not `v`.
@@ -256,7 +311,7 @@ impl Graph {
         } else {
             (v, u)
         };
-        self.adj[scan]
+        self.neighbors(scan)
             .iter()
             .find(|&&(w, _)| w == target)
             .map(|&(_, e)| e)
@@ -272,28 +327,22 @@ impl Graph {
         0..self.n()
     }
 
-    /// Sorts every adjacency list by neighbor id (re-normalizing ports).
-    ///
-    /// Useful when a canonical port order is wanted, e.g. before comparing
-    /// two graphs for structural equality.
-    pub fn sort_adjacency(&mut self) {
-        for list in &mut self.adj {
-            list.sort_unstable();
-        }
-    }
-
     /// Sum of all degrees (= 2m); used as a cheap sanity invariant.
     pub fn degree_sum(&self) -> usize {
-        self.degrees().sum()
+        self.nbrs.len()
     }
 }
 
-/// Incremental graph builder with duplicate-edge protection.
+/// Incremental builder — the only way to construct a non-empty [`Graph`].
 ///
-/// [`Graph::add_edge`] skips the duplicate check for performance;
-/// `GraphBuilder` performs it with a hash set, which is what constructions
-/// like the paper's cluster-tree graphs (§4.6) use while wiring groups of
-/// nodes together.
+/// All mutation lives here: [`GraphBuilder::add_edge`] (unchecked-
+/// duplicate, for generators that cannot produce duplicates),
+/// [`GraphBuilder::try_add`] (hash-set deduplicated, what constructions
+/// like the paper's cluster-tree graphs of §4.6 use while wiring groups
+/// of nodes together), and [`GraphBuilder::sort_adjacency`] (canonical
+/// port order). [`GraphBuilder::build`] freezes the edge list into the
+/// CSR arrays; a node's port order is the insertion order of its
+/// incident edges (or sorted by neighbor id after `sort_adjacency`).
 ///
 /// # Example
 ///
@@ -308,27 +357,94 @@ impl Graph {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct GraphBuilder {
-    graph: Graph,
-    seen: HashSet<(NodeId, NodeId)>,
+    n: usize,
+    /// Normalized `(u, v)` with `u < v`, in insertion order (= edge id).
+    edges: Vec<(NodeId, NodeId)>,
+    /// Duplicate-detection set, materialized lazily on the first
+    /// [`GraphBuilder::try_add`] so plain [`GraphBuilder::add_edge`]
+    /// construction pays no hashing.
+    seen: Option<HashSet<(NodeId, NodeId)>>,
+    sorted_ports: bool,
 }
 
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` nodes.
     pub fn new(n: usize) -> Self {
         GraphBuilder {
-            graph: Graph::empty(n),
-            seen: HashSet::new(),
+            n,
+            edges: Vec::new(),
+            seen: None,
+            sorted_ports: false,
+        }
+    }
+
+    /// Creates a builder with preallocated room for `m` edges.
+    pub fn with_edge_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+            seen: None,
+            sorted_ports: false,
         }
     }
 
     /// Number of nodes.
     pub fn n(&self) -> usize {
-        self.graph.n()
+        self.n
     }
 
     /// Number of edges added so far.
     pub fn m(&self) -> usize {
-        self.graph.m()
+        self.edges.len()
+    }
+
+    fn normalize(&self, u: NodeId, v: NodeId) -> Result<(NodeId, NodeId), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        Ok(if u < v { (u, v) } else { (v, u) })
+    }
+
+    /// Adds an undirected edge and returns its id.
+    ///
+    /// This checks range and self-loops but, for performance, **not**
+    /// duplicates; use [`GraphBuilder::try_add`] or
+    /// [`Graph::from_edges`] when duplicate protection is needed.
+    /// Duplicate insertion is caught by `debug_assert!` in debug builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range endpoints or self-loops.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
+        let key = self.normalize(u, v)?;
+        #[cfg(debug_assertions)]
+        {
+            // Debug builds always maintain the hash set so the duplicate
+            // check stays O(1) even for generators that never call
+            // `try_add` (a linear scan here would make large debug-mode
+            // constructions quadratic).
+            let edges = &self.edges;
+            let seen = self
+                .seen
+                .get_or_insert_with(|| edges.iter().copied().collect());
+            assert!(
+                seen.insert(key),
+                "duplicate edge {{{u}, {v}}} inserted via add_edge"
+            );
+        }
+        #[cfg(not(debug_assertions))]
+        if let Some(seen) = &mut self.seen {
+            seen.insert(key);
+        }
+        let id = self.edges.len();
+        self.edges.push(key);
+        Ok(id)
     }
 
     /// Adds edge `{u, v}` if it is new; returns whether it was added.
@@ -338,11 +454,15 @@ impl GraphBuilder {
     /// Panics on out-of-range endpoints or self-loops — those indicate a
     /// bug in the calling construction rather than recoverable input.
     pub fn try_add(&mut self, u: NodeId, v: NodeId) -> bool {
-        let key = if u < v { (u, v) } else { (v, u) };
-        if self.seen.insert(key) {
-            self.graph
-                .add_edge_raw(u, v)
-                .expect("GraphBuilder::try_add: invalid endpoint");
+        let key = self
+            .normalize(u, v)
+            .expect("GraphBuilder::try_add: invalid endpoint");
+        let edges = &self.edges;
+        let seen = self
+            .seen
+            .get_or_insert_with(|| edges.iter().copied().collect());
+        if seen.insert(key) {
+            self.edges.push(key);
             true
         } else {
             false
@@ -352,12 +472,85 @@ impl GraphBuilder {
     /// Whether `{u, v}` has already been added.
     pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
         let key = if u < v { (u, v) } else { (v, u) };
-        self.seen.contains(&key)
+        match &self.seen {
+            Some(seen) => seen.contains(&key),
+            None => self.edges.contains(&key),
+        }
     }
 
-    /// Finishes the build and returns the graph.
+    /// Requests canonical port order: at [`GraphBuilder::build`] every
+    /// node's ports are sorted by `(neighbor id, edge id)` instead of
+    /// keeping insertion order. Useful before comparing two graphs for
+    /// structural equality.
+    pub fn sort_adjacency(&mut self) {
+        self.sorted_ports = true;
+    }
+
+    /// Freezes the builder into the CSR [`Graph`].
     pub fn build(self) -> Graph {
-        self.graph
+        let n = self.n;
+        let m = self.edges.len();
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, v) in &self.edges {
+            offsets[u + 1] += 1;
+            offsets[v + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        // Fill pass in edge-id order: each node's ports end up in the
+        // insertion order of its incident edges.
+        let mut nbrs = vec![(0 as NodeId, 0 as EdgeId); 2 * m];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            nbrs[cursor[u]] = (v, e);
+            cursor[u] += 1;
+            nbrs[cursor[v]] = (u, e);
+            cursor[v] += 1;
+        }
+        if self.sorted_ports {
+            for v in 0..n {
+                nbrs[offsets[v]..offsets[v + 1]].sort_unstable();
+            }
+        }
+        // Flat port tables for message routing (ports fit in u32: a port
+        // index is bounded by the degree, and 2m entries already cap the
+        // usable range far below u32::MAX at any realistic scale).
+        assert!(
+            m < u32::MAX as usize / 2,
+            "graph too large for u32 port tables"
+        );
+        let mut edge_ports = vec![(u32::MAX, u32::MAX); m];
+        for v in 0..n {
+            let base = offsets[v];
+            for (port, &(_, e)) in nbrs[base..offsets[v + 1]].iter().enumerate() {
+                let (a, _) = self.edges[e];
+                if v == a {
+                    edge_ports[e].0 = port as u32;
+                } else {
+                    edge_ports[e].1 = port as u32;
+                }
+            }
+        }
+        let mut rev_ports = vec![0u32; 2 * m];
+        for v in 0..n {
+            let base = offsets[v];
+            for (i, &(_, e)) in nbrs[base..offsets[v + 1]].iter().enumerate() {
+                let (a, _) = self.edges[e];
+                rev_ports[base + i] = if v == a {
+                    edge_ports[e].1
+                } else {
+                    edge_ports[e].0
+                };
+            }
+        }
+        Graph {
+            offsets,
+            nbrs,
+            edges: self.edges,
+            edge_ports,
+            rev_ports,
+        }
     }
 }
 
@@ -373,15 +566,18 @@ mod tests {
         assert_eq!(g.max_degree(), 0);
         assert_eq!(g.min_degree(), 0);
         assert_eq!(g.degree_sum(), 0);
+        assert_eq!(Graph::default(), Graph::empty(0));
     }
 
     #[test]
     fn add_edges_and_query() {
-        let mut g = Graph::empty(4);
-        let e0 = g.add_edge(0, 1).unwrap();
-        let e1 = g.add_edge(2, 1).unwrap();
+        let mut b = GraphBuilder::new(4);
+        let e0 = b.add_edge(0, 1).unwrap();
+        let e1 = b.add_edge(2, 1).unwrap();
         assert_eq!(e0, 0);
         assert_eq!(e1, 1);
+        assert_eq!((b.n(), b.m()), (4, 2));
+        let g = b.build();
         assert_eq!(g.endpoints(e1), (1, 2)); // normalized u < v
         assert_eq!(g.degree(1), 2);
         assert_eq!(g.degree(3), 0);
@@ -395,36 +591,38 @@ mod tests {
 
     #[test]
     fn port_order_is_insertion_order() {
-        let mut g = Graph::empty(4);
-        g.add_edge(1, 3).unwrap();
-        g.add_edge(1, 0).unwrap();
-        g.add_edge(1, 2).unwrap();
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(1, 3).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(1, 2).unwrap();
+        let g = b.build();
         let ports: Vec<NodeId> = g.neighbor_ids(1).collect();
         assert_eq!(ports, vec![3, 0, 2]);
     }
 
     #[test]
     fn sort_adjacency_normalizes_ports() {
-        let mut g = Graph::empty(4);
-        g.add_edge(1, 3).unwrap();
-        g.add_edge(1, 0).unwrap();
-        g.add_edge(1, 2).unwrap();
-        g.sort_adjacency();
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(1, 3).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.sort_adjacency();
+        let g = b.build();
         let ports: Vec<NodeId> = g.neighbor_ids(1).collect();
         assert_eq!(ports, vec![0, 2, 3]);
     }
 
     #[test]
     fn rejects_self_loop() {
-        let mut g = Graph::empty(2);
-        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
     }
 
     #[test]
     fn rejects_out_of_range() {
-        let mut g = Graph::empty(2);
+        let mut b = GraphBuilder::new(2);
         assert!(matches!(
-            g.add_edge(0, 5),
+            b.add_edge(0, 5),
             Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
         ));
     }
@@ -454,10 +652,63 @@ mod tests {
     }
 
     #[test]
+    fn builder_dedups_after_plain_adds() {
+        // `try_add` must see edges inserted before the hash set existed.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        assert!(b.contains(1, 0));
+        assert!(!b.try_add(1, 0));
+        assert!(b.try_add(2, 3));
+        b.add_edge(0, 2).unwrap(); // keeps the materialized set in sync
+        assert!(!b.try_add(2, 0));
+        assert_eq!(b.build().m(), 3);
+    }
+
+    #[test]
     #[should_panic]
     fn builder_panics_on_self_loop() {
         let mut b = GraphBuilder::new(3);
         b.try_add(2, 2);
+    }
+
+    #[test]
+    fn csr_offsets_and_arcs() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(1, 3).unwrap();
+        let g = b.build();
+        assert_eq!(g.csr_offset(0), 0);
+        assert_eq!(g.csr_offset(1), 1);
+        assert_eq!(g.arc_range(1), 1..4);
+        assert_eq!(g.arcs().len(), 2 * g.m());
+        assert_eq!(&g.arcs()[g.arc_range(1)], g.neighbors(1));
+        // Arc-level agreement with the per-node view, for every node.
+        for v in g.nodes() {
+            assert_eq!(g.neighbors(v).len(), g.degree(v));
+            for (port, &(u, e)) in g.neighbors(v).iter().enumerate() {
+                assert_eq!(g.other_endpoint(e, v), u);
+                // The reverse port points back at this arc.
+                let rev = g.rev_port(g.csr_offset(v) + port);
+                assert_eq!(g.neighbors(u)[rev], (v, e));
+                assert_eq!(g.rev_port(g.csr_offset(u) + rev), port);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_port_table_is_consistent() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(3, 1).unwrap();
+        b.add_edge(1, 4).unwrap();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(3, 4).unwrap();
+        let g = b.build();
+        for (e, u, v) in g.edges() {
+            let (pu, pv) = g.edge_ports(e);
+            assert_eq!(g.neighbors(u)[pu], (v, e));
+            assert_eq!(g.neighbors(v)[pv], (u, e));
+        }
     }
 
     #[test]

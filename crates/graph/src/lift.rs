@@ -13,7 +13,7 @@
 //! covering map so callers can reason about fibers (the lower-bound crate
 //! needs per-cluster statistics on the lifted graph).
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, GraphBuilder, NodeId};
 use crate::rng::Rng;
 
 /// A lifted graph together with its covering map.
@@ -68,20 +68,20 @@ impl Lifted {
 pub fn lift(base: &Graph, q: usize, rng: &mut Rng) -> Lifted {
     assert!(q >= 1, "lift order q must be >= 1");
     let n = base.n();
-    let mut graph = Graph::empty(n * q);
+    let mut builder = GraphBuilder::with_edge_capacity(n * q, base.m() * q);
     for (_, u, v) in base.edges() {
         // Uniformly random perfect matching between the fibers of u and v:
         // copy i of u matches copy perm[i] of v.
         let perm = rng.permutation(q);
         for (i, &j) in perm.iter().enumerate() {
-            graph
+            builder
                 .add_edge(u * q + i, v * q + j)
                 .expect("lifted edge is valid");
         }
     }
     let projection = (0..n * q).map(|x| x / q).collect();
     Lifted {
-        graph,
+        graph: builder.build(),
         q,
         projection,
     }

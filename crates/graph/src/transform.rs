@@ -10,7 +10,7 @@
 //! * [`disjoint_union`] — parallel composition of instances.
 
 use crate::analysis::{bfs_distances, UNREACHED};
-use crate::graph::{EdgeId, Graph, NodeId};
+use crate::graph::{EdgeId, Graph, GraphBuilder, NodeId};
 
 /// The line graph `L(G)`: one node per edge of `G`; two nodes adjacent iff
 /// the corresponding edges of `G` share an endpoint.
@@ -27,7 +27,7 @@ use crate::graph::{EdgeId, Graph, NodeId};
 /// assert_eq!(l.m(), 3);            // K_3: all edges share the center
 /// ```
 pub fn line_graph(g: &Graph) -> Graph {
-    let mut lg = Graph::empty(g.m());
+    let mut lg = GraphBuilder::new(g.m());
     for v in g.nodes() {
         let inc = g.neighbors(v);
         for i in 0..inc.len() {
@@ -39,7 +39,7 @@ pub fn line_graph(g: &Graph) -> Graph {
             }
         }
     }
-    lg
+    lg.build()
 }
 
 /// The `k`-th power `G^k`: nodes of `G`, edges between distinct nodes at
@@ -50,7 +50,7 @@ pub fn line_graph(g: &Graph) -> Graph {
 /// Panics if `k == 0`.
 pub fn power_graph(g: &Graph, k: usize) -> Graph {
     assert!(k >= 1, "power_graph requires k >= 1");
-    let mut pg = Graph::empty(g.n());
+    let mut pg = GraphBuilder::new(g.n());
     for v in g.nodes() {
         let dist = bfs_distances(g, v, k);
         for u in g.nodes() {
@@ -59,7 +59,7 @@ pub fn power_graph(g: &Graph, k: usize) -> Graph {
             }
         }
     }
-    pg
+    pg.build()
 }
 
 /// Induced subgraph on `keep` (indicator per node).
@@ -77,7 +77,7 @@ pub fn induced_subgraph(g: &Graph, keep: &[bool]) -> (Graph, Vec<NodeId>, Vec<Op
             new_to_old.push(v);
         }
     }
-    let mut sub = Graph::empty(new_to_old.len());
+    let mut sub = GraphBuilder::new(new_to_old.len());
     let mut edge_map = vec![None; g.m()];
     for (e, u, v) in g.edges() {
         if keep[u] && keep[v] {
@@ -87,20 +87,20 @@ pub fn induced_subgraph(g: &Graph, keep: &[bool]) -> (Graph, Vec<NodeId>, Vec<Op
             edge_map[e] = Some(ne);
         }
     }
-    (sub, new_to_old, edge_map)
+    (sub.build(), new_to_old, edge_map)
 }
 
 /// Disjoint union `G ⊔ H`; the nodes of `h` are shifted by `g.n()` and the
 /// edges of `h` by `g.m()`.
 pub fn disjoint_union(g: &Graph, h: &Graph) -> Graph {
-    let mut u = Graph::empty(g.n() + h.n());
+    let mut u = GraphBuilder::with_edge_capacity(g.n() + h.n(), g.m() + h.m());
     for (_, a, b) in g.edges() {
         u.add_edge(a, b).expect("union edge");
     }
     for (_, a, b) in h.edges() {
         u.add_edge(g.n() + a, g.n() + b).expect("union edge");
     }
-    u
+    u.build()
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 
 use crate::base_graph::LiftedGk;
 use localavg_graph::analysis::{bfs_distances, view_is_tree, UNREACHED};
-use localavg_graph::{EdgeId, Graph, NodeId};
+use localavg_graph::{EdgeId, Graph, GraphBuilder, NodeId};
 
 /// The doubled construction of §C.4: two copies of a cluster-tree graph
 /// plus a perfect matching joining each node to its twin (same cluster in
@@ -26,7 +26,7 @@ impl DoubledGk {
     pub fn build(lg: &LiftedGk) -> DoubledGk {
         let g = lg.graph();
         let n = g.n();
-        let mut doubled = Graph::empty(2 * n);
+        let mut doubled = GraphBuilder::with_edge_capacity(2 * n, 2 * g.m() + n);
         for (_, u, v) in g.edges() {
             doubled.add_edge(u, v).expect("copy A edge");
         }
@@ -38,7 +38,7 @@ impl DoubledGk {
             cross_edges.push(doubled.add_edge(v, n + v).expect("cross edge"));
         }
         DoubledGk {
-            graph: doubled,
+            graph: doubled.build(),
             n_base: n,
             cross_edges,
         }
@@ -92,7 +92,7 @@ impl TreeView {
                 original.push(v);
             }
         }
-        let mut tree = Graph::empty(original.len());
+        let mut builder = GraphBuilder::new(original.len());
         for (_, u, v) in g.edges() {
             if dist[u] == UNREACHED || dist[v] == UNREACHED {
                 continue;
@@ -100,20 +100,22 @@ impl TreeView {
             if dist[u] == k && dist[v] == k {
                 continue; // excluded from the view (paper §C.1)
             }
-            tree.add_edge(index[u], index[v]).expect("view edge");
+            builder.add_edge(index[u], index[v]).expect("view edge");
         }
+        let tree = builder.build();
         // Relabel so the root is node 0 (swap labels 0 and index[center]).
         let c = index[center];
         if c != 0 {
             // Rebuild with a swapped mapping for a clean root-0 invariant.
             let mut swap: Vec<usize> = (0..original.len()).collect();
             swap.swap(0, c);
-            let mut relabeled = Graph::empty(original.len());
+            let mut relabeled = GraphBuilder::new(original.len());
             for (_, u, v) in tree.edges() {
                 let su = swap.iter().position(|&x| x == u).expect("swapped");
                 let sv = swap.iter().position(|&x| x == v).expect("swapped");
                 relabeled.add_edge(su, sv).expect("relabel edge");
             }
+            let relabeled = relabeled.build();
             let mut orig2 = original.clone();
             orig2.swap(0, c);
             return Some(TreeView {

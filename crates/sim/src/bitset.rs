@@ -1,0 +1,131 @@
+//! A dense fixed-length bitset.
+//!
+//! The round engine keeps its per-node halted/committed state columnar:
+//! one bit per node, packed 64 to a word. That makes "skip a fully
+//! halted block of 64 nodes" a single word compare in the sequential
+//! activation loop — the dominant win in the long low-activity tail of
+//! algorithms whose nodes finish at very different times (exactly the
+//! runs Definition 1's averages care about).
+
+/// A fixed-length bitset over indices `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// Creates a bitset of `len` zero bits.
+    pub fn new(len: usize) -> Self {
+        Bitset {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitset has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "bit {i} out of range for Bitset of {}",
+            self.len
+        );
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets bit `i` to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(
+            i < self.len,
+            "bit {i} out of range for Bitset of {}",
+            self.len
+        );
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// The `w`-th 64-bit word (bit `i` lives in word `i / 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// Number of words.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = Bitset::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(65) && !b.get(128));
+        assert_eq!(b.count_ones(), 4);
+        assert_eq!(b.word_count(), 3);
+        assert_eq!(b.word(0), 1 | 1 << 63);
+        assert_eq!(b.word(1), 1);
+    }
+
+    #[test]
+    fn empty_bitset() {
+        let b = Bitset::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.word_count(), 0);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let b = Bitset::new(10);
+        let _ = b.get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        let mut b = Bitset::new(64);
+        b.set(64);
+    }
+}

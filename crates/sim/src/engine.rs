@@ -7,8 +7,9 @@
 //! to speed up big lower-bound instances); the determinism property is
 //! checked by tests.
 
+use crate::bitset::Bitset;
 use crate::message::{Envelope, MessageSize};
-use crate::process::{Ctx, Event, Knowledge, Process};
+use crate::process::{Ctx, Event, EventBuf, Knowledge, Process};
 use crate::transcript::{Round, Transcript, UNCOMMITTED};
 use localavg_graph::rng::Rng;
 use localavg_graph::{Graph, NodeId};
@@ -62,56 +63,131 @@ impl SimConfig {
     }
 }
 
+/// Which executor drives a run.
+///
+/// Both executors produce bit-identical transcripts (see the module docs),
+/// so `Exec` is a pure performance knob: benchmark harnesses and the
+/// determinism tests thread it through the `localavg-core` registry's
+/// `run_exec` entry points to time or cross-check the two executors on
+/// the same algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Exec {
+    /// Single-threaded executor ([`run_sequential`]).
+    #[default]
+    Sequential,
+    /// Chunked `std::thread::scope` executor ([`run_parallel`]).
+    Parallel {
+        /// Worker threads; 0 means "number of available cores".
+        threads: usize,
+    },
+}
+
+impl Exec {
+    /// Runs `P` under this executor (overriding `cfg.threads` for
+    /// [`Exec::Parallel`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run_sequential`].
+    pub fn run<P: Process>(
+        self,
+        g: &Graph,
+        params: &P::Params,
+        cfg: &SimConfig,
+    ) -> Transcript<P::NodeOutput, P::EdgeOutput> {
+        match self {
+            Exec::Sequential => run_sequential::<P>(g, params, cfg),
+            Exec::Parallel { threads } => {
+                run_parallel::<P>(g, params, &cfg.clone().with_threads(threads))
+            }
+        }
+    }
+}
+
 /// Mutable per-run state shared by both executors.
+///
+/// Everything the per-round inner loop touches is a flat arena sized once
+/// from the graph's CSR layout — no per-node heap vectors, no per-round
+/// allocation in the steady state:
+///
+/// * `out_slots` — one message slot per directed arc, addressed by
+///   `csr_offset(v) + port` (plus a per-node spill vector for the rare
+///   second message on one port in a round);
+/// * `inbox` — one contiguous envelope arena per run, re-partitioned each
+///   round into per-destination regions by a counting pass (regions are
+///   filled in ascending sender order, which is exactly the inbox order
+///   the old per-node vectors guaranteed);
+/// * `halted_bits` / `committed` — columnar bitsets mirroring the
+///   per-node flags, letting the sequential activation loop skip 64
+///   halted nodes per word compare.
 struct RunState<P: Process> {
     processes: Vec<Option<P>>,
     rngs: Vec<Rng>,
+    /// Per-node halt flag (written by the node's own activation).
     halted: Vec<bool>,
-    /// outboxes[v] = (port, message) pairs produced this round.
-    outboxes: Vec<Vec<(usize, P::Message)>>,
-    events: Vec<Vec<Event<P::NodeOutput, P::EdgeOutput>>>,
-    inbox: Vec<Vec<Envelope<P::Message>>>,
+    /// Columnar mirror of `halted`, updated when halts are recorded.
+    halted_bits: Bitset,
+    /// Columnar "node committed its own output" state.
+    committed: Bitset,
+    /// Nodes that have not halted yet.
+    live: usize,
+    /// Outbox arena: slot per arc (`csr_offset(v) + port`).
+    out_slots: Vec<Option<P::Message>>,
+    /// Per-node overflow for repeated sends on one port (almost always
+    /// empty; capacity is retained across rounds).
+    out_spill: Vec<Vec<(u32, P::Message)>>,
+    /// Per-node count of messages written this round.
+    sent: Vec<u32>,
+    /// Commit events, one buffer per executor chunk; entries are pushed in
+    /// ascending node order within a chunk, so draining chunks in order
+    /// replays events in global node order.
+    events: Vec<EventBuf<P>>,
+    /// Nodes that halted this round, one buffer per executor chunk.
+    fresh_halts: Vec<Vec<NodeId>>,
+    /// Inbox arena; node `v`'s messages for the current round are
+    /// `inbox[inbox_start[v]..inbox_start[v + 1]]`, sorted by sender id.
+    inbox: Vec<Envelope<P::Message>>,
+    /// Per-node region starts into `inbox` (`n + 1` entries).
+    inbox_start: Vec<usize>,
+    /// Scratch: per-destination counts, then fill cursors, each round.
+    cursor: Vec<usize>,
     transcript: Transcript<P::NodeOutput, P::EdgeOutput>,
-    /// For each edge `(u, v)` with `u < v`: (port at u, port at v).
-    edge_ports: Vec<(usize, usize)>,
 }
 
 impl<P: Process> RunState<P> {
-    fn new(g: &Graph, seed: u64) -> Self {
+    fn new(g: &Graph, seed: u64, chunks: usize) -> Self {
+        let n = g.n();
         let master = Rng::seed_from(seed);
-        let mut edge_ports = vec![(usize::MAX, usize::MAX); g.m()];
-        for v in g.nodes() {
-            for (port, &(_, e)) in g.neighbors(v).iter().enumerate() {
-                let (a, _) = g.endpoints(e);
-                if v == a {
-                    edge_ports[e].0 = port;
-                } else {
-                    edge_ports[e].1 = port;
-                }
-            }
-        }
         RunState {
-            processes: (0..g.n()).map(|_| None).collect(),
-            rngs: (0..g.n()).map(|v| master.fork(v as u64)).collect(),
-            halted: vec![false; g.n()],
-            outboxes: vec![Vec::new(); g.n()],
-            events: vec![Vec::new(); g.n()],
-            inbox: vec![Vec::new(); g.n()],
-            transcript: Transcript::empty(P::OUTPUT_KIND, g.n(), g.m()),
-            edge_ports,
+            processes: (0..n).map(|_| None).collect(),
+            rngs: (0..n).map(|v| master.fork(v as u64)).collect(),
+            halted: vec![false; n],
+            halted_bits: Bitset::new(n),
+            committed: Bitset::new(n),
+            live: n,
+            out_slots: (0..g.degree_sum()).map(|_| None).collect(),
+            out_spill: vec![Vec::new(); n],
+            sent: vec![0; n],
+            events: (0..chunks).map(|_| Vec::new()).collect(),
+            fresh_halts: (0..chunks).map(|_| Vec::new()).collect(),
+            inbox: Vec::new(),
+            inbox_start: vec![0; n + 1],
+            cursor: vec![0; n],
+            transcript: Transcript::empty(P::OUTPUT_KIND, n, g.m()),
         }
     }
 
     /// Applies commit events (in node order — deterministic) for `round`.
-    fn apply_events(&mut self, g: &Graph, round: Round) {
-        for v in g.nodes() {
-            for event in self.events[v].drain(..) {
+    fn apply_events(&mut self, round: Round) {
+        for chunk in &mut self.events {
+            for (v, event) in chunk.drain(..) {
                 match event {
                     Event::Node(out) => {
                         assert!(
-                            self.transcript.node_commit_round[v] == UNCOMMITTED,
+                            !self.committed.get(v),
                             "node {v} committed twice (round {round}); outputs are final"
                         );
+                        self.committed.set(v);
                         self.transcript.node_commit_round[v] = round;
                         self.transcript.node_output[v] = Some(out);
                     }
@@ -133,46 +209,141 @@ impl<P: Process> RunState<P> {
         }
     }
 
-    /// Routes this round's outboxes into next round's inboxes; returns the
-    /// maximum message size seen.
+    /// Routes this round's outbox arena into next round's inbox arena;
+    /// returns the maximum message size seen.
+    ///
+    /// Two passes over the senders (both in ascending id order): the first
+    /// counts deliveries per destination and prefix-sums the counts into
+    /// `inbox_start`; the second moves each message into its destination's
+    /// region. Because senders are visited in id order, every region ends
+    /// up sorted by sender id — the ordering the `Process` contract
+    /// promises.
     fn route_messages(&mut self, g: &Graph) -> usize {
-        for v in g.nodes() {
-            self.inbox[v].clear();
-        }
+        let n = g.n();
         let mut max_bits = 0usize;
-        // Iterate senders in id order so each inbox ends up sorted by src.
-        for src in g.nodes() {
-            let outbox = std::mem::take(&mut self.outboxes[src]);
-            for (port, msg) in outbox {
+        let mut total = 0usize;
+        for v in &mut self.cursor {
+            *v = 0;
+        }
+        for src in 0..n {
+            if self.sent[src] == 0 {
+                continue;
+            }
+            let nbrs = g.neighbors(src);
+            let base = g.csr_offset(src);
+            for (port, slot) in self.out_slots[base..base + nbrs.len()].iter().enumerate() {
+                if let Some(msg) = slot {
+                    max_bits = max_bits.max(msg.size_bits());
+                    self.transcript.messages_sent += 1;
+                    let dst = nbrs[port].0;
+                    if !self.halted[dst] {
+                        self.cursor[dst] += 1;
+                        total += 1;
+                    }
+                }
+            }
+            for (port, msg) in &self.out_spill[src] {
                 max_bits = max_bits.max(msg.size_bits());
                 self.transcript.messages_sent += 1;
-                let (dst, e) = g.neighbors(src)[port];
-                if self.halted[dst] {
-                    continue; // terminated nodes no longer receive
+                let dst = nbrs[*port as usize].0;
+                if !self.halted[dst] {
+                    self.cursor[dst] += 1;
+                    total += 1;
                 }
-                let (pu, pv) = self.edge_ports[e];
-                let (a, _) = g.endpoints(e);
-                let dst_port = if dst == a { pu } else { pv };
-                self.inbox[dst].push(Envelope {
+            }
+        }
+        let mut acc = 0usize;
+        for v in 0..n {
+            let c = self.cursor[v];
+            self.inbox_start[v] = acc;
+            self.cursor[v] = acc;
+            acc += c;
+        }
+        self.inbox_start[n] = acc;
+        debug_assert_eq!(acc, total);
+        if total > self.inbox.len() {
+            // Grow the arena to the new high-water mark. The filler is a
+            // clone of any pending message; every slot `< total` is
+            // overwritten by the scatter pass below before it is read.
+            let filler = self.first_pending_message(g).expect("total > 0");
+            self.inbox.resize(
+                total,
+                Envelope {
+                    src: 0,
+                    port: 0,
+                    msg: filler,
+                },
+            );
+        }
+        for src in 0..n {
+            if self.sent[src] == 0 {
+                continue;
+            }
+            self.sent[src] = 0;
+            let nbrs = g.neighbors(src);
+            let base = g.csr_offset(src);
+            for (port, &(dst, _)) in nbrs.iter().enumerate() {
+                if let Some(msg) = self.out_slots[base + port].take() {
+                    if self.halted[dst] {
+                        continue; // terminated nodes no longer receive
+                    }
+                    let at = self.cursor[dst];
+                    self.cursor[dst] = at + 1;
+                    self.inbox[at] = Envelope {
+                        src,
+                        port: g.rev_port(base + port),
+                        msg,
+                    };
+                }
+            }
+            for (port, msg) in self.out_spill[src].drain(..) {
+                let dst = nbrs[port as usize].0;
+                if self.halted[dst] {
+                    continue;
+                }
+                let at = self.cursor[dst];
+                self.cursor[dst] = at + 1;
+                self.inbox[at] = Envelope {
                     src,
-                    port: dst_port,
+                    port: g.rev_port(base + port as usize),
                     msg,
-                });
+                };
             }
         }
         max_bits
     }
 
-    fn record_halts(&mut self, g: &Graph, round: Round) {
-        for v in g.nodes() {
-            if self.halted[v] && self.transcript.node_halt_round[v] == UNCOMMITTED {
+    /// A clone of any message sitting in the outbox (arena filler).
+    fn first_pending_message(&self, g: &Graph) -> Option<P::Message> {
+        for src in 0..g.n() {
+            if self.sent[src] == 0 {
+                continue;
+            }
+            if let Some(msg) = self.out_slots[g.arc_range(src)].iter().flatten().next() {
+                return Some(msg.clone());
+            }
+            if let Some((_, msg)) = self.out_spill[src].first() {
+                return Some(msg.clone());
+            }
+        }
+        None
+    }
+
+    /// Records this round's halts (chunk order = node order) into the
+    /// transcript, the columnar bitset, and the live counter.
+    fn record_halts(&mut self, round: Round) {
+        for chunk in &mut self.fresh_halts {
+            for v in chunk.drain(..) {
+                debug_assert_eq!(self.transcript.node_halt_round[v], UNCOMMITTED);
                 self.transcript.node_halt_round[v] = round;
+                self.halted_bits.set(v);
+                self.live -= 1;
             }
         }
     }
 
     fn all_halted(&self) -> bool {
-        self.halted.iter().all(|&h| h)
+        self.live == 0
     }
 }
 
@@ -188,8 +359,10 @@ fn activate<P: Process>(
     proc_slot: &mut Option<P>,
     rng: &mut Rng,
     halted: &mut bool,
-    outbox: &mut Vec<(usize, P::Message)>,
-    events: &mut Vec<Event<P::NodeOutput, P::EdgeOutput>>,
+    out_slots: &mut [Option<P::Message>],
+    out_spill: &mut Vec<(u32, P::Message)>,
+    sent: &mut u32,
+    events: &mut EventBuf<P>,
     inbox: &[Envelope<P::Message>],
 ) {
     let mut ctx = Ctx {
@@ -199,7 +372,9 @@ fn activate<P: Process>(
         knowledge: cfg.knowledge,
         max_degree,
         rng,
-        outbox,
+        out_slots,
+        out_spill,
+        sent,
         events,
         halted,
     };
@@ -228,7 +403,7 @@ pub fn run_sequential<P: Process>(
     run_inner::<P>(g, params, cfg, 1)
 }
 
-/// Runs the algorithm on the crossbeam-threaded executor.
+/// Runs the algorithm on the chunked `std::thread::scope` executor.
 ///
 /// Produces a transcript bit-identical to [`run_sequential`]; see the
 /// module docs for why.
@@ -249,20 +424,40 @@ pub fn run_parallel<P: Process>(
     run_inner::<P>(g, params, cfg, threads.max(1))
 }
 
+/// Below this node count [`run_parallel`] falls back to the sequential
+/// loop — chunking overhead would dominate. Exported so tests asserting
+/// that the parallel executor really ran can size their instances
+/// against the actual threshold instead of a copied magic number.
+pub const PARALLEL_MIN_NODES: usize = 256;
+
 fn run_inner<P: Process>(
     g: &Graph,
     params: &P::Params,
     cfg: &SimConfig,
     threads: usize,
 ) -> Transcript<P::NodeOutput, P::EdgeOutput> {
-    let mut state: RunState<P> = RunState::new(g, cfg.seed);
+    let n = g.n();
+    // The chunking decision is fixed for the whole run: small instances
+    // and one-thread configs use the sequential loop (chunk buffers: 1).
+    let sequential = threads <= 1 || n < PARALLEL_MIN_NODES;
+    let chunk = if sequential {
+        n.max(1)
+    } else {
+        n.div_ceil(threads)
+    };
+    let chunks = if sequential { 1 } else { n.div_ceil(chunk) };
+    let mut state: RunState<P> = RunState::new(g, cfg.seed, chunks);
     let max_degree = g.max_degree();
 
     let mut round: Round = 0;
     loop {
-        step_all::<P>(g, cfg, params, round, max_degree, &mut state, threads);
-        state.apply_events(g, round);
-        state.record_halts(g, round);
+        if sequential {
+            step_sequential::<P>(g, cfg, params, round, max_degree, &mut state);
+        } else {
+            step_parallel::<P>(g, cfg, params, round, max_degree, &mut state, chunk);
+        }
+        state.apply_events(round);
+        state.record_halts(round);
         let max_bits = state.route_messages(g);
         state.transcript.max_message_bits.push(max_bits);
         if state.all_halted() {
@@ -279,68 +474,163 @@ fn run_inner<P: Process>(
     state.transcript
 }
 
-/// Runs one round's activations across all non-halted nodes.
-fn step_all<P: Process>(
+/// One round of activations on the sequential executor.
+///
+/// Skips halted nodes a 64-bit word at a time using the columnar halted
+/// bitset (in sync with `halted` at round boundaries, which is when it is
+/// read — a node only ever sets its *own* flag mid-round).
+fn step_sequential<P: Process>(
     g: &Graph,
     cfg: &SimConfig,
     params: &P::Params,
     round: Round,
     max_degree: usize,
     state: &mut RunState<P>,
-    threads: usize,
 ) {
     let n = g.n();
-    if n == 0 {
-        return;
-    }
-    if threads <= 1 || n < 256 {
+    let RunState {
+        processes,
+        rngs,
+        halted,
+        halted_bits,
+        out_slots,
+        out_spill,
+        sent,
+        events,
+        fresh_halts,
+        inbox,
+        inbox_start,
+        ..
+    } = state;
+    let events = &mut events[0];
+    let fresh = &mut fresh_halts[0];
+    let mut activate_one = |v: NodeId| {
+        activate::<P>(
+            g,
+            cfg,
+            params,
+            v,
+            round,
+            max_degree,
+            &mut processes[v],
+            &mut rngs[v],
+            &mut halted[v],
+            &mut out_slots[g.arc_range(v)],
+            &mut out_spill[v],
+            &mut sent[v],
+            events,
+            &inbox[inbox_start[v]..inbox_start[v + 1]],
+        );
+        if halted[v] {
+            fresh.push(v);
+        }
+    };
+    if round == 0 {
         for v in 0..n {
-            if round > 0 && state.halted[v] {
-                continue;
-            }
-            activate::<P>(
-                g,
-                cfg,
-                params,
-                v,
-                round,
-                max_degree,
-                &mut state.processes[v],
-                &mut state.rngs[v],
-                &mut state.halted[v],
-                &mut state.outboxes[v],
-                &mut state.events[v],
-                &state.inbox[v],
-            );
+            activate_one(v);
         }
         return;
     }
+    for w in 0..halted_bits.word_count() {
+        let word = halted_bits.word(w);
+        if word == u64::MAX {
+            continue; // 64 halted nodes skipped in one compare
+        }
+        let base = w * 64;
+        let mut alive = !word;
+        while alive != 0 {
+            let v = base + alive.trailing_zeros() as usize;
+            alive &= alive - 1;
+            if v >= n {
+                break;
+            }
+            activate_one(v);
+        }
+    }
+}
 
-    // Parallel path: contiguous chunks preserve node order inside each
-    // per-node buffer; cross-node determinism comes from per-node buffers.
-    let chunk = n.div_ceil(threads);
+/// One round of activations on the chunked parallel executor.
+///
+/// Contiguous node chunks get disjoint mutable windows of every arena
+/// (the outbox window is split at CSR offsets, which align with node
+/// boundaries); the shared inbox arena is read-only during the step.
+/// Per-chunk event/halt buffers are filled in ascending node order, so
+/// draining chunks in order reproduces the sequential event order.
+#[allow(clippy::too_many_arguments)]
+fn step_parallel<P: Process>(
+    g: &Graph,
+    cfg: &SimConfig,
+    params: &P::Params,
+    round: Round,
+    max_degree: usize,
+    state: &mut RunState<P>,
+    chunk: usize,
+) {
+    let n = g.n();
     let inbox = &state.inbox;
-    let procs = state.processes.chunks_mut(chunk);
-    let rngs = state.rngs.chunks_mut(chunk);
-    let halts = state.halted.chunks_mut(chunk);
-    let outs = state.outboxes.chunks_mut(chunk);
-    let evs = state.events.chunks_mut(chunk);
+    let inbox_start = &state.inbox_start;
+    let mut procs_rest = &mut state.processes[..];
+    let mut rngs_rest = &mut state.rngs[..];
+    let mut halted_rest = &mut state.halted[..];
+    let mut slots_rest = &mut state.out_slots[..];
+    let mut spill_rest = &mut state.out_spill[..];
+    let mut sent_rest = &mut state.sent[..];
+    let mut events_rest = &mut state.events[..];
+    let mut fresh_rest = &mut state.fresh_halts[..];
     std::thread::scope(|scope| {
-        for (ci, ((((p, r), h), o), e)) in procs.zip(rngs).zip(halts).zip(outs).zip(evs).enumerate()
-        {
-            let base = ci * chunk;
+        let mut base = 0usize;
+        while base < n {
+            let len = chunk.min(n - base);
+            let arc_lo = g.csr_offset(base);
+            let arc_hi = g.csr_offset(base + len);
+            let (p, pr) = procs_rest.split_at_mut(len);
+            procs_rest = pr;
+            let (r, rr) = rngs_rest.split_at_mut(len);
+            rngs_rest = rr;
+            let (h, hr) = halted_rest.split_at_mut(len);
+            halted_rest = hr;
+            let (sl, slr) = slots_rest.split_at_mut(arc_hi - arc_lo);
+            slots_rest = slr;
+            let (sp, spr) = spill_rest.split_at_mut(len);
+            spill_rest = spr;
+            let (se, ser) = sent_rest.split_at_mut(len);
+            sent_rest = ser;
+            let (ev, evr) = events_rest.split_at_mut(1);
+            events_rest = evr;
+            let (fh, fhr) = fresh_rest.split_at_mut(1);
+            fresh_rest = fhr;
+            let events = &mut ev[0];
+            let fresh = &mut fh[0];
             scope.spawn(move || {
-                for i in 0..p.len() {
+                for i in 0..len {
                     let v = base + i;
                     if round > 0 && h[i] {
                         continue;
                     }
+                    let lo = g.csr_offset(v) - arc_lo;
+                    let hi = g.csr_offset(v + 1) - arc_lo;
                     activate::<P>(
-                        g, cfg, params, v, round, max_degree, &mut p[i], &mut r[i], &mut h[i],
-                        &mut o[i], &mut e[i], &inbox[v],
+                        g,
+                        cfg,
+                        params,
+                        v,
+                        round,
+                        max_degree,
+                        &mut p[i],
+                        &mut r[i],
+                        &mut h[i],
+                        &mut sl[lo..hi],
+                        &mut sp[i],
+                        &mut se[i],
+                        events,
+                        &inbox[inbox_start[v]..inbox_start[v + 1]],
                     );
+                    if h[i] {
+                        fresh.push(v);
+                    }
                 }
             });
+            base += len;
         }
     });
 }

@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod engine;
 pub mod message;
 pub mod process;
@@ -66,7 +67,7 @@ pub mod transcript;
 
 /// Convenient glob import for algorithm implementations.
 pub mod prelude {
-    pub use crate::engine::{run_parallel, run_sequential, SimConfig};
+    pub use crate::engine::{run_parallel, run_sequential, Exec, SimConfig};
     pub use crate::message::{Envelope, MessageSize};
     pub use crate::process::{Ctx, Knowledge, Process};
     pub use crate::transcript::{OutputKind, Round, Transcript, UNCOMMITTED};

@@ -66,10 +66,23 @@ pub(crate) enum Event<NO, EO> {
     Edge(EdgeId, EO),
 }
 
+/// A commit-event buffer: `(node, event)` pairs in the order they were
+/// emitted. One buffer per executor chunk; entries within a buffer are in
+/// ascending node order because each chunk activates its nodes in order.
+pub(crate) type EventBuf<P> = Vec<(
+    NodeId,
+    Event<<P as Process>::NodeOutput, <P as Process>::EdgeOutput>,
+)>;
+
 /// Per-node execution context handed to [`Process::init`] / [`Process::round`].
 ///
 /// All interaction with the engine — sending, committing, halting, and
 /// reading local knowledge — goes through this type.
+///
+/// Sends land in the engine's flat per-run outbox arena: the node owns
+/// one message slot per port (its slice of the CSR arc array, addressed
+/// by `csr_offset(v) + port`), plus a rarely-used spill vector for the
+/// occasional second message on the same port in one round.
 pub struct Ctx<'a, P: Process> {
     pub(crate) id: NodeId,
     pub(crate) round: Round,
@@ -77,8 +90,13 @@ pub struct Ctx<'a, P: Process> {
     pub(crate) knowledge: Knowledge,
     pub(crate) max_degree: usize,
     pub(crate) rng: &'a mut Rng,
-    pub(crate) outbox: &'a mut Vec<(usize, P::Message)>,
-    pub(crate) events: &'a mut Vec<Event<P::NodeOutput, P::EdgeOutput>>,
+    /// This node's arc slots of the run-wide outbox arena (length = degree).
+    pub(crate) out_slots: &'a mut [Option<P::Message>],
+    /// Overflow for a repeated send on an already-occupied port.
+    pub(crate) out_spill: &'a mut Vec<(u32, P::Message)>,
+    /// Messages written this round (lets routing skip silent nodes).
+    pub(crate) sent: &'a mut u32,
+    pub(crate) events: &'a mut EventBuf<P>,
     pub(crate) halted: &'a mut bool,
 }
 
@@ -153,15 +171,27 @@ impl<'a, P: Process> Ctx<'a, P> {
     }
 
     /// Sends `msg` to the neighbor behind `port` (delivered next round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree`.
     pub fn send(&mut self, port: usize, msg: P::Message) {
-        debug_assert!(port < self.degree(), "send on nonexistent port {port}");
-        self.outbox.push((port, msg));
+        *self.sent += 1;
+        let slot = &mut self.out_slots[port];
+        if slot.is_none() {
+            *slot = Some(msg);
+        } else {
+            // Second message on the same port this round: rare (only the
+            // orientation handshake does it), so it spills instead of
+            // widening every slot. Delivery order stays chronological.
+            self.out_spill.push((port as u32, msg));
+        }
     }
 
     /// Sends `msg` to every neighbor.
     pub fn broadcast(&mut self, msg: P::Message) {
         for port in self.ports() {
-            self.outbox.push((port, msg.clone()));
+            self.send(port, msg.clone());
         }
     }
 
@@ -172,7 +202,7 @@ impl<'a, P: Process> Ctx<'a, P> {
     ///
     /// The engine panics if a node commits twice (outputs are final).
     pub fn commit_node(&mut self, out: P::NodeOutput) {
-        self.events.push(Event::Node(out));
+        self.events.push((self.id, Event::Node(out)));
     }
 
     /// Commits the label of the incident edge behind `port`.
@@ -182,7 +212,7 @@ impl<'a, P: Process> Ctx<'a, P> {
     /// (that would be an algorithm bug).
     pub fn commit_edge(&mut self, port: usize, out: P::EdgeOutput) {
         let e = self.edge_id(port);
-        self.events.push(Event::Edge(e, out));
+        self.events.push((self.id, Event::Edge(e, out)));
     }
 
     /// Leaves the computation: after this activation the node receives no

@@ -62,6 +62,11 @@ pub struct Transcript<NO, EO> {
 
 impl<NO, EO> Transcript<NO, EO> {
     /// Creates an empty transcript for `n` nodes and `m` edges.
+    ///
+    /// Every per-node/per-edge ledger column is allocated up front at its
+    /// final size, and the per-round audit vector reserves a generous
+    /// starting capacity — the engine never reallocates a transcript in
+    /// the steady state.
     pub fn empty(kind: OutputKind, n: usize, m: usize) -> Self {
         Transcript {
             kind,
@@ -71,7 +76,7 @@ impl<NO, EO> Transcript<NO, EO> {
             node_commit_round: vec![UNCOMMITTED; n],
             edge_commit_round: vec![UNCOMMITTED; m],
             node_halt_round: vec![UNCOMMITTED; n],
-            max_message_bits: Vec::new(),
+            max_message_bits: Vec::with_capacity(64),
             messages_sent: 0,
         }
     }

@@ -2,7 +2,7 @@
 //! bit-identical transcripts sequentially, in parallel, and across calls —
 //! checked uniformly through the registry.
 
-use localavg::core::algo::registry;
+use localavg::core::algo::{registry, Exec};
 use localavg::graph::{gen, rng::Rng};
 
 #[test]
@@ -49,6 +49,56 @@ fn every_randomized_algorithm_is_seed_deterministic() {
             "{} edge clocks differ",
             algo.name()
         );
+    }
+}
+
+#[test]
+fn parallel_and_sequential_executors_are_bit_identical() {
+    // Every registry algorithm, on a random tree and a grid (instances big
+    // enough that the parallel executor actually chunks), at 1/2/8 worker
+    // threads: transcripts must match the sequential executor bit for bit
+    // — outputs, commit clocks, halt clocks, and the CONGEST audit.
+    for family in ["tree/random", "grid"] {
+        let g = gen::registry()
+            .get(family)
+            .expect("registered family")
+            .build(300, 17)
+            .expect("instance");
+        assert!(
+            g.n() >= localavg::sim::engine::PARALLEL_MIN_NODES,
+            "instance too small to exercise chunking"
+        );
+        for algo in registry().iter() {
+            if algo.problem().min_degree() > g.min_degree() {
+                continue;
+            }
+            let seq = algo.run_exec(&g, 5, Exec::Sequential);
+            for threads in [1usize, 2, 8] {
+                let par = algo.run_exec(&g, 5, Exec::Parallel { threads });
+                let label = format!("{} on {family} with {threads} thread(s)", algo.name());
+                assert_eq!(seq.solution, par.solution, "{label}: outputs differ");
+                assert_eq!(
+                    seq.transcript.node_commit_round, par.transcript.node_commit_round,
+                    "{label}: node commit clocks differ"
+                );
+                assert_eq!(
+                    seq.transcript.edge_commit_round, par.transcript.edge_commit_round,
+                    "{label}: edge commit clocks differ"
+                );
+                assert_eq!(
+                    seq.transcript.node_halt_round, par.transcript.node_halt_round,
+                    "{label}: halt clocks differ"
+                );
+                assert_eq!(
+                    seq.transcript.messages_sent, par.transcript.messages_sent,
+                    "{label}: message counts differ"
+                );
+                assert_eq!(
+                    seq.transcript.max_message_bits, par.transcript.max_message_bits,
+                    "{label}: CONGEST audit differs"
+                );
+            }
+        }
     }
 }
 

@@ -6,7 +6,7 @@
 use localavg::core::algo::{registry, Problem};
 use localavg::core::matching;
 use localavg::graph::rng::Rng;
-use localavg::graph::{analysis, gen, lift, transform, Graph};
+use localavg::graph::{analysis, gen, lift, transform, Graph, GraphBuilder};
 
 /// Deterministic stream of random G(n, p) cases with n < `max_n`.
 fn cases(count: usize, max_n: usize, salt: u64) -> Vec<(Graph, u64)> {
@@ -118,6 +118,54 @@ fn induced_subgraph_degrees_bounded() {
         let (sub, new_to_old, _) = transform::induced_subgraph(&g, &keep);
         for v in sub.nodes() {
             assert!(sub.degree(v) <= g.degree(new_to_old[v]));
+        }
+    }
+}
+
+#[test]
+fn csr_neighbors_equal_insertion_order_adjacency() {
+    // Property: on arbitrary random edge sets, the frozen CSR rows must
+    // equal the per-node adjacency a reference Vec<Vec<_>> accumulates in
+    // insertion order — port numbering is a pure function of the edge
+    // sequence, not of the CSR packing. Also cross-checks the flat
+    // edge-port and reverse-port tables against the rows.
+    let mut rng = Rng::seed_from(0xC5A0);
+    for case in 0..25 {
+        let n = 2 + (rng.next_u64() as usize) % 60;
+        let mut b = GraphBuilder::new(n);
+        let mut reference: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for _ in 0..(rng.next_u64() as usize) % (3 * n) {
+            let u = rng.index(n);
+            let v = rng.index(n);
+            if u != v && b.try_add(u, v) {
+                let e = b.m() - 1;
+                reference[u].push((v, e));
+                reference[v].push((u, e));
+            }
+        }
+        let g = b.build();
+        assert_eq!(g.n(), n);
+        for v in g.nodes() {
+            assert_eq!(
+                g.neighbors(v),
+                &reference[v][..],
+                "case {case}: node {v} row diverges from insertion order"
+            );
+        }
+        for (e, u, v) in g.edges() {
+            let (pu, pv) = g.edge_ports(e);
+            assert_eq!(g.neighbors(u)[pu], (v, e), "case {case}: edge-port at u");
+            assert_eq!(g.neighbors(v)[pv], (u, e), "case {case}: edge-port at v");
+        }
+        for v in g.nodes() {
+            for (port, &(u, e)) in g.neighbors(v).iter().enumerate() {
+                let rev = g.rev_port(g.csr_offset(v) + port);
+                assert_eq!(
+                    g.neighbors(u)[rev],
+                    (v, e),
+                    "case {case}: reverse port round-trip"
+                );
+            }
         }
     }
 }
