@@ -10,7 +10,7 @@
 
 use localavg_bench::experiments::{self, Scale};
 use localavg_bench::sweep;
-use localavg_core::algo::registry;
+use localavg_core::algo::{registry, RunSpec};
 use localavg_graph::{gen, rng::Rng};
 use std::time::Instant;
 
@@ -51,7 +51,7 @@ fn main() {
     let g = gen::random_regular(2048, 8, &mut rng).expect("graph");
     for name in ["mis/luby", "ruling/two-two", "matching/luby"] {
         let algo = registry().get(name).expect("registered");
-        let (min, mean) = time_it(5, || algo.run(&g, 7));
+        let (min, mean) = time_it(5, || algo.execute(&g, &RunSpec::new(7)));
         println!(
             "{name:<28} min {:>9.3} ms   mean {:>9.3} ms",
             min * 1e3,

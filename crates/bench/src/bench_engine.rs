@@ -10,15 +10,19 @@
 //!
 //! Methodology: one graph instance per `(generator, n)` pair (built
 //! outside the timed region with the sweep's content-addressed seed),
-//! `reps` timed repetitions per cell, and both `best_ms` (the metric the
-//! speedup uses — least scheduler noise) and `mean_ms` recorded. The
-//! timed region is exactly `DynAlgorithm::run_exec`: the round engine
-//! plus the O(n + m) transcript-to-solution conversion, i.e. the work a
-//! sweep cell pays per run.
+//! `reps` timed repetitions per cell, and `best_ms` (the metric the
+//! speedup uses — least scheduler noise), `mean_ms`, and `total_ms`
+//! (per-cell wall-clock over the repetitions) recorded. The timed region
+//! is exactly `DynAlgorithm::execute_in`: the round engine plus the
+//! O(n + m) transcript-to-solution conversion, i.e. the work a sweep
+//! cell pays per run. `--policy` sets the [`TranscriptPolicy`] of the
+//! timed runs and `--reuse-workspace` keeps one [`Workspace`] across a
+//! cell's repetitions — together they measure the RunSpec-era fast path
+//! against the PR 3 defaults (full transcript, fresh arenas).
 
 use crate::emit::json_escape;
 use crate::sweep::{self, SweepError};
-use localavg_core::algo::{registry, Exec};
+use localavg_core::algo::{registry, Exec, RunSpec, TranscriptPolicy, Workspace};
 use localavg_graph::gen;
 use localavg_graph::Graph;
 use std::fmt::Write as _;
@@ -41,12 +45,22 @@ pub struct BenchSpec {
     pub master_seed: u64,
     /// Free-form label recorded in the report (e.g. a refactor name).
     pub label: String,
+    /// Transcript retention during the timed runs (`--policy`).
+    pub policy: TranscriptPolicy,
+    /// Whether the repetitions of one cell share a [`Workspace`]
+    /// (`--reuse-workspace`); `false` reallocates arenas per run, which
+    /// is what the pre-`Workspace` engine always paid.
+    pub reuse_workspace: bool,
+    /// String-keyed parameter overrides (`--param family/name:key=value`),
+    /// validated like the sweep's.
+    pub params: Vec<sweep::ParamOverride>,
 }
 
 impl Default for BenchSpec {
     /// The grid the committed `BENCH_*.json` artifacts use: Luby's MIS on
     /// `regular/8` and `gnp/deg8` at n ∈ {10³, 10⁴, 10⁵}, sequential and
-    /// 2-thread parallel executors.
+    /// 2-thread parallel executors, full transcripts, fresh arenas per
+    /// run (the PR 3 baseline semantics).
     fn default() -> Self {
         BenchSpec {
             algorithms: vec!["mis/luby".into()],
@@ -56,6 +70,9 @@ impl Default for BenchSpec {
             reps: 5,
             master_seed: 0,
             label: "unlabelled".into(),
+            policy: TranscriptPolicy::Full,
+            reuse_workspace: false,
+            params: Vec::new(),
         }
     }
 }
@@ -81,6 +98,9 @@ pub struct BenchCell {
     pub best_ms: f64,
     /// Mean over the repetitions, in milliseconds.
     pub mean_ms: f64,
+    /// Total wall-clock over all timed repetitions of this cell, in
+    /// milliseconds (the per-cell cost a sweep over this grid would pay).
+    pub total_ms: f64,
     /// Rounds the run took (identical across reps — same seed).
     pub rounds: usize,
 }
@@ -98,6 +118,9 @@ pub struct BenchReport {
     pub spec: BenchSpec,
     /// One timed result per cell, in expansion order.
     pub cells: Vec<BenchCell>,
+    /// Wall-clock of the whole grid (graph building, warm-ups, and timed
+    /// repetitions), in milliseconds.
+    pub wall_ms: f64,
 }
 
 fn exec_label(exec: Exec) -> String {
@@ -127,6 +150,8 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
             return Err(SweepError::UnknownGenerator { name: name.clone() });
         }
     }
+    let grid_start = Instant::now();
+    let algos = sweep::configure(&spec.algorithms, &spec.params)?;
     let mut cells = Vec::new();
     for gname in &spec.generators {
         let family = gen::registry().get(gname).expect("validated key");
@@ -139,19 +164,28 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
                     message: format!("{e:?}"),
                 })?;
             for aname in &spec.algorithms {
-                let algo = registry().get(aname).expect("validated key");
+                let algo = algos.get(aname).expect("validated key");
                 if algo.problem().min_degree() > g.min_degree() {
                     continue;
                 }
                 let seed = sweep::graph_seed(spec.master_seed ^ 0xBE7C, aname, n);
                 for &exec in &spec.executors {
-                    let warm = algo.run_exec(&g, seed, exec);
+                    let run_spec = RunSpec::new(seed)
+                        .with_exec(exec)
+                        .with_transcript(spec.policy);
+                    let mut ws = Workspace::new();
+                    let warm = algo.execute_in(&g, &run_spec, &mut ws);
                     let rounds = warm.worst_case();
                     let mut best = f64::INFINITY;
                     let mut total = 0.0;
                     for _ in 0..spec.reps.max(1) {
+                        if !spec.reuse_workspace {
+                            // Fresh arenas every repetition — the cost
+                            // every run paid before `Workspace` existed.
+                            ws = Workspace::new();
+                        }
                         let t0 = Instant::now();
-                        let run = algo.run_exec(&g, seed, exec);
+                        let run = algo.execute_in(&g, &run_spec, &mut ws);
                         let ms = t0.elapsed().as_secs_f64() * 1e3;
                         assert_eq!(
                             run.worst_case(),
@@ -171,6 +205,7 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
                         reps: spec.reps.max(1),
                         best_ms: best,
                         mean_ms: total / spec.reps.max(1) as f64,
+                        total_ms: total,
                         rounds,
                     });
                 }
@@ -180,6 +215,7 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
     Ok(BenchReport {
         spec: spec.clone(),
         cells,
+        wall_ms: grid_start.elapsed().as_secs_f64() * 1e3,
     })
 }
 
@@ -195,7 +231,7 @@ fn cell_json(c: &BenchCell) -> String {
     format!(
         "{{\"algorithm\": \"{}\", \"generator\": \"{}\", \"n\": {}, \"nodes\": {}, \
          \"edges\": {}, \"executor\": \"{}\", \"reps\": {}, \"best_ms\": {}, \
-         \"mean_ms\": {}, \"rounds\": {}}}",
+         \"mean_ms\": {}, \"total_ms\": {}, \"rounds\": {}}}",
         json_escape(&c.algorithm),
         json_escape(&c.generator),
         c.n,
@@ -205,6 +241,7 @@ fn cell_json(c: &BenchCell) -> String {
         c.reps,
         fmt_ms(c.best_ms),
         fmt_ms(c.mean_ms),
+        fmt_ms(c.total_ms),
         c.rounds
     )
 }
@@ -231,9 +268,14 @@ pub fn to_json(report: &BenchReport, baseline: Option<&BenchReport>) -> String {
     let _ = writeln!(out, "  \"label\": \"{}\",", json_escape(&report.spec.label));
     let _ = writeln!(
         out,
-        "  \"spec\": {{\"reps\": {}, \"master_seed\": {}}},",
-        report.spec.reps, report.spec.master_seed
+        "  \"spec\": {{\"reps\": {}, \"master_seed\": {}, \"policy\": \"{}\", \
+         \"reuse_workspace\": {}}},",
+        report.spec.reps,
+        report.spec.master_seed,
+        report.spec.policy.label(),
+        report.spec.reuse_workspace
     );
+    let _ = writeln!(out, "  \"wall_ms\": {},", fmt_ms(report.wall_ms));
     out.push_str("  \"cells\": [\n");
     push_cells(&mut out, &report.cells, "    ");
     out.push_str("  ]");
@@ -315,11 +357,19 @@ pub fn baseline_coverage_gap(current: &BenchReport, baseline: &BenchReport) -> u
 /// text that does not carry the `localavg-bench/v1` schema marker or has
 /// no `"cells"` array — pointing `--baseline` at the wrong file must be
 /// an error, not an empty comparison.
+///
+/// Fields that predate the `v1` additions of this release (`total_ms`,
+/// `wall_ms`, the spec's `policy`/`reuse_workspace`) are optional, so
+/// older committed artifacts (e.g. `BENCH_3.json`) still load as
+/// baselines: a missing `total_ms` is reconstructed as `mean_ms * reps`.
 pub fn parse_report(text: &str) -> Option<BenchReport> {
     if !text.contains("\"schema\": \"localavg-bench/v1\"") {
         return None;
     }
     let mut label = "unknown".to_string();
+    let mut policy = TranscriptPolicy::Full;
+    let mut reuse_workspace = false;
+    let mut wall_ms = 0.0;
     let mut cells = Vec::new();
     let mut in_cells = false;
     let mut saw_cells = false;
@@ -331,6 +381,20 @@ pub fn parse_report(text: &str) -> Option<BenchReport> {
                     label = l;
                 }
             }
+            if t.starts_with("\"spec\"") {
+                if let Some(p) = field_str(line, "policy").and_then(|p| TranscriptPolicy::parse(&p))
+                {
+                    policy = p;
+                }
+                if let Some(r) = field_raw(line, "reuse_workspace") {
+                    reuse_workspace = r == "true";
+                }
+            }
+            if t.starts_with("\"wall_ms\"") {
+                if let Some(w) = field_raw(line, "wall_ms").and_then(|w| w.parse().ok()) {
+                    wall_ms = w;
+                }
+            }
             if t.starts_with("\"cells\"") {
                 in_cells = true;
                 saw_cells = true;
@@ -340,6 +404,11 @@ pub fn parse_report(text: &str) -> Option<BenchReport> {
         if t.starts_with(']') {
             break;
         }
+        let reps: usize = field_raw(line, "reps")?.parse().ok()?;
+        let mean_ms: f64 = field_raw(line, "mean_ms")?.parse().ok()?;
+        let total_ms = field_raw(line, "total_ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(mean_ms * reps as f64);
         let cell = BenchCell {
             algorithm: field_str(line, "algorithm")?,
             generator: field_str(line, "generator")?,
@@ -347,9 +416,10 @@ pub fn parse_report(text: &str) -> Option<BenchReport> {
             nodes: field_raw(line, "nodes")?.parse().ok()?,
             edges: field_raw(line, "edges")?.parse().ok()?,
             executor: field_str(line, "executor")?,
-            reps: field_raw(line, "reps")?.parse().ok()?,
+            reps,
             best_ms: field_raw(line, "best_ms")?.parse().ok()?,
-            mean_ms: field_raw(line, "mean_ms")?.parse().ok()?,
+            mean_ms,
+            total_ms,
             rounds: field_raw(line, "rounds")?.parse().ok()?,
         };
         cells.push(cell);
@@ -360,9 +430,12 @@ pub fn parse_report(text: &str) -> Option<BenchReport> {
     Some(BenchReport {
         spec: BenchSpec {
             label,
+            policy,
+            reuse_workspace,
             ..BenchSpec::default()
         },
         cells,
+        wall_ms,
     })
 }
 
@@ -379,6 +452,9 @@ mod tests {
             reps: 2,
             master_seed: 3,
             label: "test".into(),
+            policy: TranscriptPolicy::Full,
+            reuse_workspace: false,
+            params: Vec::new(),
         }
     }
 
@@ -388,11 +464,32 @@ mod tests {
         assert_eq!(report.cells.len(), 2);
         assert_eq!(report.cells[0].executor, "sequential");
         assert_eq!(report.cells[1].executor, "parallel/2");
+        let mut cell_total = 0.0;
         for c in &report.cells {
             assert!(c.best_ms.is_finite() && c.best_ms >= 0.0);
             assert!(c.mean_ms >= c.best_ms);
+            assert!((c.total_ms - c.mean_ms * c.reps as f64).abs() < 1e-6);
             assert!(c.rounds > 0);
             assert_eq!(c.nodes, 64);
+            cell_total += c.total_ms;
+        }
+        // The grid wall-clock covers at least the timed repetitions.
+        assert!(report.wall_ms >= cell_total);
+    }
+
+    #[test]
+    fn policy_and_reuse_produce_identical_rounds() {
+        // The fast path (no audit, reused arenas) must not change the
+        // simulated execution — only its cost.
+        let full = run(&tiny_spec()).unwrap();
+        let mut spec = tiny_spec();
+        spec.policy = TranscriptPolicy::None;
+        spec.reuse_workspace = true;
+        let fast = run(&spec).unwrap();
+        assert_eq!(full.cells.len(), fast.cells.len());
+        for (a, b) in full.cells.iter().zip(&fast.cells) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.rounds, b.rounds);
         }
     }
 
@@ -414,17 +511,46 @@ mod tests {
 
     #[test]
     fn json_roundtrips_through_parse_report() {
-        let report = run(&tiny_spec()).unwrap();
+        let mut spec = tiny_spec();
+        spec.policy = TranscriptPolicy::CompletionsOnly;
+        spec.reuse_workspace = true;
+        let report = run(&spec).unwrap();
         let json = to_json(&report, None);
         assert!(json.contains("\"schema\": \"localavg-bench/v1\""));
+        assert!(json.contains("\"policy\": \"completions\""));
+        assert!(json.contains("\"reuse_workspace\": true"));
+        assert!(json.contains("\"wall_ms\""));
         let parsed = parse_report(&json).expect("parse back");
         assert_eq!(parsed.spec.label, "test");
+        assert_eq!(parsed.spec.policy, TranscriptPolicy::CompletionsOnly);
+        assert!(parsed.spec.reuse_workspace);
+        assert!(parsed.wall_ms > 0.0);
         assert_eq!(parsed.cells.len(), report.cells.len());
         for (a, b) in parsed.cells.iter().zip(&report.cells) {
             assert_eq!(a.key(), b.key());
             assert_eq!(a.rounds, b.rounds);
             assert!((a.best_ms - b.best_ms).abs() < 1e-3);
+            assert!((a.total_ms - b.total_ms).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn parse_report_accepts_pre_total_ms_documents() {
+        // The committed BENCH_3.json predates total_ms/wall_ms/policy;
+        // it must keep loading as a --baseline.
+        let legacy = "{\n  \"schema\": \"localavg-bench/v1\",\n  \"label\": \"old\",\n  \
+                      \"spec\": {\"reps\": 5, \"master_seed\": 0},\n  \"cells\": [\n    \
+                      {\"algorithm\": \"mis/luby\", \"generator\": \"regular/8\", \"n\": 1000, \
+                      \"nodes\": 1000, \"edges\": 4000, \"executor\": \"sequential\", \
+                      \"reps\": 5, \"best_ms\": 1.000, \"mean_ms\": 2.000, \"rounds\": 23}\n  \
+                      ]\n}\n";
+        let parsed = parse_report(legacy).expect("legacy document parses");
+        assert_eq!(parsed.cells.len(), 1);
+        assert_eq!(parsed.spec.policy, TranscriptPolicy::Full);
+        assert!(!parsed.spec.reuse_workspace);
+        assert_eq!(parsed.wall_ms, 0.0);
+        // total_ms reconstructed as mean * reps.
+        assert!((parsed.cells[0].total_ms - 10.0).abs() < 1e-9);
     }
 
     #[test]

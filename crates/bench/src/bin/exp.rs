@@ -5,14 +5,22 @@
 //! cargo run --release -p localavg-bench --bin exp -- quick     # smoke scale
 //! cargo run --release -p localavg-bench --bin exp -- e9        # one experiment
 //! cargo run --release -p localavg-bench --bin exp -- --list    # list registered algorithms
+//! cargo run --release -p localavg-bench --bin exp -- --list --problem mis
 //! cargo run --release -p localavg-bench --bin exp -- --algo mis/luby --n 512 --d 8 --seed 3
+//! cargo run --release -p localavg-bench --bin exp -- --algo mis/luby --param mis/luby:mark-factor=0.25
 //! cargo run --release -p localavg-bench --bin exp -- sweep --scale quick --threads 8 --out out.json
+//! cargo run --release -p localavg-bench --bin exp -- sweep --problem coloring --param coloring/trial:extra-colors=4
 //! cargo run --release -p localavg-bench --bin exp -- bench-engine --out BENCH.json
+//! cargo run --release -p localavg-bench --bin exp -- bench-engine --policy none --reuse-workspace
 //! ```
 //!
 //! `--algo` runs a single algorithm (looked up in the string registry) on
 //! a random d-regular graph and prints its verified complexity report;
-//! unknown names fail with a closest-match suggestion.
+//! unknown names fail with a closest-match suggestion. `--problem`
+//! filters `--list` and selects whole families in `sweep` (unknown
+//! problem names also fail with a suggestion), and `--param
+//! family/name:key=value` overrides string-keyed algorithm parameters
+//! (repeatable; validated per algorithm).
 //!
 //! `sweep` runs the sharded parallel sweep engine (DESIGN.md §6) over a
 //! grid of registry algorithms × named graph families × sizes × seeds and
@@ -21,29 +29,77 @@
 //!
 //! `bench-engine` times the round engine itself (sequential + parallel
 //! executors) and emits `localavg-bench/v1` JSON; `--baseline FILE`
-//! embeds a previous run and computes per-cell speedups.
+//! embeds a previous run and computes per-cell speedups; `--policy
+//! full|completions|none` and `--reuse-workspace` drive the
+//! `TranscriptPolicy`/`Workspace` fast path.
 
-use localavg_bench::cli::{flag_list, flag_value};
+use localavg_bench::cli::{flag_list, flag_value, flag_values};
 use localavg_bench::experiments::{self, Scale};
+use localavg_bench::sweep::ParamOverride;
 use localavg_bench::{bench_engine, cli, emit, sweep, Table};
-use localavg_core::algo::{registry, Exec};
+use localavg_core::algo::{registry, Exec, Problem, RunSpec};
 use localavg_graph::{gen, rng::Rng};
 
-fn print_algo_list() {
+/// Parses `--problem NAME`, exiting with a suggestion on unknown names.
+fn parse_problem(args: &[String]) -> Option<Problem> {
+    let name = flag_value(args, "--problem")?;
+    match Problem::parse(&name) {
+        Some(p) => Some(p),
+        None => {
+            eprint!("error: unknown problem `{name}`");
+            match Problem::suggest(&name) {
+                Some(close) => eprintln!(" — did you mean `{close}`?"),
+                None => eprintln!(),
+            }
+            let keys: Vec<&str> = Problem::ALL.iter().map(|p| p.key()).collect();
+            eprintln!("known problems: {}", keys.join(", "));
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses every repeatable `--param family/name:key=value` occurrence.
+fn parse_params(args: &[String]) -> Vec<ParamOverride> {
+    flag_values(args, "--param")
+        .iter()
+        .map(|s| {
+            ParamOverride::parse(s).unwrap_or_else(|e| {
+                eprintln!("error: --param {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn print_algo_list(problem: Option<Problem>) {
     let mut t = Table::new(
         "Registered algorithms (`--algo <name>` runs one)",
-        &["name", "problem", "deterministic", "domain"],
+        &["name", "problem", "deterministic", "domain", "params"],
     );
     for a in registry().iter() {
+        if problem.is_some_and(|p| a.problem() != p) {
+            continue;
+        }
         let domain = match a.problem().min_degree() {
             0 => "any graph".to_string(),
             d => format!("min degree ≥ {d}"),
         };
+        let params = a
+            .param_specs()
+            .iter()
+            .map(|s| format!("{}={}", s.key, s.default))
+            .collect::<Vec<_>>()
+            .join(" ");
         t.row(vec![
             a.name().to_string(),
             a.problem().label().to_string(),
             a.deterministic().to_string(),
             domain,
+            if params.is_empty() {
+                "—".to_string()
+            } else {
+                params
+            },
         ]);
     }
     println!("{t}");
@@ -67,6 +123,22 @@ fn run_single_algo(args: &[String], name: &str) {
         eprintln!("hint: `--list` prints every registered algorithm");
         std::process::exit(2);
     };
+    let overrides = parse_params(args);
+    if let Some(other) = overrides.iter().find(|p| p.algorithm != name) {
+        eprintln!(
+            "error: --param {}:{}={} does not apply to `{name}`",
+            other.algorithm, other.key, other.value
+        );
+        std::process::exit(2);
+    }
+    let kvs: Vec<(&str, &str)> = overrides
+        .iter()
+        .map(|p| (p.key.as_str(), p.value.as_str()))
+        .collect();
+    let algo = algo.with_params(&kvs).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     let n = parse_usize(args, "--n", 256);
     let d = parse_usize(args, "--d", 4);
     let seed = parse_usize(args, "--seed", 1) as u64;
@@ -88,7 +160,7 @@ fn run_single_algo(args: &[String], name: &str) {
         algo.name(),
         algo.problem()
     );
-    let run = algo.run(&g, seed);
+    let run = algo.execute(&g, &RunSpec::new(seed));
     match run.verify(&g) {
         Ok(()) => println!("output verified: valid {}", algo.problem()),
         Err(e) => {
@@ -135,7 +207,7 @@ fn parse_scale(args: &[String]) -> Scale {
 /// Rejects unknown or value-less `exp sweep` options up front (see
 /// `cli::validate_flags` for why).
 fn validate_sweep_args(args: &[String]) {
-    const VALUED: [&str; 9] = [
+    const VALUED: [&str; 11] = [
         "--scale",
         "--threads",
         "--out",
@@ -145,13 +217,15 @@ fn validate_sweep_args(args: &[String]) {
         "--sizes",
         "--seeds",
         "--master-seed",
+        "--problem",
+        "--param",
     ];
     if let Err(e) = cli::validate_flags(args, &VALUED, &["--list-generators"]) {
         eprintln!("error: {e}");
         eprintln!(
             "known options: --scale quick|full, --threads N, --out FILE, --format json|csv, \
              --algorithms a,b, --generators g,h, --sizes n,m, --seeds K, --master-seed S, \
-             --list-generators"
+             --problem P, --param algo:key=value, --list-generators"
         );
         std::process::exit(2);
     }
@@ -173,9 +247,21 @@ fn run_sweep(args: &[String]) {
     }
 
     let mut spec = sweep::SweepSpec::for_scale(parse_scale(args));
+    let problem = parse_problem(args);
+    if let Some(p) = problem {
+        if flag_value(args, "--algorithms").is_some() {
+            eprintln!("error: --problem and --algorithms are mutually exclusive");
+            std::process::exit(2);
+        }
+        spec.algorithms = registry()
+            .by_problem(p)
+            .map(|a| a.name().to_string())
+            .collect();
+    }
     if let Some(algos) = flag_list(args, "--algorithms") {
         spec.algorithms = algos;
     }
+    spec.params = parse_params(args);
     if let Some(gens) = flag_list(args, "--generators") {
         spec.generators = gens;
     }
@@ -250,7 +336,7 @@ fn run_sweep(args: &[String]) {
 
 /// Rejects unknown or value-less `exp bench-engine` options up front.
 fn validate_bench_args(args: &[String]) {
-    const VALUED: [&str; 8] = [
+    const VALUED: [&str; 10] = [
         "--algorithms",
         "--generators",
         "--sizes",
@@ -259,12 +345,15 @@ fn validate_bench_args(args: &[String]) {
         "--label",
         "--baseline",
         "--out",
+        "--policy",
+        "--param",
     ];
-    if let Err(e) = cli::validate_flags(args, &VALUED, &[]) {
+    if let Err(e) = cli::validate_flags(args, &VALUED, &["--reuse-workspace"]) {
         eprintln!("error: {e}");
         eprintln!(
             "known options: --algorithms a,b, --generators g,h, --sizes n,m, --reps R, \
-             --threads N, --label S, --baseline FILE, --out FILE"
+             --threads N, --label S, --baseline FILE, --out FILE, \
+             --policy full|completions|none, --reuse-workspace, --param algo:key=value"
         );
         std::process::exit(2);
     }
@@ -277,6 +366,12 @@ fn run_bench_engine(args: &[String]) {
     if let Some(algos) = flag_list(args, "--algorithms") {
         spec.algorithms = algos;
     }
+    spec.policy = cli::parse_policy(args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    spec.reuse_workspace = args.iter().any(|a| a == "--reuse-workspace");
+    spec.params = parse_params(args);
     if let Some(gens) = flag_list(args, "--generators") {
         spec.generators = gens;
     }
@@ -356,7 +451,7 @@ fn main() {
         return;
     }
     if args.iter().any(|a| a == "--list") {
-        print_algo_list();
+        print_algo_list(parse_problem(&args));
         return;
     }
     if let Some(name) = flag_value(&args, "--algo") {

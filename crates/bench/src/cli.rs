@@ -31,6 +31,31 @@ pub fn flag_list(args: &[String], flag: &str) -> Option<Vec<String>> {
     flag_value(args, flag).map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
 }
 
+/// Returns the values of *every* occurrence of a repeatable `--flag`
+/// (e.g. `--param a:k=v --param b:k=w`), in argument order.
+pub fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+/// Parses a `--policy full|completions|none` value into a
+/// [`localavg_core::algo::TranscriptPolicy`] (flag absent = `Full`).
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the accepted labels.
+pub fn parse_policy(args: &[String]) -> Result<localavg_core::algo::TranscriptPolicy, String> {
+    use localavg_core::algo::TranscriptPolicy;
+    match flag_value(args, "--policy") {
+        None => Ok(TranscriptPolicy::Full),
+        Some(v) => TranscriptPolicy::parse(&v)
+            .ok_or_else(|| format!("--policy expects `full`, `completions`, or `none`, got `{v}`")),
+    }
+}
+
 /// Resolves a `--threads` value: `0` means "number of available cores",
 /// matching `SimConfig::threads`' convention; any other value is taken
 /// literally.
@@ -136,6 +161,28 @@ mod tests {
     fn threads_garbage_is_an_error() {
         let a = args(&["--threads", "two"]);
         assert!(parse_threads(&a).is_err());
+    }
+
+    #[test]
+    fn flag_values_collects_every_occurrence() {
+        let a = args(&["--param", "a:k=1", "--out", "x", "--param", "b:k=2"]);
+        assert_eq!(flag_values(&a, "--param"), vec!["a:k=1", "b:k=2"]);
+        assert!(flag_values(&a, "--missing").is_empty());
+    }
+
+    #[test]
+    fn parse_policy_labels() {
+        use localavg_core::algo::TranscriptPolicy;
+        assert_eq!(parse_policy(&args(&[])), Ok(TranscriptPolicy::Full));
+        assert_eq!(
+            parse_policy(&args(&["--policy", "none"])),
+            Ok(TranscriptPolicy::None)
+        );
+        assert_eq!(
+            parse_policy(&args(&["--policy", "completions"])),
+            Ok(TranscriptPolicy::CompletionsOnly)
+        );
+        assert!(parse_policy(&args(&["--policy", "fast"])).is_err());
     }
 
     #[test]

@@ -252,6 +252,7 @@ mod tests {
             sizes: vec![16],
             seeds: 2,
             master_seed: 1,
+            params: Vec::new(),
         };
         run(&spec, 2).unwrap()
     }

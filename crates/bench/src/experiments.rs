@@ -9,7 +9,7 @@
 //! produces the EXPERIMENTS.md numbers.
 
 use crate::table::{f2, Table};
-use localavg_core::algo::{registry, AlgoRun, Algorithm, DetRulingSpec, RulingDet};
+use localavg_core::algo::{registry, AlgoRun, Algorithm, DetRulingSpec, RulingDet, RunSpec};
 use localavg_core::metrics::{CompletionTimes, RunAggregate};
 use localavg_core::subroutines::log_star;
 use localavg_graph::rng::Rng;
@@ -72,7 +72,7 @@ fn mean_metrics<const K: usize>(
     let mut acc = [0.0f64; K];
     for i in 0..s {
         let g = graph_of(i);
-        let run = a.run(&g, seed_of(i));
+        let run = a.execute(&g, &RunSpec::new(seed_of(i)));
         run.verify(&g).expect("registered algorithm must be valid");
         for (slot, x) in acc.iter_mut().zip(metrics(&g, &run)) {
             *slot += x / s as f64;
@@ -157,7 +157,7 @@ pub fn e3_det_ruling(scale: Scale) -> Table {
             ("log Δ", DetRulingSpec::LogDelta),
             ("log log n", DetRulingSpec::LogLogN),
         ] {
-            let run = RulingDet.run_with(&g, 0, &spec);
+            let run = RulingDet.execute_with(&g, &RunSpec::new(0), &spec);
             run.verify(&g).expect("valid ruling set");
             let beta = match run.solution {
                 localavg_core::algo::Solution::RulingSet { beta, .. } => beta,
@@ -194,7 +194,7 @@ pub fn e4_luby_matching(scale: Scale) -> Table {
         let seeds = scale.seeds();
         for s in 0..seeds {
             let g = regular(n, d, s);
-            let run = a.run(&g, s + 3);
+            let run = a.execute(&g, &RunSpec::new(s + 3));
             let rep = run.report(&g);
             ea += rep.edge_averaged / seeds as f64;
             na += rep.node_averaged / seeds as f64;
@@ -230,7 +230,7 @@ pub fn e5_det_matching(scale: Scale) -> Table {
                 continue;
             }
             let g = regular(n, d, 11);
-            let run = a.run(&g, 0);
+            let run = a.execute(&g, &RunSpec::new(0));
             let rep = run.report(&g);
             t.row(vec![
                 n.to_string(),
@@ -272,7 +272,7 @@ pub fn e6_mis_upper(scale: Scale) -> Table {
             let seeds = scale.seeds();
             for s in 0..seeds {
                 let g = regular(n, d, s + 17);
-                let run = a.run(&g, s + 1);
+                let run = a.execute(&g, &RunSpec::new(s + 1));
                 let rep = run.report(&g);
                 na += rep.node_averaged / seeds as f64;
                 ea += rep.edge_averaged_one_endpoint / seeds as f64;
@@ -308,7 +308,7 @@ pub fn e7_det_orientation(scale: Scale) -> Table {
         let seeds = scale.seeds();
         for s in 0..seeds {
             let g = regular(n, 3, s + 5);
-            let run = a.run(&g, 0);
+            let run = a.execute(&g, &RunSpec::new(0));
             let rep = run.report(&g);
             na += rep.node_averaged / seeds as f64;
             wc += rep.rounds as f64 / seeds as f64;
@@ -383,7 +383,7 @@ pub fn e9_mis_lower_bound(scale: Scale) -> Table {
         let g = lg.graph();
         let s0 = lg.s0();
         for name in ["mis/luby", "mis/degree-guided"] {
-            let run = algo(name).run(g, 9);
+            let run = algo(name).execute(g, &RunSpec::new(9));
             let rep = run.report(g);
             let threshold = 3 * k; // the engine uses ~3 rounds per Luby iteration
             let undecided = s0
@@ -391,7 +391,10 @@ pub fn e9_mis_lower_bound(scale: Scale) -> Table {
                 .filter(|&&v| run.transcript.node_commit_round[v] > threshold)
                 .count() as f64
                 / s0.len() as f64;
-            let rs_avg = algo("ruling/two-two").run(g, 9).report(g).node_averaged;
+            let rs_avg = algo("ruling/two-two")
+                .execute(g, &RunSpec::new(9))
+                .report(g)
+                .node_averaged;
             t.row(vec![
                 k.to_string(),
                 beta.to_string(),
@@ -430,8 +433,8 @@ pub fn e10_tree_mis(scale: Scale) -> Table {
             continue;
         };
         let tv = TreeView::extract(g, v0, k).expect("tree view");
-        let luby = algo("mis/luby").run(&tv.tree, 3);
-        let greedy = algo("mis/greedy").run(&tv.tree, 0);
+        let luby = algo("mis/luby").execute(&tv.tree, &RunSpec::new(3));
+        let greedy = algo("mis/greedy").execute(&tv.tree, &RunSpec::new(0));
         t.row(vec![
             k.to_string(),
             tv.tree.n().to_string(),
@@ -464,7 +467,7 @@ pub fn e11_matching_lower_bound(scale: Scale) -> Table {
     for (k, beta, q) in configs {
         let lg = lifted_gk(k, beta, q, 5);
         let d = DoubledGk::build(&lg);
-        let run = algo("matching/luby").run(&d.graph, 13);
+        let run = algo("matching/luby").execute(&d.graph, &RunSpec::new(13));
         let rep = run.report(&d.graph);
         let in_matching = run.solution.matching().expect("matching output");
         let cross = d.cross_fraction(in_matching);
@@ -586,7 +589,9 @@ pub fn e14_appendix_a(scale: Scale) -> Table {
             gen::gnp(n, 8.0 / n as f64, &mut rng)
         }),
     ] {
-        let runs: Vec<AlgoRun> = (0..10u64).map(|s| a.run(&g, s)).collect();
+        let runs: Vec<AlgoRun> = (0..10u64)
+            .map(|s| a.execute(&g, &RunSpec::new(s)))
+            .collect();
         let times: Vec<CompletionTimes> = runs.iter().map(|r| r.completion_times(&g)).collect();
         let rounds: Vec<usize> = runs.iter().map(|r| r.worst_case()).collect();
         let agg = RunAggregate::from_times(&times, &rounds);
@@ -644,7 +649,7 @@ pub fn e16_footnote2(scale: Scale) -> Table {
     let a = algo("mis/luby");
     let lg = lifted_gk(k, beta, q, 3);
     let g = lg.graph();
-    let rep = a.run(g, 7).report(g);
+    let rep = a.execute(g, &RunSpec::new(7)).report(g);
     t.row(vec![
         format!("G̃_{k} (β={beta}, q={q})"),
         f2(rep.edge_averaged_one_endpoint),
@@ -656,7 +661,7 @@ pub fn e16_footnote2(scale: Scale) -> Table {
         Scale::Full => 2048,
     };
     let g = regular(n, 8, 2);
-    let rep = a.run(&g, 7).report(&g);
+    let rep = a.execute(&g, &RunSpec::new(7)).report(&g);
     t.row(vec![
         format!("8-regular n={n}"),
         f2(rep.edge_averaged_one_endpoint),
@@ -700,7 +705,7 @@ pub fn e17_registry_sweep(scale: Scale) -> Table {
             ));
             continue;
         }
-        let run = a.run(&g, 7);
+        let run = a.execute(&g, &RunSpec::new(7));
         run.verify(&g).expect("registered algorithm must be valid");
         let rep = run.report(&g);
         t.row(vec![

@@ -24,17 +24,55 @@
 //! Deterministic algorithms ignore their seed, so the sweep collapses
 //! their seed axis to a single run per group.
 
-use localavg_core::algo::{registry, DynAlgorithm};
+use localavg_core::algo::{registry, DynAlgorithm, RunSpec};
 use localavg_core::metrics::{CompletionTimes, RunAggregate};
 use localavg_graph::gen::{self, NamedGenerator};
 use localavg_graph::rng::{splitmix64, Rng};
 use localavg_graph::Graph;
+use localavg_sim::workspace::Workspace;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::experiments::Scale;
+
+/// One string-keyed parameter override, applied to every cell of the
+/// named algorithm (the `--param family/name:key=value` CLI flag).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamOverride {
+    /// Algorithm registry key the override applies to.
+    pub algorithm: String,
+    /// Parameter key (validated by the algorithm's `set_param`).
+    pub key: String,
+    /// Parameter value (validated by the algorithm's `set_param`).
+    pub value: String,
+}
+
+impl ParamOverride {
+    /// Parses the CLI form `family/name:key=value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the shape is wrong (the
+    /// key/value semantics are validated later, by the algorithm).
+    pub fn parse(s: &str) -> Result<ParamOverride, String> {
+        let (algorithm, kv) = s
+            .split_once(':')
+            .ok_or_else(|| format!("`{s}`: expected `family/name:key=value`"))?;
+        let (key, value) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("`{s}`: expected `family/name:key=value`"))?;
+        if algorithm.is_empty() || key.is_empty() || value.is_empty() {
+            return Err(format!("`{s}`: expected `family/name:key=value`"));
+        }
+        Ok(ParamOverride {
+            algorithm: algorithm.to_string(),
+            key: key.to_string(),
+            value: value.to_string(),
+        })
+    }
+}
 
 /// A full measurement grid: algorithms × graph families × sizes × seeds.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +88,9 @@ pub struct SweepSpec {
     pub seeds: u64,
     /// Master seed every per-cell substream is forked from.
     pub master_seed: u64,
+    /// String-keyed parameter overrides, applied per algorithm over the
+    /// defaults (empty = defaults everywhere).
+    pub params: Vec<ParamOverride>,
 }
 
 impl SweepSpec {
@@ -65,6 +106,7 @@ impl SweepSpec {
                 sizes: vec![64, 128],
                 seeds: 2,
                 master_seed: 0,
+                params: Vec::new(),
             },
             Scale::Full => SweepSpec {
                 algorithms,
@@ -82,6 +124,7 @@ impl SweepSpec {
                 sizes: vec![256, 1024, 4096],
                 seeds: 3,
                 master_seed: 0,
+                params: Vec::new(),
             },
         }
     }
@@ -184,6 +227,12 @@ pub enum SweepError {
         /// Error rendered by the generator.
         message: String,
     },
+    /// A `--param` override was rejected (unknown key, invalid value, or
+    /// an algorithm not part of the sweep).
+    Param {
+        /// Human-readable rejection (from the algorithm's validation).
+        message: String,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -207,6 +256,7 @@ impl fmt::Display for SweepError {
                 n,
                 message,
             } => write!(f, "generator `{generator}` failed at n={n}: {message}"),
+            SweepError::Param { message } => write!(f, "invalid --param: {message}"),
         }
     }
 }
@@ -292,8 +342,10 @@ pub(crate) fn key_tag(s: &str) -> u64 {
 
 /// The seed a `(generator, n)` instance is built from: forked from the
 /// master seed by generator key and target size only, so every algorithm
-/// and every seed index of a group sees the same topology.
-pub(crate) fn graph_seed(master: u64, generator: &str, n: usize) -> u64 {
+/// and every seed index of a group sees the same topology. Public so
+/// tests and `exp bench-engine` can rebuild the exact instances a sweep
+/// measured.
+pub fn graph_seed(master: u64, generator: &str, n: usize) -> u64 {
     Rng::seed_from(master)
         .fork(key_tag(generator))
         .fork(n as u64)
@@ -301,8 +353,9 @@ pub(crate) fn graph_seed(master: u64, generator: &str, n: usize) -> u64 {
 }
 
 /// The seed a cell's algorithm run draws from: additionally forked by
-/// algorithm key and seed index.
-fn algo_seed(master: u64, cell: &SweepCell) -> u64 {
+/// algorithm key and seed index. Public for the same reason as
+/// [`graph_seed`]: replaying a sweep cell outside the sweep engine.
+pub fn algo_seed(master: u64, cell: &SweepCell) -> u64 {
     Rng::seed_from(master)
         .fork(key_tag(cell.generator))
         .fork(cell.n as u64)
@@ -311,15 +364,69 @@ fn algo_seed(master: u64, cell: &SweepCell) -> u64 {
         .next_u64()
 }
 
-/// Runs the sweep over `threads` workers.
-///
-/// The report is byte-for-byte independent of `threads` (see the module
-/// docs); `threads` is clamped to `1..=cells`.
+/// Builds the configured algorithm table for a spec: every algorithm
+/// key mapped to a `DynAlgorithm` with the spec's [`ParamOverride`]s
+/// applied (defaults when none name it).
 ///
 /// # Errors
 ///
-/// Returns [`SweepError`] for invalid specs or graph-construction
-/// failures.
+/// Fails on overrides naming algorithms outside the spec and on
+/// key/value pairs the algorithm's validation rejects.
+fn configured_algorithms(
+    spec: &SweepSpec,
+) -> Result<BTreeMap<String, Box<dyn DynAlgorithm>>, SweepError> {
+    configure(&spec.algorithms, &spec.params)
+}
+
+/// Shared override plumbing for the sweep and `exp bench-engine`: maps
+/// every algorithm key to a `DynAlgorithm` carrying its overrides.
+pub(crate) fn configure(
+    algorithms: &[String],
+    params: &[ParamOverride],
+) -> Result<BTreeMap<String, Box<dyn DynAlgorithm>>, SweepError> {
+    for p in params {
+        if !algorithms.contains(&p.algorithm) {
+            return Err(SweepError::Param {
+                message: format!(
+                    "`{}:{}={}` names an algorithm that is not part of this sweep",
+                    p.algorithm, p.key, p.value
+                ),
+            });
+        }
+    }
+    let mut algos: BTreeMap<String, Box<dyn DynAlgorithm>> = BTreeMap::new();
+    for name in algorithms {
+        let kvs: Vec<(&str, &str)> = params
+            .iter()
+            .filter(|p| &p.algorithm == name)
+            .map(|p| (p.key.as_str(), p.value.as_str()))
+            .collect();
+        let algo = registry()
+            .get(name)
+            .ok_or_else(|| SweepError::UnknownAlgorithm {
+                name: name.clone(),
+                suggestion: registry().suggest(name).map(str::to_string),
+            })?
+            .with_params(&kvs)
+            .map_err(|e| SweepError::Param {
+                message: e.to_string(),
+            })?;
+        algos.insert(name.clone(), algo);
+    }
+    Ok(algos)
+}
+
+/// Runs the sweep over `threads` workers.
+///
+/// The report is byte-for-byte independent of `threads` (see the module
+/// docs); `threads` is clamped to `1..=cells`. Each worker reuses one
+/// [`Workspace`] across its cells, so arena allocation is paid per
+/// (worker, instance shape, algorithm) instead of per run.
+///
+/// # Errors
+///
+/// Returns [`SweepError`] for invalid specs, rejected parameter
+/// overrides, or graph-construction failures.
 ///
 /// # Panics
 ///
@@ -327,6 +434,7 @@ fn algo_seed(master: u64, cell: &SweepCell) -> u64 {
 /// verification — that is a bug in the algorithm, not in the caller.
 pub fn run(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> {
     let cells = spec.cells()?;
+    let algos = configured_algorithms(spec)?;
     // Build every (generator, n) instance once, up front and sequentially
     // — deterministic, and workers then share read-only graphs.
     let mut graphs: BTreeMap<(&'static str, usize), Graph> = BTreeMap::new();
@@ -356,36 +464,45 @@ pub fn run(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> 
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
+            s.spawn(|| {
+                // One workspace per worker: cells for the same instance
+                // and algorithm reuse arenas instead of reallocating.
+                let mut ws = Workspace::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let cell = cells[i];
+                    let g = &graphs[&(cell.generator, cell.n)];
+                    let algo = algos.get(cell.algorithm).expect("validated key");
+                    let run = algo.execute_in(
+                        g,
+                        &RunSpec::new(algo_seed(spec.master_seed, &cell)),
+                        &mut ws,
+                    );
+                    run.verify(g).unwrap_or_else(|e| {
+                        panic!(
+                            "{} produced an invalid output on {} n={} seed={}: {e}",
+                            cell.algorithm, cell.generator, cell.n, cell.seed
+                        )
+                    });
+                    let times = run.completion_times(g);
+                    let result = CellResult {
+                        cell,
+                        nodes: g.n(),
+                        edges: g.m(),
+                        min_degree: g.min_degree(),
+                        max_degree: g.degrees().max().unwrap_or(0),
+                        node_averaged: times.node_mean(),
+                        edge_averaged: times.edge_mean(),
+                        edge_averaged_one_endpoint: times.edge_one_endpoint_mean(),
+                        node_worst: times.node_max(),
+                        rounds: run.worst_case(),
+                        peak_message_bits: run.transcript.peak_message_bits(),
+                    };
+                    *slots[i].lock().expect("result slot") = Some(Outcome { result, times });
                 }
-                let cell = cells[i];
-                let g = &graphs[&(cell.generator, cell.n)];
-                let algo = registry().get(cell.algorithm).expect("validated key");
-                let run = algo.run(g, algo_seed(spec.master_seed, &cell));
-                run.verify(g).unwrap_or_else(|e| {
-                    panic!(
-                        "{} produced an invalid output on {} n={} seed={}: {e}",
-                        cell.algorithm, cell.generator, cell.n, cell.seed
-                    )
-                });
-                let times = run.completion_times(g);
-                let result = CellResult {
-                    cell,
-                    nodes: g.n(),
-                    edges: g.m(),
-                    min_degree: g.min_degree(),
-                    max_degree: g.degrees().max().unwrap_or(0),
-                    node_averaged: times.node_mean(),
-                    edge_averaged: times.edge_mean(),
-                    edge_averaged_one_endpoint: times.edge_one_endpoint_mean(),
-                    node_worst: times.node_max(),
-                    rounds: run.worst_case(),
-                    peak_message_bits: run.transcript.peak_message_bits(),
-                };
-                *slots[i].lock().expect("result slot") = Some(Outcome { result, times });
             });
         }
     });
@@ -452,6 +569,7 @@ mod tests {
             sizes: vec![32, 64],
             seeds: 2,
             master_seed: 7,
+            params: Vec::new(),
         }
     }
 
@@ -463,6 +581,7 @@ mod tests {
             sizes: vec![32],
             seeds: 2,
             master_seed: 0,
+            params: Vec::new(),
         };
         let cells = spec.cells().unwrap();
         // Orientation (min degree 3) runs on regular/3 but not on trees.
@@ -485,6 +604,7 @@ mod tests {
             sizes: vec![32],
             seeds: 3,
             master_seed: 0,
+            params: Vec::new(),
         };
         let cells = spec.cells().unwrap();
         let greedy = cells.iter().filter(|c| c.algorithm == "mis/greedy").count();
@@ -552,6 +672,65 @@ mod tests {
                 assert_eq!(a.edges, b.edges);
                 assert_eq!(a.nodes, b.nodes);
             }
+        }
+    }
+
+    #[test]
+    fn param_override_parse_accepts_cli_shape() {
+        let p = ParamOverride::parse("mis/luby:mark-factor=0.75").unwrap();
+        assert_eq!(p.algorithm, "mis/luby");
+        assert_eq!(p.key, "mark-factor");
+        assert_eq!(p.value, "0.75");
+        for bad in ["mis/luby", "mis/luby:mark-factor", ":k=v", "a:=v", "a:k="] {
+            assert!(ParamOverride::parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn param_overrides_retarget_only_the_named_algorithm() {
+        let mut spec = tiny_spec();
+        let base = run(&spec, 2).unwrap();
+        spec.params
+            .push(ParamOverride::parse("mis/luby:mark-factor=1.0").unwrap());
+        let tuned = run(&spec, 2).unwrap();
+        assert_eq!(base.cells.len(), tuned.cells.len());
+        let mut luby_changed = false;
+        for (a, b) in base.cells.iter().zip(&tuned.cells) {
+            assert_eq!(a.cell, b.cell);
+            if a.cell.algorithm == "mis/luby" {
+                luby_changed |= a.node_averaged.to_bits() != b.node_averaged.to_bits();
+            } else {
+                // Untouched algorithms are byte-identical.
+                assert_eq!(
+                    a.node_averaged.to_bits(),
+                    b.node_averaged.to_bits(),
+                    "{} drifted without an override",
+                    a.cell.algorithm
+                );
+            }
+        }
+        assert!(luby_changed, "the override should change mis/luby cells");
+    }
+
+    #[test]
+    fn param_overrides_are_validated_up_front() {
+        let mut spec = tiny_spec();
+        spec.params
+            .push(ParamOverride::parse("mis/luby:mark-facotr=0.5").unwrap());
+        match run(&spec, 1) {
+            Err(SweepError::Param { message }) => {
+                assert!(message.contains("did you mean"), "got: {message}")
+            }
+            other => panic!("expected Param error, got {other:?}"),
+        }
+        let mut spec = tiny_spec();
+        spec.params
+            .push(ParamOverride::parse("coloring/trial:extra-colors=2").unwrap());
+        match run(&spec, 1) {
+            Err(SweepError::Param { message }) => {
+                assert!(message.contains("not part of this sweep"), "got: {message}")
+            }
+            other => panic!("expected Param error, got {other:?}"),
         }
     }
 

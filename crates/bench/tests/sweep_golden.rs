@@ -12,6 +12,8 @@
 //! and review the diff like any other code change.
 
 use localavg_bench::{emit, sweep};
+use localavg_core::algo::{registry, RunSpec, TranscriptPolicy, Workspace};
+use localavg_graph::gen;
 
 /// The pinned spec: small enough to run in milliseconds, wide enough to
 /// exercise node problems, edge problems, deterministic seed collapsing,
@@ -28,6 +30,7 @@ fn golden_spec() -> sweep::SweepSpec {
         sizes: vec![24, 48],
         seeds: 2,
         master_seed: 2022,
+        params: Vec::new(),
     }
 }
 
@@ -78,6 +81,71 @@ fn emitted_bytes_are_independent_of_thread_count() {
     );
     assert_eq!(emit::cells_csv(&sequential), emit::cells_csv(&parallel));
     assert_eq!(emit::groups_csv(&sequential), emit::groups_csv(&parallel));
+}
+
+#[test]
+fn lean_policies_reproduce_the_golden_metrics() {
+    // The committed golden bytes pin the Full-policy sweep. Re-executing
+    // every golden cell under CompletionsOnly/None (with a reused
+    // workspace — the sweep's own configuration) must reproduce each
+    // cell's metrics bit for bit: the policy drops bookkeeping, never
+    // measurements.
+    let spec = golden_spec();
+    let report = sweep::run(&spec, 2).expect("sweep runs");
+    // Golden guard: the report we compare against is the byte-pinned one.
+    check_golden("sweep.json", &emit::to_json(&report));
+    let mut ws = Workspace::new();
+    // One instance per (generator, n), shared across cells and policies
+    // — the sweep's own one-instance-per-group discipline.
+    let mut graphs: std::collections::BTreeMap<(&str, usize), localavg_graph::Graph> =
+        std::collections::BTreeMap::new();
+    for policy in [TranscriptPolicy::CompletionsOnly, TranscriptPolicy::None] {
+        for cell in &report.cells {
+            let g = graphs
+                .entry((cell.cell.generator, cell.cell.n))
+                .or_insert_with(|| {
+                    gen::registry()
+                        .get(cell.cell.generator)
+                        .expect("registered family")
+                        .build(
+                            cell.cell.n,
+                            sweep::graph_seed(spec.master_seed, cell.cell.generator, cell.cell.n),
+                        )
+                        .expect("instance")
+                });
+            let run = registry()
+                .get(cell.cell.algorithm)
+                .expect("registered")
+                .execute_in(
+                    g,
+                    &RunSpec::new(sweep::algo_seed(spec.master_seed, &cell.cell))
+                        .with_transcript(policy),
+                    &mut ws,
+                );
+            let times = run.completion_times(g);
+            let label = format!(
+                "{}/{} n={} seed={} under {policy:?}",
+                cell.cell.algorithm, cell.cell.generator, cell.cell.n, cell.cell.seed
+            );
+            assert_eq!(
+                times.node_mean().to_bits(),
+                cell.node_averaged.to_bits(),
+                "{label}: node_averaged"
+            );
+            assert_eq!(
+                times.edge_mean().to_bits(),
+                cell.edge_averaged.to_bits(),
+                "{label}: edge_averaged"
+            );
+            assert_eq!(
+                times.edge_one_endpoint_mean().to_bits(),
+                cell.edge_averaged_one_endpoint.to_bits(),
+                "{label}: one-endpoint convention"
+            );
+            assert_eq!(times.node_max(), cell.node_worst, "{label}: node_worst");
+            assert_eq!(run.worst_case(), cell.rounds, "{label}: rounds");
+        }
+    }
 }
 
 #[test]

@@ -1,23 +1,62 @@
 //! [`Algorithm`] implementations for every family in the workspace.
 //!
 //! Each implementation is a zero-sized unit struct wrapping the family
-//! module's entry point and converting its legacy `*Run` into the unified
-//! [`AlgoRun`]. The legacy free functions (`mis::luby`, `ruling::two_two`,
-//! …) stay available as thin shims for code that wants the typed outputs
-//! directly.
+//! module's `*_spec` entry point and converting its typed `*Run` into the
+//! unified [`AlgoRun`]. The family free functions (`mis::luby`,
+//! `ruling::two_two`, …) stay available for code that wants the typed
+//! outputs directly.
+//!
+//! Algorithms with tuning knobs declare them as [`ParamSpec`]s and
+//! validate string assignments in `set_param` — that is what
+//! `DynAlgorithm::with_params` (and `exp --param family/name:key=value`)
+//! dispatches through. Defaults are always the paper's constants, so a
+//! parameterless run is byte-identical to the pre-parameter engine.
 
-use super::{AlgoRun, Algorithm, Exec, Problem};
-use crate::orientation::DetOrientParams;
+use super::{AlgoRun, Algorithm, ParamError, ParamSpec, Problem, RunSpec, Workspace};
+use crate::coloring::TrialColoringParams;
+use crate::matching::LubyMatchParams;
+use crate::mis::{DegreeGuidedParams, LubyMisParams};
+use crate::orientation::{DetOrientParams, RandOrientParams};
 use crate::ruling::DetRulingParams;
 use crate::{coloring, matching, mis, orientation, ruling};
 use localavg_graph::Graph;
+
+/// Parses a float parameter in `(0, hi]`.
+fn parse_unit_factor(
+    algorithm: &'static str,
+    key: &str,
+    value: &str,
+    hi: f64,
+    expected: &'static str,
+) -> Result<f64, ParamError> {
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|f| f.is_finite() && *f > 0.0 && *f <= hi)
+        .ok_or_else(|| ParamError::invalid(algorithm, key, value, expected))
+}
+
+/// Parses an unsigned integer parameter with a lower bound.
+fn parse_count(
+    algorithm: &'static str,
+    key: &str,
+    value: &str,
+    min: usize,
+    expected: &'static str,
+) -> Result<usize, ParamError> {
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&v| v >= min)
+        .ok_or_else(|| ParamError::invalid(algorithm, key, value, expected))
+}
 
 /// Luby's randomized MIS (`"mis/luby"`, §3.1).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MisLuby;
 
 impl Algorithm for MisLuby {
-    type Params = ();
+    type Params = LubyMisParams;
 
     fn name(&self) -> &'static str {
         "mis/luby"
@@ -27,12 +66,42 @@ impl Algorithm for MisLuby {
         Problem::Mis
     }
 
-    fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
-        AlgoRun::from(mis::luby(g, seed)).named(self.name())
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        params: &LubyMisParams,
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        AlgoRun::from(mis::luby_spec(g, spec, params, ws)).named(self.name())
     }
 
-    fn run_with_exec(&self, g: &Graph, seed: u64, _params: &(), exec: Exec) -> AlgoRun {
-        AlgoRun::from(mis::luby_exec(g, seed, exec)).named(self.name())
+    fn param_specs(&self) -> &'static [ParamSpec] {
+        &[ParamSpec {
+            key: "mark-factor",
+            default: "0.5",
+            doc: "mark probability numerator, p_v = mark-factor/deg(v); a float in (0, 1]",
+        }]
+    }
+
+    fn set_param(
+        &self,
+        params: &mut LubyMisParams,
+        key: &str,
+        value: &str,
+    ) -> Result<(), ParamError> {
+        match key {
+            "mark-factor" => {
+                params.mark_factor =
+                    parse_unit_factor(self.name(), key, value, 1.0, "a float in (0, 1]")?;
+                Ok(())
+            }
+            _ => Err(ParamError::unknown_key(
+                self.name(),
+                key,
+                self.param_specs(),
+            )),
+        }
     }
 }
 
@@ -41,7 +110,7 @@ impl Algorithm for MisLuby {
 pub struct MisDegreeGuided;
 
 impl Algorithm for MisDegreeGuided {
-    type Params = ();
+    type Params = DegreeGuidedParams;
 
     fn name(&self) -> &'static str {
         "mis/degree-guided"
@@ -51,12 +120,54 @@ impl Algorithm for MisDegreeGuided {
         Problem::Mis
     }
 
-    fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
-        AlgoRun::from(mis::degree_guided(g, seed)).named(self.name())
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        params: &DegreeGuidedParams,
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        AlgoRun::from(mis::degree_guided_spec(g, spec, params, ws)).named(self.name())
     }
 
-    fn run_with_exec(&self, g: &Graph, seed: u64, _params: &(), exec: Exec) -> AlgoRun {
-        AlgoRun::from(mis::degree_guided_exec(g, seed, exec)).named(self.name())
+    fn param_specs(&self) -> &'static [ParamSpec] {
+        &[
+            ParamSpec {
+                key: "initial-desire",
+                default: "0.5",
+                doc: "starting desire level p_v; a float in (0, 0.5]",
+            },
+            ParamSpec {
+                key: "mass-threshold",
+                default: "2.0",
+                doc: "neighborhood desire mass above which p_v halves; a positive float",
+            },
+        ]
+    }
+
+    fn set_param(
+        &self,
+        params: &mut DegreeGuidedParams,
+        key: &str,
+        value: &str,
+    ) -> Result<(), ParamError> {
+        match key {
+            "initial-desire" => {
+                params.initial_desire =
+                    parse_unit_factor(self.name(), key, value, 0.5, "a float in (0, 0.5]")?;
+                Ok(())
+            }
+            "mass-threshold" => {
+                params.mass_threshold =
+                    parse_unit_factor(self.name(), key, value, f64::INFINITY, "a positive float")?;
+                Ok(())
+            }
+            _ => Err(ParamError::unknown_key(
+                self.name(),
+                key,
+                self.param_specs(),
+            )),
+        }
     }
 }
 
@@ -79,12 +190,14 @@ impl Algorithm for MisGreedy {
         true
     }
 
-    fn run_with(&self, g: &Graph, _seed: u64, _params: &()) -> AlgoRun {
-        AlgoRun::from(mis::greedy_by_id(g)).named(self.name())
-    }
-
-    fn run_with_exec(&self, g: &Graph, _seed: u64, _params: &(), exec: Exec) -> AlgoRun {
-        AlgoRun::from(mis::greedy_by_id_exec(g, exec)).named(self.name())
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        _params: &(),
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        AlgoRun::from(mis::greedy_by_id_spec(g, spec, ws)).named(self.name())
     }
 }
 
@@ -103,18 +216,20 @@ impl Algorithm for RulingTwoTwo {
         Problem::RulingSet
     }
 
-    fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
-        AlgoRun::from(ruling::two_two(g, seed)).named(self.name())
-    }
-
-    fn run_with_exec(&self, g: &Graph, seed: u64, _params: &(), exec: Exec) -> AlgoRun {
-        AlgoRun::from(ruling::two_two_exec(g, seed, exec)).named(self.name())
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        _params: &(),
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        AlgoRun::from(ruling::two_two_spec(g, spec, ws)).named(self.name())
     }
 }
 
 /// How `"ruling/det"` chooses Theorem 3's iteration count. The
 /// graph-dependent variants are resolved against the input graph inside
-/// `run_with`, which is what lets `Default` stay graph-agnostic.
+/// `execute_with_in`, which is what lets `Default` stay graph-agnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DetRulingSpec {
     /// Theorem 3's (2, O(log Δ)) variant (the default).
@@ -156,12 +271,85 @@ impl Algorithm for RulingDet {
         true
     }
 
-    fn run_with(&self, g: &Graph, _seed: u64, params: &DetRulingSpec) -> AlgoRun {
-        AlgoRun::from(ruling::deterministic(g, params.resolve(g))).named(self.name())
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        params: &DetRulingSpec,
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        AlgoRun::from(ruling::deterministic_spec(g, spec, params.resolve(g), ws)).named(self.name())
     }
 
-    fn run_with_exec(&self, g: &Graph, _seed: u64, params: &DetRulingSpec, exec: Exec) -> AlgoRun {
-        AlgoRun::from(ruling::deterministic_exec(g, params.resolve(g), exec)).named(self.name())
+    fn param_specs(&self) -> &'static [ParamSpec] {
+        &[
+            ParamSpec {
+                key: "variant",
+                default: "log-delta",
+                doc: "iteration policy: `log-delta` (Theorem 3a) or `log-log-n` (Theorem 3b)",
+            },
+            ParamSpec {
+                key: "iterations",
+                default: "(variant)",
+                doc: "fixed halving-iteration count T (yields a (2, 2T+1)-ruling set); an integer >= 1",
+            },
+        ]
+    }
+
+    fn set_param(
+        &self,
+        params: &mut DetRulingSpec,
+        key: &str,
+        value: &str,
+    ) -> Result<(), ParamError> {
+        // `variant` and `iterations` both choose the whole spec; a
+        // silent overwrite would make repeated --param flags
+        // order-dependent, so contradictory pairs are rejected.
+        match key {
+            "variant" => {
+                if matches!(params, DetRulingSpec::Fixed(_)) {
+                    return Err(ParamError::invalid(
+                        self.name(),
+                        key,
+                        value,
+                        "no `variant` on top of an explicit `iterations` \
+                         (the two are mutually exclusive)",
+                    ));
+                }
+                *params = match value {
+                    "log-delta" => DetRulingSpec::LogDelta,
+                    "log-log-n" => DetRulingSpec::LogLogN,
+                    _ => {
+                        return Err(ParamError::invalid(
+                            self.name(),
+                            key,
+                            value,
+                            "`log-delta` or `log-log-n`",
+                        ))
+                    }
+                };
+                Ok(())
+            }
+            "iterations" => {
+                if matches!(params, DetRulingSpec::LogLogN) {
+                    return Err(ParamError::invalid(
+                        self.name(),
+                        key,
+                        value,
+                        "no `iterations` on top of an explicit `variant` \
+                         (the two are mutually exclusive)",
+                    ));
+                }
+                let iterations = parse_count(self.name(), key, value, 1, "an integer >= 1")?;
+                *params = DetRulingSpec::Fixed(DetRulingParams { iterations });
+                Ok(())
+            }
+            _ => Err(ParamError::unknown_key(
+                self.name(),
+                key,
+                self.param_specs(),
+            )),
+        }
     }
 }
 
@@ -170,7 +358,7 @@ impl Algorithm for RulingDet {
 pub struct MatchingLuby;
 
 impl Algorithm for MatchingLuby {
-    type Params = ();
+    type Params = LubyMatchParams;
 
     fn name(&self) -> &'static str {
         "matching/luby"
@@ -180,12 +368,42 @@ impl Algorithm for MatchingLuby {
         Problem::MaximalMatching
     }
 
-    fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
-        AlgoRun::from(matching::luby(g, seed)).named(self.name())
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        params: &LubyMatchParams,
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        AlgoRun::from(matching::luby_spec(g, spec, params, ws)).named(self.name())
     }
 
-    fn run_with_exec(&self, g: &Graph, seed: u64, _params: &(), exec: Exec) -> AlgoRun {
-        AlgoRun::from(matching::luby_exec(g, seed, exec)).named(self.name())
+    fn param_specs(&self) -> &'static [ParamSpec] {
+        &[ParamSpec {
+            key: "mark-factor",
+            default: "0.25",
+            doc: "edge-mark probability numerator, p_e = mark-factor/(d_u+d_v); a float in (0, 1]",
+        }]
+    }
+
+    fn set_param(
+        &self,
+        params: &mut LubyMatchParams,
+        key: &str,
+        value: &str,
+    ) -> Result<(), ParamError> {
+        match key {
+            "mark-factor" => {
+                params.mark_factor =
+                    parse_unit_factor(self.name(), key, value, 1.0, "a float in (0, 1]")?;
+                Ok(())
+            }
+            _ => Err(ParamError::unknown_key(
+                self.name(),
+                key,
+                self.param_specs(),
+            )),
+        }
     }
 }
 
@@ -208,12 +426,14 @@ impl Algorithm for MatchingDet {
         true
     }
 
-    fn run_with(&self, g: &Graph, _seed: u64, _params: &()) -> AlgoRun {
-        AlgoRun::from(matching::deterministic(g)).named(self.name())
-    }
-
-    fn run_with_exec(&self, g: &Graph, _seed: u64, _params: &(), exec: Exec) -> AlgoRun {
-        AlgoRun::from(matching::deterministic_exec(g, exec)).named(self.name())
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        _params: &(),
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        AlgoRun::from(matching::deterministic_spec(g, spec, ws)).named(self.name())
     }
 }
 
@@ -236,12 +456,14 @@ impl Algorithm for MatchingGreedy {
         true
     }
 
-    fn run_with(&self, g: &Graph, _seed: u64, _params: &()) -> AlgoRun {
-        AlgoRun::from(matching::greedy(g)).named(self.name())
-    }
-
-    fn run_with_exec(&self, g: &Graph, _seed: u64, _params: &(), exec: Exec) -> AlgoRun {
-        AlgoRun::from(matching::greedy_exec(g, exec)).named(self.name())
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        _params: &(),
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        AlgoRun::from(matching::greedy_spec(g, spec, ws)).named(self.name())
     }
 }
 
@@ -250,7 +472,7 @@ impl Algorithm for MatchingGreedy {
 pub struct OrientationRand;
 
 impl Algorithm for OrientationRand {
-    type Params = ();
+    type Params = RandOrientParams;
 
     fn name(&self) -> &'static str {
         "orientation/rand"
@@ -260,16 +482,50 @@ impl Algorithm for OrientationRand {
         Problem::SinklessOrientation
     }
 
-    fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
-        AlgoRun::from(orientation::randomized(g, seed)).named(self.name())
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        params: &RandOrientParams,
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        AlgoRun::from(orientation::randomized_spec(g, spec, params, ws)).named(self.name())
     }
 
-    fn run_with_exec(&self, g: &Graph, seed: u64, _params: &(), exec: Exec) -> AlgoRun {
-        AlgoRun::from(orientation::randomized_exec(g, seed, exec)).named(self.name())
+    fn param_specs(&self) -> &'static [ParamSpec] {
+        &[ParamSpec {
+            key: "contest-iterations",
+            default: "8",
+            doc: "proposal-contest iterations before the structural finisher; an integer >= 1",
+        }]
+    }
+
+    fn set_param(
+        &self,
+        params: &mut RandOrientParams,
+        key: &str,
+        value: &str,
+    ) -> Result<(), ParamError> {
+        match key {
+            "contest-iterations" => {
+                params.contest_iterations =
+                    parse_count(self.name(), key, value, 1, "an integer >= 1")?;
+                Ok(())
+            }
+            _ => Err(ParamError::unknown_key(
+                self.name(),
+                key,
+                self.param_specs(),
+            )),
+        }
     }
 }
 
 /// Theorem 6's deterministic sinkless orientation (`"orientation/det"`).
+///
+/// The transcript is assembled structurally (no round engine), so
+/// `spec.exec`, the workspace, and the transcript policy have no effect
+/// on this algorithm.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OrientationDet;
 
@@ -288,8 +544,62 @@ impl Algorithm for OrientationDet {
         true
     }
 
-    fn run_with(&self, g: &Graph, _seed: u64, params: &DetOrientParams) -> AlgoRun {
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        _spec: &RunSpec,
+        params: &DetOrientParams,
+        _ws: &mut Workspace,
+    ) -> AlgoRun {
         AlgoRun::from(orientation::deterministic(g, *params)).named(self.name())
+    }
+
+    fn param_specs(&self) -> &'static [ParamSpec] {
+        &[
+            ParamSpec {
+                key: "r",
+                default: "2",
+                doc: "the paper's constant r (cycle threshold 6r, cluster radius 2r+1); an integer >= 2",
+            },
+            ParamSpec {
+                key: "finish-threshold",
+                default: "48",
+                doc: "virtual graphs at most this large go straight to the ball-growing finisher; an integer >= 4",
+            },
+            ParamSpec {
+                key: "max-depth",
+                default: "12",
+                doc: "hard cap on contraction-recursion depth; an integer >= 1",
+            },
+        ]
+    }
+
+    fn set_param(
+        &self,
+        params: &mut DetOrientParams,
+        key: &str,
+        value: &str,
+    ) -> Result<(), ParamError> {
+        match key {
+            "r" => {
+                params.r = parse_count(self.name(), key, value, 2, "an integer >= 2")?;
+                Ok(())
+            }
+            "finish-threshold" => {
+                params.finish_threshold =
+                    parse_count(self.name(), key, value, 4, "an integer >= 4")?;
+                Ok(())
+            }
+            "max-depth" => {
+                params.max_depth = parse_count(self.name(), key, value, 1, "an integer >= 1")?;
+                Ok(())
+            }
+            _ => Err(ParamError::unknown_key(
+                self.name(),
+                key,
+                self.param_specs(),
+            )),
+        }
     }
 }
 
@@ -298,7 +608,7 @@ impl Algorithm for OrientationDet {
 pub struct ColoringTrial;
 
 impl Algorithm for ColoringTrial {
-    type Params = ();
+    type Params = TrialColoringParams;
 
     fn name(&self) -> &'static str {
         "coloring/trial"
@@ -308,12 +618,42 @@ impl Algorithm for ColoringTrial {
         Problem::Coloring
     }
 
-    fn run_with(&self, g: &Graph, seed: u64, _params: &()) -> AlgoRun {
-        AlgoRun::from(coloring::random_trial(g, seed)).named(self.name())
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        params: &TrialColoringParams,
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        AlgoRun::from(coloring::random_trial_spec(g, spec, params, ws)).named(self.name())
     }
 
-    fn run_with_exec(&self, g: &Graph, seed: u64, _params: &(), exec: Exec) -> AlgoRun {
-        AlgoRun::from(coloring::random_trial_exec(g, seed, exec)).named(self.name())
+    fn param_specs(&self) -> &'static [ParamSpec] {
+        &[ParamSpec {
+            key: "extra-colors",
+            default: "0",
+            doc: "palette slots beyond the guaranteed Δ+1; a non-negative integer",
+        }]
+    }
+
+    fn set_param(
+        &self,
+        params: &mut TrialColoringParams,
+        key: &str,
+        value: &str,
+    ) -> Result<(), ParamError> {
+        match key {
+            "extra-colors" => {
+                params.extra_colors =
+                    parse_count(self.name(), key, value, 0, "a non-negative integer")?;
+                Ok(())
+            }
+            _ => Err(ParamError::unknown_key(
+                self.name(),
+                key,
+                self.param_specs(),
+            )),
+        }
     }
 }
 
@@ -336,19 +676,21 @@ impl Algorithm for ColoringLinial {
         true
     }
 
-    fn run_with(&self, g: &Graph, _seed: u64, _params: &()) -> AlgoRun {
-        AlgoRun::from(coloring::linial(g)).named(self.name())
-    }
-
-    fn run_with_exec(&self, g: &Graph, _seed: u64, _params: &(), exec: Exec) -> AlgoRun {
-        AlgoRun::from(coloring::linial_exec(g, exec)).named(self.name())
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        _params: &(),
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        AlgoRun::from(coloring::linial_spec(g, spec, ws)).named(self.name())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algo::Solution;
+    use crate::algo::{registry, DynAlgorithm, Solution};
     use localavg_graph::gen;
     use localavg_graph::rng::Rng;
 
@@ -369,9 +711,9 @@ mod tests {
     #[test]
     fn ruling_det_beta_tracks_spec() {
         let g = gen::grid(5, 5);
-        let run = RulingDet.run_with(
+        let run = RulingDet.execute_with(
             &g,
-            0,
+            &RunSpec::new(0),
             &DetRulingSpec::Fixed(DetRulingParams { iterations: 3 }),
         );
         match run.solution {
@@ -389,8 +731,8 @@ mod tests {
             if algo.problem().min_degree() > g.min_degree() || !algo.deterministic() {
                 continue;
             }
-            let a = algo.run(&g, 1);
-            let b = algo.run(&g, 99);
+            let a = algo.execute(&g, &RunSpec::new(1));
+            let b = algo.execute(&g, &RunSpec::new(99));
             assert_eq!(
                 a.solution,
                 b.solution,
@@ -405,8 +747,147 @@ mod tests {
         let mut rng = Rng::seed_from(7);
         let g = gen::random_regular(32, 3, &mut rng).unwrap();
         for name in ["orientation/rand", "orientation/det"] {
-            let run = crate::algo::registry().get(name).unwrap().run(&g, 2);
+            let run = crate::algo::registry()
+                .get(name)
+                .unwrap()
+                .execute(&g, &RunSpec::new(2));
             run.verify(&g).expect("sinkless");
         }
+    }
+
+    #[test]
+    fn string_params_configure_every_declared_key() {
+        // Every declared (key, default-compatible value) round-trips
+        // through with_params and still produces a verifying run.
+        let mut rng = Rng::seed_from(11);
+        let g = gen::random_regular(48, 4, &mut rng).unwrap();
+        let assignments: &[(&str, &[(&str, &str)])] = &[
+            ("mis/luby", &[("mark-factor", "0.3")]),
+            (
+                "mis/degree-guided",
+                &[("initial-desire", "0.25"), ("mass-threshold", "1.5")],
+            ),
+            ("ruling/det", &[("variant", "log-log-n")]),
+            ("ruling/det", &[("iterations", "2")]),
+            ("matching/luby", &[("mark-factor", "0.5")]),
+            ("coloring/trial", &[("extra-colors", "3")]),
+        ];
+        for (name, kvs) in assignments {
+            let algo = registry()
+                .get(name)
+                .unwrap()
+                .with_params(kvs)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(algo.name(), *name);
+            let run = algo.execute(&g, &RunSpec::new(3));
+            run.verify(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn ruling_det_iterations_param_sets_beta() {
+        let g = gen::grid(5, 5);
+        let algo = registry()
+            .get("ruling/det")
+            .unwrap()
+            .with_params(&[("iterations", "3")])
+            .unwrap();
+        let run = algo.execute(&g, &RunSpec::new(0));
+        match run.solution {
+            Solution::RulingSet { beta, .. } => assert_eq!(beta, 7),
+            ref other => panic!("wrong solution kind: {other:?}"),
+        }
+    }
+
+    /// `expect_err` needs `T: Debug`, which trait-object boxes lack.
+    fn param_err(result: Result<Box<dyn DynAlgorithm>, ParamError>) -> ParamError {
+        match result {
+            Err(e) => e,
+            Ok(_) => panic!("expected a parameter error"),
+        }
+    }
+
+    #[test]
+    fn invalid_values_are_rejected_with_expectations() {
+        let cases: &[(&str, &str, &str)] = &[
+            ("mis/luby", "mark-factor", "2.0"),
+            ("mis/luby", "mark-factor", "nan"),
+            ("mis/luby", "mark-factor", "-0.5"),
+            ("mis/degree-guided", "initial-desire", "0.9"),
+            ("ruling/det", "variant", "log-squared"),
+            ("ruling/det", "iterations", "0"),
+            ("orientation/det", "r", "1"),
+            ("orientation/rand", "contest-iterations", "0"),
+            ("coloring/trial", "extra-colors", "-1"),
+        ];
+        for (name, key, value) in cases {
+            let err = param_err(registry().get(name).unwrap().with_params(&[(key, value)]));
+            assert!(
+                matches!(err, ParamError::InvalidValue { .. }),
+                "{name} {key}={value}: got {err:?}"
+            );
+            assert!(err.to_string().contains("expected"));
+        }
+    }
+
+    #[test]
+    fn ruling_det_conflicting_params_are_rejected() {
+        // `variant` and `iterations` both pick the whole spec: combining
+        // them must fail loudly instead of silently keeping the last one.
+        let r = registry().get("ruling/det").unwrap();
+        let err = param_err(r.with_params(&[("iterations", "3"), ("variant", "log-delta")]));
+        assert!(matches!(err, ParamError::InvalidValue { .. }));
+        assert!(err.to_string().contains("mutually exclusive"));
+        let err = param_err(r.with_params(&[("variant", "log-log-n"), ("iterations", "3")]));
+        assert!(matches!(err, ParamError::InvalidValue { .. }));
+        // Each alone still works.
+        assert!(r.with_params(&[("variant", "log-log-n")]).is_ok());
+        assert!(r.with_params(&[("iterations", "3")]).is_ok());
+    }
+
+    #[test]
+    fn unknown_keys_suggest_close_matches() {
+        let err = param_err(
+            registry()
+                .get("mis/luby")
+                .unwrap()
+                .with_params(&[("mark-facotr", "0.5")]),
+        );
+        match err {
+            ParamError::UnknownKey { suggestion, .. } => {
+                assert_eq!(suggestion, Some("mark-factor"));
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+        // Parameterless algorithms reject with NoParams.
+        let err = param_err(
+            registry()
+                .get("mis/greedy")
+                .unwrap()
+                .with_params(&[("anything", "1")]),
+        );
+        assert!(matches!(err, ParamError::NoParams { .. }));
+        assert!(err.to_string().contains("takes no parameters"));
+    }
+
+    #[test]
+    fn with_params_layers_on_previous_configuration() {
+        let g = gen::grid(5, 5);
+        let base = registry()
+            .get("ruling/det")
+            .unwrap()
+            .with_params(&[("iterations", "1")])
+            .unwrap();
+        // Re-configuring a configured algorithm overrides on top.
+        let refined = base.with_params(&[("iterations", "2")]).unwrap();
+        let beta = |algo: &dyn DynAlgorithm| match algo.execute(&g, &RunSpec::new(0)).solution {
+            Solution::RulingSet { beta, .. } => beta,
+            ref other => panic!("wrong solution kind: {other:?}"),
+        };
+        assert_eq!(beta(base.as_ref()), 3);
+        assert_eq!(beta(refined.as_ref()), 5);
+        assert_eq!(refined.problem(), Problem::RulingSet);
+        assert!(refined.deterministic());
+        assert_eq!(refined.param_specs().len(), 2);
     }
 }

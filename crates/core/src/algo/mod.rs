@@ -7,7 +7,14 @@
 //!
 //! * [`Algorithm`] — the one trait every implementation satisfies:
 //!   `name()`, `problem()`, a typed [`Algorithm::Params`] with a sane
-//!   `Default`, and `run(&Graph, seed) -> AlgoRun`.
+//!   `Default`, and `execute(&Graph, &RunSpec) -> AlgoRun`.
+//! * [`RunSpec`] — everything one run needs besides graph and algorithm
+//!   parameters: seed, executor, round budget, and a
+//!   [`TranscriptPolicy`] that lets the engine skip ledger bookkeeping
+//!   when only completion times are wanted.
+//! * [`Workspace`] — reusable engine arenas keyed to a graph's CSR
+//!   shape; repeated runs through `execute_in` reuse allocations
+//!   instead of paying them per run.
 //! * [`AlgoRun`] — the single result type: an output-erased transcript
 //!   (commit clocks survive; labels move into [`Solution`]) plus shared
 //!   [`AlgoRun::worst_case`], [`AlgoRun::report`], and
@@ -16,26 +23,59 @@
 //! * [`registry`] — the string-keyed catalog (`"mis/luby"`,
 //!   `"ruling/two-two"`, `"matching/det"`, …) for dynamic dispatch:
 //!   sweep drivers iterate it instead of special-casing five families.
+//!   [`DynAlgorithm::with_params`] configures an entry from string
+//!   `key=value` pairs with per-algorithm validation, so CLIs can vary
+//!   tuning knobs without knowing the typed parameter structs.
+//!
+//! The pre-`RunSpec` entry points (`run(&Graph, seed)`,
+//! `run_with_exec(...)`) survive as deprecated shims for one release;
+//! migrate via `execute(&g, &RunSpec::new(seed))`.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use localavg_core::algo::registry;
+//! use localavg_core::algo::{registry, RunSpec};
 //! use localavg_graph::{gen, rng::Rng};
 //!
 //! let mut rng = Rng::seed_from(1);
 //! let g = gen::random_regular(64, 4, &mut rng).expect("graph");
 //!
 //! // Dynamic dispatch by name…
-//! let run = registry().get("mis/luby").expect("registered").run(&g, 7);
+//! let run = registry()
+//!     .get("mis/luby")
+//!     .expect("registered")
+//!     .execute(&g, &RunSpec::new(7));
 //! run.verify(&g).expect("valid MIS");
 //! assert!(run.report(&g).node_averaged < 32.0);
 //!
 //! // …or sweep everything that solves a node problem.
 //! for algo in registry().iter() {
 //!     if algo.problem().min_degree() <= g.min_degree() {
-//!         algo.run(&g, 7).verify(&g).expect("every algorithm is valid");
+//!         let run = algo.execute(&g, &RunSpec::new(7));
+//!         run.verify(&g).expect("every algorithm is valid");
 //!     }
+//! }
+//! ```
+//!
+//! # Repeated runs and string-keyed parameters
+//!
+//! ```
+//! use localavg_core::algo::{registry, RunSpec, TranscriptPolicy, Workspace};
+//! use localavg_graph::gen;
+//!
+//! let g = gen::grid(8, 8);
+//! // A (2, 5)-ruling set: Theorem 3 with a fixed iteration count.
+//! let algo = registry()
+//!     .get("ruling/det")
+//!     .expect("registered")
+//!     .with_params(&[("iterations", "2")])
+//!     .expect("valid parameters");
+//! // Reuse arenas and skip the CONGEST audit across repeated runs.
+//! let mut ws = Workspace::new();
+//! let spec = RunSpec::new(0).with_transcript(TranscriptPolicy::CompletionsOnly);
+//! for seed in 0..4 {
+//!     let run = algo.execute_in(&g, &spec.clone().with_seed(seed), &mut ws);
+//!     run.verify(&g).expect("valid ruling set");
 //! }
 //! ```
 
@@ -54,8 +94,10 @@ use crate::orientation::OrientationRun;
 use crate::ruling::RulingRun;
 use localavg_graph::analysis::{self, Orientation};
 use localavg_graph::Graph;
-pub use localavg_sim::engine::Exec;
+pub use localavg_sim::engine::{Exec, RunSpec};
+pub use localavg_sim::transcript::TranscriptPolicy;
 use localavg_sim::transcript::{Round, Transcript};
+pub use localavg_sim::workspace::Workspace;
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -76,6 +118,15 @@ pub enum Problem {
 }
 
 impl Problem {
+    /// Every problem family, in registry-key order.
+    pub const ALL: [Problem; 5] = [
+        Problem::Mis,
+        Problem::RulingSet,
+        Problem::MaximalMatching,
+        Problem::SinklessOrientation,
+        Problem::Coloring,
+    ];
+
     /// Minimum degree the problem's domain requires (sinkless orientation
     /// is only defined on graphs of minimum degree 3).
     pub fn min_degree(&self) -> usize {
@@ -95,6 +146,47 @@ impl Problem {
             Problem::Coloring => "coloring",
         }
     }
+
+    /// Stable selector key — the family prefix of the registry keys
+    /// (`"mis"`, `"ruling"`, `"matching"`, `"orientation"`, `"coloring"`).
+    /// Used by `exp --problem`.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Problem::Mis => "mis",
+            Problem::RulingSet => "ruling",
+            Problem::MaximalMatching => "matching",
+            Problem::SinklessOrientation => "orientation",
+            Problem::Coloring => "coloring",
+        }
+    }
+
+    /// Parses a selector key; the inverse of [`Problem::key`].
+    pub fn parse(s: &str) -> Option<Problem> {
+        Problem::ALL.into_iter().find(|p| p.key() == s)
+    }
+
+    /// The problem key closest to `s` by edit distance, for
+    /// "unknown problem, did you mean …" errors. Garbage input (further
+    /// than a plausible typo) gets no suggestion.
+    pub fn suggest(s: &str) -> Option<&'static str> {
+        closest_match(Problem::ALL.into_iter().map(|p| p.key()), s)
+    }
+}
+
+/// The candidate closest to `query` by edit distance, or `None` when
+/// even the best candidate is too far off to be a plausible typo
+/// (distance above half the query length) — the one "did you mean"
+/// policy shared by registry keys, problem keys, and parameter keys.
+fn closest_match(
+    candidates: impl Iterator<Item = &'static str>,
+    query: &str,
+) -> Option<&'static str> {
+    let threshold = (query.chars().count() / 2).max(2);
+    candidates
+        .map(|k| (edit_distance(k, query), k))
+        .min()
+        .filter(|&(d, _)| d <= threshold)
+        .map(|(_, k)| k)
 }
 
 impl fmt::Display for Problem {
@@ -347,7 +439,7 @@ impl From<MisRun> for AlgoRun {
     fn from(run: MisRun) -> Self {
         AlgoRun {
             algorithm: "",
-            transcript: run.transcript.erased(),
+            transcript: run.transcript.into_erased(),
             solution: Solution::Mis { in_set: run.in_set },
         }
     }
@@ -357,7 +449,7 @@ impl From<RulingRun> for AlgoRun {
     fn from(run: RulingRun) -> Self {
         AlgoRun {
             algorithm: "",
-            transcript: run.transcript.erased(),
+            transcript: run.transcript.into_erased(),
             solution: Solution::RulingSet {
                 in_set: run.in_set,
                 beta: run.beta,
@@ -370,7 +462,7 @@ impl From<MatchingRun> for AlgoRun {
     fn from(run: MatchingRun) -> Self {
         AlgoRun {
             algorithm: "",
-            transcript: run.transcript.erased(),
+            transcript: run.transcript.into_erased(),
             solution: Solution::Matching {
                 in_matching: run.in_matching,
             },
@@ -382,7 +474,7 @@ impl From<OrientationRun> for AlgoRun {
     fn from(run: OrientationRun) -> Self {
         AlgoRun {
             algorithm: "",
-            transcript: run.transcript.erased(),
+            transcript: run.transcript.into_erased(),
             solution: Solution::Orientation {
                 orientation: run.orientation,
             },
@@ -394,21 +486,142 @@ impl From<ColoringRun> for AlgoRun {
     fn from(run: ColoringRun) -> Self {
         AlgoRun {
             algorithm: "",
-            transcript: run.transcript.erased(),
+            transcript: run.transcript.into_erased(),
             solution: Solution::Coloring { colors: run.colors },
         }
     }
 }
 
+/// Declares one string-keyed tuning parameter of an algorithm (the
+/// machine-readable side of [`Algorithm::set_param`]). Listed by
+/// `exp --list` and the README parameter table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Parameter key as accepted by [`DynAlgorithm::with_params`]
+    /// (kebab-case, e.g. `"mark-factor"`).
+    pub key: &'static str,
+    /// Human-readable rendering of the default value.
+    pub default: &'static str,
+    /// One-line description, including the accepted range.
+    pub doc: &'static str,
+}
+
+/// Why a string-keyed parameter assignment was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamError {
+    /// The algorithm takes no parameters at all.
+    NoParams {
+        /// Registry key of the algorithm.
+        algorithm: &'static str,
+        /// The key that was offered anyway.
+        key: String,
+    },
+    /// The key names no parameter of this algorithm.
+    UnknownKey {
+        /// Registry key of the algorithm.
+        algorithm: &'static str,
+        /// The unknown key.
+        key: String,
+        /// Closest declared key, if any is a plausible typo.
+        suggestion: Option<&'static str>,
+        /// Every declared key, for the error message.
+        known: Vec<&'static str>,
+    },
+    /// The key exists but the value failed this algorithm's validation.
+    InvalidValue {
+        /// Registry key of the algorithm.
+        algorithm: &'static str,
+        /// The parameter key.
+        key: String,
+        /// The rejected value.
+        value: String,
+        /// What the algorithm accepts (e.g. `"a float in (0, 1]"`).
+        expected: &'static str,
+    },
+}
+
+impl ParamError {
+    /// The standard rejection for a key that matches no [`ParamSpec`]:
+    /// picks [`ParamError::NoParams`] or a [`ParamError::UnknownKey`]
+    /// with a `suggest()`-style closest match. Implementations call this
+    /// from `set_param`'s fall-through arm.
+    pub fn unknown_key(algorithm: &'static str, key: &str, specs: &[ParamSpec]) -> ParamError {
+        if specs.is_empty() {
+            return ParamError::NoParams {
+                algorithm,
+                key: key.to_string(),
+            };
+        }
+        let suggestion = closest_match(specs.iter().map(|s| s.key), key);
+        ParamError::UnknownKey {
+            algorithm,
+            key: key.to_string(),
+            suggestion,
+            known: specs.iter().map(|s| s.key).collect(),
+        }
+    }
+
+    /// Builds an [`ParamError::InvalidValue`].
+    pub fn invalid(
+        algorithm: &'static str,
+        key: &str,
+        value: &str,
+        expected: &'static str,
+    ) -> ParamError {
+        ParamError::InvalidValue {
+            algorithm,
+            key: key.to_string(),
+            value: value.to_string(),
+            expected,
+        }
+    }
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::NoParams { algorithm, key } => {
+                write!(f, "`{algorithm}` takes no parameters (got `{key}`)")
+            }
+            ParamError::UnknownKey {
+                algorithm,
+                key,
+                suggestion,
+                known,
+            } => {
+                write!(f, "`{algorithm}` has no parameter `{key}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " — did you mean `{s}`?")?;
+                }
+                write!(f, " (known: {})", known.join(", "))
+            }
+            ParamError::InvalidValue {
+                algorithm,
+                key,
+                value,
+                expected,
+            } => write!(
+                f,
+                "invalid value `{value}` for `{algorithm}` parameter `{key}`: expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
 /// The unified algorithm interface with statically-typed parameters.
 ///
 /// Implementations are zero-sized unit structs (e.g. [`MisLuby`]); the
-/// registry exposes them through the object-safe [`DynAlgorithm`] facade
-/// with default parameters. Call [`Algorithm::run_with`] directly when you
-/// need non-default parameters.
+/// registry exposes them through the object-safe [`DynAlgorithm`] facade.
+/// The one required entry point is [`Algorithm::execute_with_in`] —
+/// graph, [`RunSpec`], typed parameters, reusable [`Workspace`]; every
+/// other entry point (`execute`, `execute_with`, `execute_in`) is a
+/// convenience default over it. Call [`Algorithm::execute_with`] directly
+/// when you need non-default typed parameters.
 pub trait Algorithm {
     /// Tuning parameters. `Default` must be sensible on any input graph
-    /// (graph-dependent defaults are resolved inside `run_with`).
+    /// (graph-dependent defaults are resolved inside `execute_with_in`).
     type Params: Clone + Default + fmt::Debug;
 
     /// Stable registry key, e.g. `"mis/luby"`.
@@ -423,35 +636,100 @@ pub trait Algorithm {
         false
     }
 
-    /// Runs with explicit parameters.
-    fn run_with(&self, g: &Graph, seed: u64, params: &Self::Params) -> AlgoRun;
-
-    /// Runs with explicit parameters on a chosen executor.
+    /// Runs under `spec` with explicit parameters, reusing the arenas in
+    /// `ws` — the primary entry point every implementation provides.
     ///
-    /// Executors are bit-identical (see `localavg_sim::engine`), so this is
-    /// a pure performance knob. The default ignores `exec` — correct for
-    /// structural algorithms that never enter the round engine;
-    /// engine-driven implementations override it so benchmark harnesses
-    /// and the determinism tests can drive the parallel executor.
-    fn run_with_exec(&self, g: &Graph, seed: u64, params: &Self::Params, exec: Exec) -> AlgoRun {
-        let _ = exec;
-        self.run_with(g, seed, params)
+    /// Executors are bit-identical (see `localavg_sim::engine`), so
+    /// `spec.exec` is a pure performance knob; structural algorithms that
+    /// never enter the round engine ignore it (and the workspace).
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        params: &Self::Params,
+        ws: &mut Workspace,
+    ) -> AlgoRun;
+
+    /// Runs under `spec` with explicit parameters and fresh arenas.
+    fn execute_with(&self, g: &Graph, spec: &RunSpec, params: &Self::Params) -> AlgoRun {
+        self.execute_with_in(g, spec, params, &mut Workspace::new())
+    }
+
+    /// Runs under `spec` with default parameters and fresh arenas.
+    fn execute(&self, g: &Graph, spec: &RunSpec) -> AlgoRun {
+        self.execute_with(g, spec, &Self::Params::default())
+    }
+
+    /// Runs under `spec` with default parameters, reusing the arenas in
+    /// `ws`.
+    fn execute_in(&self, g: &Graph, spec: &RunSpec, ws: &mut Workspace) -> AlgoRun {
+        self.execute_with_in(g, spec, &Self::Params::default(), ws)
+    }
+
+    /// The string-keyed parameters this algorithm accepts (empty for
+    /// parameterless algorithms).
+    fn param_specs(&self) -> &'static [ParamSpec] {
+        &[]
+    }
+
+    /// Applies one string-keyed parameter assignment to `params`,
+    /// validating key and value. The default rejects every key (correct
+    /// for parameterless algorithms); implementations with a non-empty
+    /// [`Algorithm::param_specs`] override it.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError::UnknownKey`] / [`ParamError::NoParams`] for keys not
+    /// in `param_specs()`, [`ParamError::InvalidValue`] for values that
+    /// fail the algorithm's validation.
+    fn set_param(
+        &self,
+        params: &mut Self::Params,
+        key: &str,
+        value: &str,
+    ) -> Result<(), ParamError> {
+        let _ = (params, value);
+        Err(ParamError::unknown_key(
+            self.name(),
+            key,
+            self.param_specs(),
+        ))
     }
 
     /// Runs with default parameters.
+    #[deprecated(note = "use `execute(&g, &RunSpec::new(seed))`")]
     fn run(&self, g: &Graph, seed: u64) -> AlgoRun {
-        self.run_with(g, seed, &Self::Params::default())
+        self.execute(g, &RunSpec::new(seed))
+    }
+
+    /// Runs with explicit parameters.
+    #[deprecated(note = "use `execute_with(&g, &RunSpec::new(seed), params)`")]
+    fn run_with(&self, g: &Graph, seed: u64, params: &Self::Params) -> AlgoRun {
+        self.execute_with(g, &RunSpec::new(seed), params)
     }
 
     /// Runs with default parameters on a chosen executor.
+    #[deprecated(note = "use `execute(&g, &RunSpec::new(seed).with_exec(exec))`")]
     fn run_exec(&self, g: &Graph, seed: u64, exec: Exec) -> AlgoRun {
-        self.run_with_exec(g, seed, &Self::Params::default(), exec)
+        self.execute(g, &RunSpec::new(seed).with_exec(exec))
+    }
+
+    /// Runs with explicit parameters on a chosen executor.
+    #[deprecated(note = "use `execute_with(&g, &RunSpec::new(seed).with_exec(exec), params)`")]
+    fn run_with_exec(&self, g: &Graph, seed: u64, params: &Self::Params, exec: Exec) -> AlgoRun {
+        self.execute_with(g, &RunSpec::new(seed).with_exec(exec), params)
     }
 }
 
 /// Object-safe facade over [`Algorithm`] for the string-keyed registry
 /// (the typed `Params` associated type keeps `Algorithm` itself out of
 /// trait-object land). Blanket-implemented for every `Algorithm`.
+///
+/// [`DynAlgorithm::with_params`] is the string-keyed counterpart of the
+/// typed `Algorithm::execute_with`: it validates `key=value` pairs
+/// against the algorithm's [`ParamSpec`]s and returns a configured,
+/// boxed algorithm that runs with those parameters — what
+/// `exp sweep --param family/name:key=value` dispatches through.
 pub trait DynAlgorithm: Send + Sync {
     /// Stable registry key.
     fn name(&self) -> &'static str;
@@ -459,13 +737,40 @@ pub trait DynAlgorithm: Send + Sync {
     fn problem(&self) -> Problem;
     /// Whether the seed is ignored.
     fn deterministic(&self) -> bool;
+    /// Runs under `spec` with this instance's parameters (defaults for
+    /// registry entries; overridden values for configured instances).
+    fn execute(&self, g: &Graph, spec: &RunSpec) -> AlgoRun;
+    /// Runs under `spec`, reusing the arenas in `ws`.
+    fn execute_in(&self, g: &Graph, spec: &RunSpec, ws: &mut Workspace) -> AlgoRun;
+    /// The string-keyed parameters this algorithm accepts.
+    fn param_specs(&self) -> &'static [ParamSpec];
+    /// Builds a configured instance with the given `(key, value)`
+    /// assignments applied on top of this instance's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the algorithm's [`ParamError`] (unknown key with a
+    /// closest-match suggestion, or invalid value).
+    fn with_params(&self, params: &[(&str, &str)]) -> Result<Box<dyn DynAlgorithm>, ParamError>;
+
     /// Runs with default parameters.
-    fn run(&self, g: &Graph, seed: u64) -> AlgoRun;
+    #[deprecated(note = "use `execute(&g, &RunSpec::new(seed))`")]
+    fn run(&self, g: &Graph, seed: u64) -> AlgoRun {
+        self.execute(g, &RunSpec::new(seed))
+    }
+
     /// Runs with default parameters on a chosen executor.
-    fn run_exec(&self, g: &Graph, seed: u64, exec: Exec) -> AlgoRun;
+    #[deprecated(note = "use `execute(&g, &RunSpec::new(seed).with_exec(exec))`")]
+    fn run_exec(&self, g: &Graph, seed: u64, exec: Exec) -> AlgoRun {
+        self.execute(g, &RunSpec::new(seed).with_exec(exec))
+    }
 }
 
-impl<A: Algorithm + Send + Sync> DynAlgorithm for A {
+impl<A> DynAlgorithm for A
+where
+    A: Algorithm + Copy + Send + Sync + 'static,
+    A::Params: Send + Sync + 'static,
+{
     fn name(&self) -> &'static str {
         Algorithm::name(self)
     }
@@ -478,12 +783,76 @@ impl<A: Algorithm + Send + Sync> DynAlgorithm for A {
         Algorithm::deterministic(self)
     }
 
-    fn run(&self, g: &Graph, seed: u64) -> AlgoRun {
-        Algorithm::run(self, g, seed)
+    fn execute(&self, g: &Graph, spec: &RunSpec) -> AlgoRun {
+        Algorithm::execute(self, g, spec)
     }
 
-    fn run_exec(&self, g: &Graph, seed: u64, exec: Exec) -> AlgoRun {
-        Algorithm::run_exec(self, g, seed, exec)
+    fn execute_in(&self, g: &Graph, spec: &RunSpec, ws: &mut Workspace) -> AlgoRun {
+        Algorithm::execute_in(self, g, spec, ws)
+    }
+
+    fn param_specs(&self) -> &'static [ParamSpec] {
+        Algorithm::param_specs(self)
+    }
+
+    fn with_params(&self, params: &[(&str, &str)]) -> Result<Box<dyn DynAlgorithm>, ParamError> {
+        let mut typed = A::Params::default();
+        for (key, value) in params {
+            Algorithm::set_param(self, &mut typed, key, value)?;
+        }
+        Ok(Box::new(Configured {
+            algo: *self,
+            params: typed,
+        }))
+    }
+}
+
+/// An algorithm bound to explicit typed parameters — what
+/// [`DynAlgorithm::with_params`] returns. Runs exactly like the bare
+/// algorithm, substituting the stored parameters for the defaults.
+struct Configured<A: Algorithm> {
+    algo: A,
+    params: A::Params,
+}
+
+impl<A> DynAlgorithm for Configured<A>
+where
+    A: Algorithm + Copy + Send + Sync + 'static,
+    A::Params: Send + Sync + 'static,
+{
+    fn name(&self) -> &'static str {
+        Algorithm::name(&self.algo)
+    }
+
+    fn problem(&self) -> Problem {
+        Algorithm::problem(&self.algo)
+    }
+
+    fn deterministic(&self) -> bool {
+        Algorithm::deterministic(&self.algo)
+    }
+
+    fn execute(&self, g: &Graph, spec: &RunSpec) -> AlgoRun {
+        self.algo.execute_with(g, spec, &self.params)
+    }
+
+    fn execute_in(&self, g: &Graph, spec: &RunSpec, ws: &mut Workspace) -> AlgoRun {
+        self.algo.execute_with_in(g, spec, &self.params, ws)
+    }
+
+    fn param_specs(&self) -> &'static [ParamSpec] {
+        Algorithm::param_specs(&self.algo)
+    }
+
+    fn with_params(&self, params: &[(&str, &str)]) -> Result<Box<dyn DynAlgorithm>, ParamError> {
+        let mut typed = self.params.clone();
+        for (key, value) in params {
+            self.algo.set_param(&mut typed, key, value)?;
+        }
+        Ok(Box::new(Configured {
+            algo: self.algo,
+            params: typed,
+        }))
     }
 }
 
@@ -501,6 +870,18 @@ impl Registry {
     /// All registered algorithms, in registration order.
     pub fn iter(&self) -> impl Iterator<Item = &'static dyn DynAlgorithm> + '_ {
         self.entries.iter().copied()
+    }
+
+    /// The registered algorithms solving `problem`, in registration
+    /// order — the filter behind `exp --problem mis|coloring|…`.
+    pub fn by_problem(
+        &self,
+        problem: Problem,
+    ) -> impl Iterator<Item = &'static dyn DynAlgorithm> + '_ {
+        self.entries
+            .iter()
+            .copied()
+            .filter(move |a| a.problem() == problem)
     }
 
     /// All registry keys, in registration order.
@@ -524,12 +905,7 @@ impl Registry {
     /// (distance above half the query length), so garbage input doesn't
     /// get a misleading suggestion.
     pub fn suggest(&self, name: &str) -> Option<&'static str> {
-        let threshold = (name.chars().count() / 2).max(2);
-        self.names()
-            .map(|k| (edit_distance(k, name), k))
-            .min()
-            .filter(|&(d, _)| d <= threshold)
-            .map(|(_, k)| k)
+        closest_match(self.names(), name)
     }
 }
 
@@ -614,11 +990,12 @@ mod tests {
     }
 
     #[test]
-    fn dyn_run_matches_typed_run() {
+    fn dyn_execute_matches_typed_execute() {
         let mut rng = Rng::seed_from(2);
         let g = gen::random_regular(48, 4, &mut rng).unwrap();
-        let dynamic = registry().get("mis/luby").unwrap().run(&g, 5);
-        let typed = Algorithm::run(&MisLuby, &g, 5);
+        let spec = RunSpec::new(5);
+        let dynamic = registry().get("mis/luby").unwrap().execute(&g, &spec);
+        let typed = Algorithm::execute(&MisLuby, &g, &spec);
         assert_eq!(dynamic.solution, typed.solution);
         assert_eq!(
             dynamic.transcript.node_commit_round,
@@ -628,9 +1005,42 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_execute() {
+        // The one-release compatibility contract: the old positional
+        // entry points are thin shims over `execute` and must produce
+        // identical runs.
+        let mut rng = Rng::seed_from(8);
+        let g = gen::random_regular(48, 4, &mut rng).unwrap();
+        let algo = registry().get("mis/luby").unwrap();
+        let via_execute = algo.execute(&g, &RunSpec::new(5));
+        let via_run = algo.run(&g, 5);
+        assert_eq!(via_run.solution, via_execute.solution);
+        assert_eq!(
+            via_run.transcript.node_commit_round,
+            via_execute.transcript.node_commit_round
+        );
+        let via_exec = algo.run_exec(&g, 5, Exec::Sequential);
+        assert_eq!(via_exec.solution, via_execute.solution);
+        let typed_run = Algorithm::run(&MisLuby, &g, 5);
+        assert_eq!(typed_run.solution, via_execute.solution);
+        let typed_with = Algorithm::run_with_exec(
+            &MisLuby,
+            &g,
+            5,
+            &crate::mis::LubyMisParams::default(),
+            Exec::Sequential,
+        );
+        assert_eq!(typed_with.solution, via_execute.solution);
+    }
+
+    #[test]
     fn verify_accepts_valid_and_rejects_corrupted() {
         let g = gen::grid(4, 4);
-        let run = registry().get("mis/greedy").unwrap().run(&g, 0);
+        let run = registry()
+            .get("mis/greedy")
+            .unwrap()
+            .execute(&g, &RunSpec::new(0));
         assert_eq!(run.verify(&g), Ok(()));
         let mut bad = run.clone();
         if let Solution::Mis { in_set } = &mut bad.solution {
@@ -660,10 +1070,95 @@ mod tests {
             if algo.problem().min_degree() > g.min_degree() {
                 continue;
             }
-            let run = algo.run(&g, 3);
+            let run = algo.execute(&g, &RunSpec::new(3));
             assert_eq!(run.verify(&g), Ok(()), "{} failed", algo.name());
             assert_eq!(run.problem(), algo.problem());
             assert!(run.worst_case() == run.transcript.rounds);
+        }
+    }
+
+    #[test]
+    fn by_problem_partitions_the_registry() {
+        let r = registry();
+        let mut total = 0;
+        for p in Problem::ALL {
+            let names: Vec<&str> = r.by_problem(p).map(|a| a.name()).collect();
+            assert!(!names.is_empty(), "no algorithm for {p}");
+            assert!(
+                names.iter().all(|n| n.starts_with(p.key())),
+                "{p}: keys {names:?} should start with `{}`",
+                p.key()
+            );
+            total += names.len();
+        }
+        assert_eq!(total, r.len(), "every algorithm belongs to one problem");
+        assert_eq!(r.by_problem(Problem::Mis).count(), 3);
+    }
+
+    #[test]
+    fn problem_keys_parse_and_suggest() {
+        for p in Problem::ALL {
+            assert_eq!(Problem::parse(p.key()), Some(p));
+        }
+        assert_eq!(Problem::parse("matchings"), None);
+        assert_eq!(Problem::suggest("matchign"), Some("matching"));
+        assert_eq!(Problem::suggest("colorng"), Some("coloring"));
+        assert_eq!(Problem::suggest("zzzzzz"), None);
+    }
+
+    #[test]
+    fn workspace_execute_in_matches_fresh_execution() {
+        let mut rng = Rng::seed_from(12);
+        let g = gen::random_regular(48, 4, &mut rng).unwrap();
+        let mut ws = Workspace::new();
+        let spec = RunSpec::new(9);
+        for algo in registry().iter() {
+            if algo.problem().min_degree() > g.min_degree() {
+                continue;
+            }
+            // Twice through the same workspace (second run reuses arenas),
+            // then compared against a fresh execution.
+            let first = algo.execute_in(&g, &spec, &mut ws);
+            let reused = algo.execute_in(&g, &spec, &mut ws);
+            let fresh = algo.execute(&g, &spec);
+            assert_eq!(first.solution, fresh.solution, "{}", algo.name());
+            assert_eq!(reused.solution, fresh.solution, "{}", algo.name());
+            assert_eq!(
+                reused.transcript.node_commit_round,
+                fresh.transcript.node_commit_round,
+                "{}",
+                algo.name()
+            );
+            assert_eq!(
+                reused.transcript.edge_commit_round,
+                fresh.transcript.edge_commit_round,
+                "{}",
+                algo.name()
+            );
+        }
+        assert!(ws.reuse_count() > 0);
+    }
+
+    #[test]
+    fn transcript_policies_preserve_solutions_and_completions() {
+        let mut rng = Rng::seed_from(13);
+        let g = gen::random_regular(48, 4, &mut rng).unwrap();
+        for algo in registry().iter() {
+            if algo.problem().min_degree() > g.min_degree() {
+                continue;
+            }
+            let full = algo.execute(&g, &RunSpec::new(4));
+            for policy in [TranscriptPolicy::CompletionsOnly, TranscriptPolicy::None] {
+                let lean = algo.execute(&g, &RunSpec::new(4).with_transcript(policy));
+                assert_eq!(lean.solution, full.solution, "{}", algo.name());
+                assert_eq!(
+                    lean.completion_times(&g),
+                    full.completion_times(&g),
+                    "{} under {policy:?}",
+                    algo.name()
+                );
+                assert_eq!(lean.verify(&g), Ok(()));
+            }
         }
     }
 

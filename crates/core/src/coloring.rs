@@ -53,6 +53,15 @@ impl MessageSize for TrialMsg {
     }
 }
 
+/// Tuning parameters of the random-trial coloring (`"coloring/trial"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrialColoringParams {
+    /// Extra palette slots beyond the guaranteed Δ+1: a larger palette
+    /// lowers the per-attempt conflict probability at the cost of more
+    /// colors. The paper's §1.2 algorithm uses 0.
+    pub extra_colors: usize,
+}
+
 struct RandomTrial {
     forbidden: Vec<bool>,
     proposal: u64,
@@ -96,13 +105,13 @@ impl Process for RandomTrial {
     type Message = TrialMsg;
     type NodeOutput = u64;
     type EdgeOutput = ();
-    type Params = ();
+    type Params = TrialColoringParams;
 
     const OUTPUT_KIND: OutputKind = OutputKind::NodeLabels;
 
-    fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+    fn init(params: &TrialColoringParams, ctx: &mut Ctx<'_, Self>) -> Self {
         let mut state = RandomTrial {
-            forbidden: vec![false; ctx.max_degree() + 1],
+            forbidden: vec![false; ctx.max_degree() + 1 + params.extra_colors],
             proposal: 0,
         };
         state.propose(ctx, &[]);
@@ -132,18 +141,40 @@ impl Process for RandomTrial {
 /// assert!(run.colors.iter().all(|&c| c <= g.max_degree()));
 /// ```
 pub fn random_trial(g: &Graph, seed: u64) -> ColoringRun {
-    random_trial_exec(g, seed, Exec::Sequential)
+    random_trial_spec(
+        g,
+        &RunSpec::new(seed),
+        &TrialColoringParams::default(),
+        &mut Workspace::new(),
+    )
 }
 
-/// [`random_trial`] on a chosen executor (bit-identical across executors).
-pub fn random_trial_exec(g: &Graph, seed: u64, exec: Exec) -> ColoringRun {
-    let t = exec.run::<RandomTrial>(g, &(), &SimConfig::new(seed));
+/// [`random_trial`] under an explicit [`RunSpec`], with tunable
+/// parameters and reusable [`Workspace`] arenas.
+pub fn random_trial_spec(
+    g: &Graph,
+    spec: &RunSpec,
+    params: &TrialColoringParams,
+    ws: &mut Workspace,
+) -> ColoringRun {
+    let t = spec.run_in::<RandomTrial>(g, params, ws);
     let colors: Vec<usize> = t.node_labels().iter().map(|&c| c as usize).collect();
     debug_assert!(analysis::is_proper_coloring(g, &colors));
     ColoringRun {
         transcript: t,
         colors,
     }
+}
+
+/// [`random_trial`] on a chosen executor (bit-identical across executors).
+#[deprecated(note = "use `random_trial_spec(g, &RunSpec::new(seed).with_exec(exec), ..)`")]
+pub fn random_trial_exec(g: &Graph, seed: u64, exec: Exec) -> ColoringRun {
+    random_trial_spec(
+        g,
+        &RunSpec::new(seed).with_exec(exec),
+        &TrialColoringParams::default(),
+        &mut Workspace::new(),
+    )
 }
 
 /// Messages of the Linial process: bare colors.
@@ -206,18 +237,25 @@ impl Process for LinialColoring {
 /// [`linial_schedule`] — a log*-type schedule all nodes derive from
 /// `(n, Δ)`.
 pub fn linial(g: &Graph) -> ColoringRun {
-    linial_exec(g, Exec::Sequential)
+    linial_spec(g, &RunSpec::new(0), &mut Workspace::new())
 }
 
-/// [`linial`] on a chosen executor (bit-identical across executors).
-pub fn linial_exec(g: &Graph, exec: Exec) -> ColoringRun {
-    let t = exec.run::<LinialColoring>(g, &(), &SimConfig::new(0));
+/// [`linial`] under an explicit [`RunSpec`] with reusable [`Workspace`]
+/// arenas (the seed is ignored — deterministic).
+pub fn linial_spec(g: &Graph, spec: &RunSpec, ws: &mut Workspace) -> ColoringRun {
+    let t = spec.run_in::<LinialColoring>(g, &(), ws);
     let colors: Vec<usize> = t.node_labels().iter().map(|&c| c as usize).collect();
     debug_assert!(analysis::is_proper_coloring(g, &colors));
     ColoringRun {
         transcript: t,
         colors,
     }
+}
+
+/// [`linial`] on a chosen executor (bit-identical across executors).
+#[deprecated(note = "use `linial_spec(g, &RunSpec::new(0).with_exec(exec), ..)`")]
+pub fn linial_exec(g: &Graph, exec: Exec) -> ColoringRun {
+    linial_spec(g, &RunSpec::new(0).with_exec(exec), &mut Workspace::new())
 }
 
 #[cfg(test)]
@@ -279,6 +317,24 @@ mod tests {
     fn linial_deterministic() {
         let g = gen::grid(6, 7);
         assert_eq!(linial(&g).colors, linial(&g).colors);
+    }
+
+    #[test]
+    fn random_trial_extra_colors_widen_the_palette() {
+        let mut rng = Rng::seed_from(9);
+        let g = gen::random_regular(120, 4, &mut rng).unwrap();
+        let run = random_trial_spec(
+            &g,
+            &RunSpec::new(2),
+            &TrialColoringParams { extra_colors: 8 },
+            &mut Workspace::new(),
+        );
+        assert!(analysis::is_proper_coloring(&g, &run.colors));
+        // Colors stay within the widened palette Δ+1+extra.
+        assert!(run.colors.iter().all(|&c| c <= g.max_degree() + 8));
+        // The widened palette changes the run (different proposals).
+        let default = random_trial(&g, 2);
+        assert_ne!(run.colors, default.colors);
     }
 
     #[test]

@@ -88,6 +88,21 @@ impl MessageSize for LubyMatchMsg {
     }
 }
 
+/// Tuning parameters of Theorem 4's matching (`"matching/luby"`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LubyMatchParams {
+    /// Per-iteration edge-mark probability numerator: edge `{u,v}` is
+    /// marked with probability `mark_factor / (d_u + d_v)`. Theorem 4's
+    /// choice `1/(4(d_u + d_v))` is `0.25`; must lie in `(0, 1]`.
+    pub mark_factor: f64,
+}
+
+impl Default for LubyMatchParams {
+    fn default() -> Self {
+        LubyMatchParams { mark_factor: 0.25 }
+    }
+}
+
 /// Theorem 4 process; iteration = 4 rounds
 /// (degree, mark, count, decide).
 struct LubyMatching {
@@ -96,6 +111,7 @@ struct LubyMatching {
     edge_marked: Vec<bool>,
     my_marked_count: u64,
     nbr_count: Vec<u64>,
+    mark_factor: f64,
 }
 
 impl LubyMatching {
@@ -129,7 +145,7 @@ impl LubyMatching {
             if !self.nbr_active[port] || ctx.neighbor_id(port) < ctx.id() {
                 continue; // the lower-id endpoint draws the mark
             }
-            let p = 1.0 / (4.0 * (my_degree + self.nbr_degree[port]) as f64);
+            let p = self.mark_factor / (my_degree + self.nbr_degree[port]) as f64;
             let marked = ctx.rng().chance(p);
             self.edge_marked[port] = marked;
             if marked {
@@ -180,11 +196,11 @@ impl Process for LubyMatching {
     type Message = LubyMatchMsg;
     type NodeOutput = ();
     type EdgeOutput = bool;
-    type Params = ();
+    type Params = LubyMatchParams;
 
     const OUTPUT_KIND: OutputKind = OutputKind::EdgeLabels;
 
-    fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+    fn init(params: &LubyMatchParams, ctx: &mut Ctx<'_, Self>) -> Self {
         let degree = ctx.degree();
         let mut state = LubyMatching {
             nbr_active: vec![true; degree],
@@ -192,6 +208,7 @@ impl Process for LubyMatching {
             edge_marked: vec![false; degree],
             my_marked_count: 0,
             nbr_count: vec![0; degree],
+            mark_factor: params.mark_factor,
         };
         state.degree_phase(ctx, &[]);
         state
@@ -221,13 +238,35 @@ impl Process for LubyMatching {
 /// assert!(analysis::is_maximal_matching(&g, &run.in_matching));
 /// ```
 pub fn luby(g: &Graph, seed: u64) -> MatchingRun {
-    luby_exec(g, seed, Exec::Sequential)
+    luby_spec(
+        g,
+        &RunSpec::new(seed),
+        &LubyMatchParams::default(),
+        &mut Workspace::new(),
+    )
+}
+
+/// [`luby`] under an explicit [`RunSpec`], with tunable parameters and
+/// reusable [`Workspace`] arenas.
+pub fn luby_spec(
+    g: &Graph,
+    spec: &RunSpec,
+    params: &LubyMatchParams,
+    ws: &mut Workspace,
+) -> MatchingRun {
+    let t = spec.run_in::<LubyMatching>(g, params, ws);
+    MatchingRun::from_transcript(g, t)
 }
 
 /// [`luby`] on a chosen executor (bit-identical across executors).
+#[deprecated(note = "use `luby_spec(g, &RunSpec::new(seed).with_exec(exec), ..)`")]
 pub fn luby_exec(g: &Graph, seed: u64, exec: Exec) -> MatchingRun {
-    let t = exec.run::<LubyMatching>(g, &(), &SimConfig::new(seed));
-    MatchingRun::from_transcript(g, t)
+    luby_spec(
+        g,
+        &RunSpec::new(seed).with_exec(exec),
+        &LubyMatchParams::default(),
+        &mut Workspace::new(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -316,13 +355,20 @@ impl Process for GreedyMatching {
 
 /// Runs the deterministic greedy proposal matching (baseline).
 pub fn greedy(g: &Graph) -> MatchingRun {
-    greedy_exec(g, Exec::Sequential)
+    greedy_spec(g, &RunSpec::new(0), &mut Workspace::new())
+}
+
+/// [`greedy`] under an explicit [`RunSpec`] with reusable [`Workspace`]
+/// arenas (the seed is ignored — deterministic).
+pub fn greedy_spec(g: &Graph, spec: &RunSpec, ws: &mut Workspace) -> MatchingRun {
+    let t = spec.run_in::<GreedyMatching>(g, &(), ws);
+    MatchingRun::from_transcript(g, t)
 }
 
 /// [`greedy`] on a chosen executor (bit-identical across executors).
+#[deprecated(note = "use `greedy_spec(g, &RunSpec::new(0).with_exec(exec), ..)`")]
 pub fn greedy_exec(g: &Graph, exec: Exec) -> MatchingRun {
-    let t = exec.run::<GreedyMatching>(g, &(), &SimConfig::new(0));
-    MatchingRun::from_transcript(g, t)
+    greedy_spec(g, &RunSpec::new(0).with_exec(exec), &mut Workspace::new())
 }
 
 // ---------------------------------------------------------------------------
@@ -974,13 +1020,20 @@ impl Process for DetMatching {
 /// assert!(analysis::is_maximal_matching(&g, &run.in_matching));
 /// ```
 pub fn deterministic(g: &Graph) -> MatchingRun {
-    deterministic_exec(g, Exec::Sequential)
+    deterministic_spec(g, &RunSpec::new(0), &mut Workspace::new())
+}
+
+/// [`deterministic`] under an explicit [`RunSpec`] with reusable
+/// [`Workspace`] arenas (the seed is ignored — deterministic).
+pub fn deterministic_spec(g: &Graph, spec: &RunSpec, ws: &mut Workspace) -> MatchingRun {
+    let t = spec.run_in::<DetMatching>(g, &(), ws);
+    MatchingRun::from_transcript(g, t)
 }
 
 /// [`deterministic`] on a chosen executor (bit-identical across executors).
+#[deprecated(note = "use `deterministic_spec(g, &RunSpec::new(0).with_exec(exec), ..)`")]
 pub fn deterministic_exec(g: &Graph, exec: Exec) -> MatchingRun {
-    let t = exec.run::<DetMatching>(g, &(), &SimConfig::new(0));
-    MatchingRun::from_transcript(g, t)
+    deterministic_spec(g, &RunSpec::new(0).with_exec(exec), &mut Workspace::new())
 }
 
 /// The fractional matching of Theorem 5's analysis: `f_e = 1/(d_u + d_v)`

@@ -77,12 +77,29 @@ impl MessageSize for MisMsg {
 // Luby's algorithm
 // ---------------------------------------------------------------------------
 
+/// Tuning parameters of Luby's MIS (`"mis/luby"`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LubyMisParams {
+    /// Per-iteration mark probability numerator: an active node marks
+    /// itself with probability `mark_factor / deg(v)`. The classic choice
+    /// `1/(2 deg(v))` is `0.5`; must lie in `(0, 1]` so the probability
+    /// is valid on every degree.
+    pub mark_factor: f64,
+}
+
+impl Default for LubyMisParams {
+    fn default() -> Self {
+        LubyMisParams { mark_factor: 0.5 }
+    }
+}
+
 /// Luby's MIS as a 3-round-per-iteration CONGEST process.
 ///
 /// Iteration structure (phase = round mod 3):
 /// * **mark**: update the residual degree from `Removed` messages; a node
 ///   whose residual degree reached 0 joins; otherwise mark with probability
-///   `1/(2 deg)` and announce the mark and the degree.
+///   `mark_factor/deg` (default `1/(2 deg)`) and announce the mark and the
+///   degree.
 /// * **join**: a marked node with no marked higher-priority neighbor
 ///   (priority = lexicographic (degree, id), as in Theorem 2's tie
 ///   breaking) joins the MIS and announces it.
@@ -91,6 +108,7 @@ impl MessageSize for MisMsg {
 struct LubyMis {
     active_degree: usize,
     marked: bool,
+    mark_factor: f64,
 }
 
 impl LubyMis {
@@ -105,7 +123,9 @@ impl LubyMis {
             ctx.halt();
             return;
         }
-        self.marked = ctx.rng().chance(1.0 / (2.0 * self.active_degree as f64));
+        self.marked = ctx
+            .rng()
+            .chance(self.mark_factor / self.active_degree as f64);
         ctx.broadcast(MisMsg::Mark {
             marked: self.marked,
             weight: self.active_degree as u64,
@@ -141,14 +161,15 @@ impl Process for LubyMis {
     type Message = MisMsg;
     type NodeOutput = bool;
     type EdgeOutput = ();
-    type Params = ();
+    type Params = LubyMisParams;
 
     const OUTPUT_KIND: OutputKind = OutputKind::NodeLabels;
 
-    fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+    fn init(params: &LubyMisParams, ctx: &mut Ctx<'_, Self>) -> Self {
         let mut state = LubyMis {
             active_degree: ctx.degree(),
             marked: false,
+            mark_factor: params.mark_factor,
         };
         state.mark_phase(ctx, &[]);
         state
@@ -177,13 +198,30 @@ impl Process for LubyMis {
 /// assert!(localavg_graph::analysis::is_maximal_independent_set(&g, &run.in_set));
 /// ```
 pub fn luby(g: &Graph, seed: u64) -> MisRun {
-    luby_exec(g, seed, Exec::Sequential)
+    luby_spec(
+        g,
+        &RunSpec::new(seed),
+        &LubyMisParams::default(),
+        &mut Workspace::new(),
+    )
+}
+
+/// [`luby`] under an explicit [`RunSpec`], with tunable parameters and
+/// reusable [`Workspace`] arenas — the primary entry point.
+pub fn luby_spec(g: &Graph, spec: &RunSpec, params: &LubyMisParams, ws: &mut Workspace) -> MisRun {
+    let t = spec.run_in::<LubyMis>(g, params, ws);
+    MisRun::from_transcript(g, t)
 }
 
 /// [`luby`] on a chosen executor (bit-identical across executors).
+#[deprecated(note = "use `luby_spec(g, &RunSpec::new(seed).with_exec(exec), ..)`")]
 pub fn luby_exec(g: &Graph, seed: u64, exec: Exec) -> MisRun {
-    let t = exec.run::<LubyMis>(g, &(), &SimConfig::new(seed));
-    MisRun::from_transcript(g, t)
+    luby_spec(
+        g,
+        &RunSpec::new(seed).with_exec(exec),
+        &LubyMisParams::default(),
+        &mut Workspace::new(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -192,15 +230,38 @@ pub fn luby_exec(g: &Graph, seed: u64, exec: Exec) -> MisRun {
 
 const DESIRE_SCALE: f64 = (1u64 << 32) as f64;
 
+/// Tuning parameters of the degree-guided MIS (`"mis/degree-guided"`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeGuidedParams {
+    /// Starting desire level `p_v` (and the cap desire levels double back
+    /// up to). Ghaffari's choice is `1/2`; must lie in `(0, 0.5]`.
+    pub initial_desire: f64,
+    /// Neighborhood desire mass above which a node halves its desire
+    /// level (`Σ p_u >= mass_threshold`). Ghaffari's choice is `2`; must
+    /// be positive.
+    pub mass_threshold: f64,
+}
+
+impl Default for DegreeGuidedParams {
+    fn default() -> Self {
+        DegreeGuidedParams {
+            initial_desire: 0.5,
+            mass_threshold: 2.0,
+        }
+    }
+}
+
 /// Ghaffari-style MIS: each node keeps a desire level `p_v` (starting at
-/// 1/2), marks itself with probability `p_v`, joins when marked with no
-/// marked neighbor, and halves/doubles `p_v` depending on the neighborhood
-/// desire mass (`Σ p_u >= 2` halves, otherwise doubles up to 1/2).
+/// `initial_desire`, default 1/2), marks itself with probability `p_v`,
+/// joins when marked with no marked neighbor, and halves/doubles `p_v`
+/// depending on the neighborhood desire mass (`Σ p_u >= mass_threshold`
+/// halves, otherwise doubles up to 1/2).
 struct DegreeGuidedMis {
     p: f64,
     active_degree: usize,
     marked: bool,
     neighbor_mass: f64,
+    mass_threshold: f64,
 }
 
 impl DegreeGuidedMis {
@@ -245,7 +306,7 @@ impl DegreeGuidedMis {
             ctx.halt();
             return;
         }
-        if self.neighbor_mass >= 2.0 {
+        if self.neighbor_mass >= self.mass_threshold {
             self.p /= 2.0;
         } else {
             self.p = (2.0 * self.p).min(0.5);
@@ -257,16 +318,17 @@ impl Process for DegreeGuidedMis {
     type Message = MisMsg;
     type NodeOutput = bool;
     type EdgeOutput = ();
-    type Params = ();
+    type Params = DegreeGuidedParams;
 
     const OUTPUT_KIND: OutputKind = OutputKind::NodeLabels;
 
-    fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+    fn init(params: &DegreeGuidedParams, ctx: &mut Ctx<'_, Self>) -> Self {
         let mut state = DegreeGuidedMis {
-            p: 0.5,
+            p: params.initial_desire,
             active_degree: ctx.degree(),
             marked: false,
             neighbor_mass: 0.0,
+            mass_threshold: params.mass_threshold,
         };
         state.mark_phase(ctx, &[]);
         state
@@ -283,13 +345,35 @@ impl Process for DegreeGuidedMis {
 
 /// Runs the degree-guided (Ghaffari-style) randomized MIS.
 pub fn degree_guided(g: &Graph, seed: u64) -> MisRun {
-    degree_guided_exec(g, seed, Exec::Sequential)
+    degree_guided_spec(
+        g,
+        &RunSpec::new(seed),
+        &DegreeGuidedParams::default(),
+        &mut Workspace::new(),
+    )
+}
+
+/// [`degree_guided`] under an explicit [`RunSpec`], with tunable
+/// parameters and reusable [`Workspace`] arenas.
+pub fn degree_guided_spec(
+    g: &Graph,
+    spec: &RunSpec,
+    params: &DegreeGuidedParams,
+    ws: &mut Workspace,
+) -> MisRun {
+    let t = spec.run_in::<DegreeGuidedMis>(g, params, ws);
+    MisRun::from_transcript(g, t)
 }
 
 /// [`degree_guided`] on a chosen executor (bit-identical across executors).
+#[deprecated(note = "use `degree_guided_spec(g, &RunSpec::new(seed).with_exec(exec), ..)`")]
 pub fn degree_guided_exec(g: &Graph, seed: u64, exec: Exec) -> MisRun {
-    let t = exec.run::<DegreeGuidedMis>(g, &(), &SimConfig::new(seed));
-    MisRun::from_transcript(g, t)
+    degree_guided_spec(
+        g,
+        &RunSpec::new(seed).with_exec(exec),
+        &DegreeGuidedParams::default(),
+        &mut Workspace::new(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -363,13 +447,20 @@ impl Process for GreedyMis {
 
 /// Runs the deterministic greedy-by-id MIS (baseline).
 pub fn greedy_by_id(g: &Graph) -> MisRun {
-    greedy_by_id_exec(g, Exec::Sequential)
+    greedy_by_id_spec(g, &RunSpec::new(0), &mut Workspace::new())
+}
+
+/// [`greedy_by_id`] under an explicit [`RunSpec`] with reusable
+/// [`Workspace`] arenas (the seed is ignored — deterministic).
+pub fn greedy_by_id_spec(g: &Graph, spec: &RunSpec, ws: &mut Workspace) -> MisRun {
+    let t = spec.run_in::<GreedyMis>(g, &(), ws);
+    MisRun::from_transcript(g, t)
 }
 
 /// [`greedy_by_id`] on a chosen executor (bit-identical across executors).
+#[deprecated(note = "use `greedy_by_id_spec(g, &RunSpec::new(0).with_exec(exec), ..)`")]
 pub fn greedy_by_id_exec(g: &Graph, exec: Exec) -> MisRun {
-    let t = exec.run::<GreedyMis>(g, &(), &SimConfig::new(0));
-    MisRun::from_transcript(g, t)
+    greedy_by_id_spec(g, &RunSpec::new(0).with_exec(exec), &mut Workspace::new())
 }
 
 #[cfg(test)]
@@ -499,10 +590,50 @@ mod tests {
         let mut rng = Rng::seed_from(14);
         let g = gen::random_regular(300, 6, &mut rng).unwrap();
         let cfg = SimConfig::new(77).with_threads(4);
-        let seq = run_sequential::<LubyMis>(&g, &(), &cfg);
-        let par = run_parallel::<LubyMis>(&g, &(), &cfg);
+        let params = LubyMisParams::default();
+        let seq = run_sequential::<LubyMis>(&g, &params, &cfg);
+        let par = run_parallel::<LubyMis>(&g, &params, &cfg);
         assert_eq!(seq.node_output, par.node_output);
         assert_eq!(seq.node_commit_round, par.node_commit_round);
+    }
+
+    #[test]
+    fn luby_mark_factor_changes_the_run_but_stays_valid() {
+        let mut rng = Rng::seed_from(30);
+        let g = gen::random_regular(200, 4, &mut rng).unwrap();
+        let default = luby(&g, 5);
+        let aggressive = luby_spec(
+            &g,
+            &RunSpec::new(5),
+            &LubyMisParams { mark_factor: 1.0 },
+            &mut Workspace::new(),
+        );
+        check_valid(&g, &aggressive);
+        assert_ne!(
+            default.transcript.node_commit_round, aggressive.transcript.node_commit_round,
+            "doubling the mark probability should change the schedule"
+        );
+    }
+
+    #[test]
+    fn degree_guided_params_change_the_run_but_stay_valid() {
+        let mut rng = Rng::seed_from(31);
+        let g = gen::random_regular(200, 6, &mut rng).unwrap();
+        let default = degree_guided(&g, 4);
+        let cautious = degree_guided_spec(
+            &g,
+            &RunSpec::new(4),
+            &DegreeGuidedParams {
+                initial_desire: 0.25,
+                mass_threshold: 1.0,
+            },
+            &mut Workspace::new(),
+        );
+        check_valid(&g, &cautious);
+        assert_ne!(
+            default.transcript.node_commit_round,
+            cautious.transcript.node_commit_round
+        );
     }
 
     #[test]

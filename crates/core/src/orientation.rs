@@ -341,17 +341,45 @@ impl Process for RandOrient {
 /// assert!(analysis::is_sinkless_orientation(&g, &run.orientation));
 /// ```
 pub fn randomized(g: &Graph, seed: u64) -> OrientationRun {
-    randomized_exec(g, seed, Exec::Sequential)
+    randomized_spec(
+        g,
+        &RunSpec::new(seed),
+        &RandOrientParams::default(),
+        &mut Workspace::new(),
+    )
 }
 
-/// [`randomized`] on a chosen executor (bit-identical across executors).
-pub fn randomized_exec(g: &Graph, seed: u64, exec: Exec) -> OrientationRun {
+/// Tuning parameters of the randomized orientation (`"orientation/rand"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandOrientParams {
+    /// Proposal-contest iterations before the structural finisher takes
+    /// over; more iterations shrink the residue the finisher pays for.
+    /// Must be at least 1.
+    pub contest_iterations: usize,
+}
+
+impl Default for RandOrientParams {
+    fn default() -> Self {
+        RandOrientParams {
+            contest_iterations: 8,
+        }
+    }
+}
+
+/// [`randomized`] under an explicit [`RunSpec`], with tunable parameters
+/// and reusable [`Workspace`] arenas (the workspace serves the contest
+/// phase; the structural finisher allocates its own ledger).
+pub fn randomized_spec(
+    g: &Graph,
+    spec: &RunSpec,
+    params: &RandOrientParams,
+    ws: &mut Workspace,
+) -> OrientationRun {
     assert!(
         g.n() == 0 || g.min_degree() >= 3,
         "sinkless orientation requires minimum degree 3"
     );
-    const ITERATIONS: usize = 8;
-    let t = exec.run::<RandOrient>(g, &ITERATIONS, &SimConfig::new(seed));
+    let t = spec.run_in::<RandOrient>(g, &params.contest_iterations, ws);
 
     // Transfer the phase-1 commits into the ledger, then finish structurally.
     let mut ledger = Ledger::new(g);
@@ -363,6 +391,17 @@ pub fn randomized_exec(g: &Graph, seed: u64, exec: Exec) -> OrientationRun {
     let base = t.rounds;
     finish_structurally(g, &mut ledger, base);
     finalize(g, ledger)
+}
+
+/// [`randomized`] on a chosen executor (bit-identical across executors).
+#[deprecated(note = "use `randomized_spec(g, &RunSpec::new(seed).with_exec(exec), ..)`")]
+pub fn randomized_exec(g: &Graph, seed: u64, exec: Exec) -> OrientationRun {
+    randomized_spec(
+        g,
+        &RunSpec::new(seed).with_exec(exec),
+        &RandOrientParams::default(),
+        &mut Workspace::new(),
+    )
 }
 
 /// Completes any partial orientation: satisfied-neighbor waves, then the

@@ -185,12 +185,13 @@ impl Process for TwoTwoRuling {
 /// assert!(analysis::is_ruling_set(&g, &run.in_set, 2, 2));
 /// ```
 pub fn two_two(g: &Graph, seed: u64) -> RulingRun {
-    two_two_exec(g, seed, Exec::Sequential)
+    two_two_spec(g, &RunSpec::new(seed), &mut Workspace::new())
 }
 
-/// [`two_two`] on a chosen executor (bit-identical across executors).
-pub fn two_two_exec(g: &Graph, seed: u64, exec: Exec) -> RulingRun {
-    let t = exec.run::<TwoTwoRuling>(g, &(), &SimConfig::new(seed));
+/// [`two_two`] under an explicit [`RunSpec`] with reusable [`Workspace`]
+/// arenas.
+pub fn two_two_spec(g: &Graph, spec: &RunSpec, ws: &mut Workspace) -> RulingRun {
+    let t = spec.run_in::<TwoTwoRuling>(g, &(), ws);
     let in_set = t.node_labels();
     debug_assert!(analysis::is_ruling_set(g, &in_set, 2, 2));
     RulingRun {
@@ -198,6 +199,16 @@ pub fn two_two_exec(g: &Graph, seed: u64, exec: Exec) -> RulingRun {
         in_set,
         beta: 2,
     }
+}
+
+/// [`two_two`] on a chosen executor (bit-identical across executors).
+#[deprecated(note = "use `two_two_spec(g, &RunSpec::new(seed).with_exec(exec), ..)`")]
+pub fn two_two_exec(g: &Graph, seed: u64, exec: Exec) -> RulingRun {
+    two_two_spec(
+        g,
+        &RunSpec::new(seed).with_exec(exec),
+        &mut Workspace::new(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -598,12 +609,18 @@ impl Process for DetRuling {
 /// assert!(analysis::is_ruling_set(&g, &run.in_set, 2, run.beta));
 /// ```
 pub fn deterministic(g: &Graph, params: DetRulingParams) -> RulingRun {
-    deterministic_exec(g, params, Exec::Sequential)
+    deterministic_spec(g, &RunSpec::new(0), params, &mut Workspace::new())
 }
 
-/// [`deterministic`] on a chosen executor (bit-identical across executors).
-pub fn deterministic_exec(g: &Graph, params: DetRulingParams, exec: Exec) -> RulingRun {
-    let t = exec.run::<DetRuling>(g, &(params, g.max_degree()), &SimConfig::new(0));
+/// [`deterministic`] under an explicit [`RunSpec`] with reusable
+/// [`Workspace`] arenas (the seed is ignored — deterministic).
+pub fn deterministic_spec(
+    g: &Graph,
+    spec: &RunSpec,
+    params: DetRulingParams,
+    ws: &mut Workspace,
+) -> RulingRun {
+    let t = spec.run_in::<DetRuling>(g, &(params, g.max_degree()), ws);
     let in_set = t.node_labels();
     let beta = 2 * params.iterations + 1;
     debug_assert!(analysis::is_ruling_set(g, &in_set, 2, beta));
@@ -612,6 +629,17 @@ pub fn deterministic_exec(g: &Graph, params: DetRulingParams, exec: Exec) -> Rul
         in_set,
         beta,
     }
+}
+
+/// [`deterministic`] on a chosen executor (bit-identical across executors).
+#[deprecated(note = "use `deterministic_spec(g, &RunSpec::new(0).with_exec(exec), ..)`")]
+pub fn deterministic_exec(g: &Graph, params: DetRulingParams, exec: Exec) -> RulingRun {
+    deterministic_spec(
+        g,
+        &RunSpec::new(0).with_exec(exec),
+        params,
+        &mut Workspace::new(),
+    )
 }
 
 #[cfg(test)]

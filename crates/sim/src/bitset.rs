@@ -83,6 +83,14 @@ impl Bitset {
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// Zeroes every bit and resizes to `len`, reusing the word buffer —
+    /// the reset path of the engine's reusable arenas (`Workspace`).
+    pub fn clear_and_resize(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +135,23 @@ mod tests {
     fn out_of_range_set_panics() {
         let mut b = Bitset::new(64);
         b.set(64);
+    }
+
+    #[test]
+    fn clear_and_resize_resets_all_bits() {
+        let mut b = Bitset::new(100);
+        b.set(3);
+        b.set(99);
+        b.clear_and_resize(100);
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.len(), 100);
+        b.set(64);
+        b.clear_and_resize(10);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.word_count(), 1);
+        assert_eq!(b.count_ones(), 0);
+        b.clear_and_resize(130);
+        assert_eq!(b.word_count(), 3);
+        assert_eq!(b.count_ones(), 0);
     }
 }

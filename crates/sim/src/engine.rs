@@ -10,9 +10,11 @@
 use crate::bitset::Bitset;
 use crate::message::{Envelope, MessageSize};
 use crate::process::{Ctx, Event, EventBuf, Knowledge, Process};
-use crate::transcript::{Round, Transcript, UNCOMMITTED};
+use crate::transcript::{Round, Transcript, TranscriptPolicy, UNCOMMITTED};
+pub use crate::workspace::Workspace;
 use localavg_graph::rng::Rng;
 use localavg_graph::{Graph, NodeId};
+use std::any::TypeId;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -27,17 +29,21 @@ pub struct SimConfig {
     /// Number of worker threads for [`run_parallel`] (ignored by
     /// [`run_sequential`]); 0 means "number of available cores".
     pub threads: usize,
+    /// How much ledger the transcript retains (see [`TranscriptPolicy`]).
+    pub transcript: TranscriptPolicy,
 }
 
 impl SimConfig {
     /// Creates a configuration with the given seed and defaults: a
-    /// 1,000,000-round cap, full neighbor knowledge, automatic threads.
+    /// 1,000,000-round cap, full neighbor knowledge, automatic threads,
+    /// and a [`TranscriptPolicy::Full`] ledger.
     pub fn new(seed: u64) -> Self {
         SimConfig {
             seed,
             max_rounds: 1_000_000,
             knowledge: Knowledge::default(),
             threads: 0,
+            transcript: TranscriptPolicy::Full,
         }
     }
 
@@ -60,6 +66,144 @@ impl SimConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Sets the transcript-retention policy.
+    #[must_use]
+    pub fn with_transcript(mut self, policy: TranscriptPolicy) -> Self {
+        self.transcript = policy;
+        self
+    }
+}
+
+/// Everything one run needs besides the graph and the algorithm's own
+/// parameters: seed, executor, round budget, and transcript policy.
+///
+/// This is the argument of the unified `execute(&Graph, &RunSpec)` entry
+/// points (`localavg-core`'s `Algorithm`/`DynAlgorithm`), replacing the
+/// old positional `run(&Graph, seed)` / `run_with_exec(.., exec)` pair.
+/// Built like [`SimConfig`], with chainable `with_*` setters:
+///
+/// ```
+/// use localavg_sim::engine::{Exec, RunSpec};
+/// use localavg_sim::transcript::TranscriptPolicy;
+///
+/// let spec = RunSpec::new(7)
+///     .with_exec(Exec::Parallel { threads: 2 })
+///     .with_transcript(TranscriptPolicy::CompletionsOnly)
+///     .with_max_rounds(10_000);
+/// assert_eq!(spec.seed, 7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Master seed; node `v` uses the substream `seed.fork(v)`.
+    pub seed: u64,
+    /// Executor driving the run (a pure performance knob — transcripts
+    /// are bit-identical across executors).
+    pub exec: Exec,
+    /// Hard cap on rounds (the run panics beyond it).
+    pub max_rounds: usize,
+    /// How much ledger the transcript retains.
+    pub transcript: TranscriptPolicy,
+    /// Initial knowledge configuration.
+    pub knowledge: Knowledge,
+}
+
+impl RunSpec {
+    /// Creates a spec with the given seed and defaults: sequential
+    /// executor, 1,000,000-round cap, [`TranscriptPolicy::Full`], full
+    /// neighbor knowledge.
+    pub fn new(seed: u64) -> Self {
+        RunSpec {
+            seed,
+            exec: Exec::Sequential,
+            max_rounds: 1_000_000,
+            transcript: TranscriptPolicy::Full,
+            knowledge: Knowledge::default(),
+        }
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the executor.
+    #[must_use]
+    pub fn with_exec(mut self, exec: Exec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Sets the round budget.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the transcript-retention policy.
+    #[must_use]
+    pub fn with_transcript(mut self, policy: TranscriptPolicy) -> Self {
+        self.transcript = policy;
+        self
+    }
+
+    /// Sets the knowledge configuration.
+    #[must_use]
+    pub fn with_knowledge(mut self, knowledge: Knowledge) -> Self {
+        self.knowledge = knowledge;
+        self
+    }
+
+    /// The equivalent [`SimConfig`] (threads resolved from the executor).
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            seed: self.seed,
+            max_rounds: self.max_rounds,
+            knowledge: self.knowledge,
+            threads: match self.exec {
+                Exec::Sequential => 1,
+                Exec::Parallel { threads } => threads,
+            },
+            transcript: self.transcript,
+        }
+    }
+
+    /// Runs `P` under this spec with fresh arenas.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run_sequential`].
+    pub fn run<P: Process>(
+        &self,
+        g: &Graph,
+        params: &P::Params,
+    ) -> Transcript<P::NodeOutput, P::EdgeOutput> {
+        self.exec.run::<P>(g, params, &self.sim_config())
+    }
+
+    /// Runs `P` under this spec, reusing the arenas in `ws`
+    /// (see [`run_spec_in`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run_sequential`].
+    pub fn run_in<P>(
+        &self,
+        g: &Graph,
+        params: &P::Params,
+        ws: &mut Workspace,
+    ) -> Transcript<P::NodeOutput, P::EdgeOutput>
+    where
+        P: Process + 'static,
+        P::Message: 'static,
+        P::NodeOutput: 'static,
+        P::EdgeOutput: 'static,
+    {
+        run_spec_in::<P>(g, params, self, ws)
     }
 }
 
@@ -151,30 +295,89 @@ struct RunState<P: Process> {
     inbox_start: Vec<usize>,
     /// Scratch: per-destination counts, then fill cursors, each round.
     cursor: Vec<usize>,
+    /// Whether the CONGEST audit is recorded (policy [`TranscriptPolicy::Full`]).
+    audit: bool,
+    /// Whether per-node halt rounds are recorded (policies other than
+    /// [`TranscriptPolicy::None`]).
+    record_halt_rounds: bool,
     transcript: Transcript<P::NodeOutput, P::EdgeOutput>,
 }
 
 impl<P: Process> RunState<P> {
-    fn new(g: &Graph, seed: u64, chunks: usize) -> Self {
+    /// An unsized state holding no arenas; [`RunState::reset`] sizes it.
+    fn empty() -> Self {
+        RunState {
+            processes: Vec::new(),
+            rngs: Vec::new(),
+            halted: Vec::new(),
+            halted_bits: Bitset::new(0),
+            committed: Bitset::new(0),
+            live: 0,
+            out_slots: Vec::new(),
+            out_spill: Vec::new(),
+            sent: Vec::new(),
+            events: Vec::new(),
+            fresh_halts: Vec::new(),
+            inbox: Vec::new(),
+            inbox_start: Vec::new(),
+            cursor: Vec::new(),
+            audit: true,
+            record_halt_rounds: true,
+            transcript: Transcript::empty(P::OUTPUT_KIND, 0, 0),
+        }
+    }
+
+    /// Prepares the state for one run on `g`, reusing every allocation
+    /// from a previous run of the same process type on the same CSR
+    /// shape. This is the *only* initialization path — fresh runs build
+    /// an [`RunState::empty`] state and reset it — so reuse can never
+    /// diverge from a cold start.
+    fn reset(&mut self, g: &Graph, seed: u64, chunks: usize, policy: TranscriptPolicy) {
         let n = g.n();
         let master = Rng::seed_from(seed);
-        RunState {
-            processes: (0..n).map(|_| None).collect(),
-            rngs: (0..n).map(|v| master.fork(v as u64)).collect(),
-            halted: vec![false; n],
-            halted_bits: Bitset::new(n),
-            committed: Bitset::new(n),
-            live: n,
-            out_slots: (0..g.degree_sum()).map(|_| None).collect(),
-            out_spill: vec![Vec::new(); n],
-            sent: vec![0; n],
-            events: (0..chunks).map(|_| Vec::new()).collect(),
-            fresh_halts: (0..chunks).map(|_| Vec::new()).collect(),
-            inbox: Vec::new(),
-            inbox_start: vec![0; n + 1],
-            cursor: vec![0; n],
-            transcript: Transcript::empty(P::OUTPUT_KIND, n, g.m()),
+        self.processes.clear();
+        self.processes.resize_with(n, || None);
+        self.rngs.clear();
+        self.rngs.extend((0..n).map(|v| master.fork(v as u64)));
+        self.halted.clear();
+        self.halted.resize(n, false);
+        self.halted_bits.clear_and_resize(n);
+        self.committed.clear_and_resize(n);
+        self.live = n;
+        // Outbox slots are all `None` at the end of a *completed* run
+        // (routing takes every pending message), but a run aborted by a
+        // caught panic (e.g. a max_rounds probe) can leave messages
+        // behind — refill unconditionally so stale sends can never leak
+        // into the next run. This is an O(Σdeg) overwrite of warm
+        // memory, the same order as the rest of the reset.
+        self.out_slots.clear();
+        self.out_slots.resize_with(g.degree_sum(), || None);
+        for spill in &mut self.out_spill {
+            spill.clear();
         }
+        self.out_spill.resize_with(n, Vec::new);
+        self.sent.clear();
+        self.sent.resize(n, 0);
+        for buf in &mut self.events {
+            buf.clear();
+        }
+        self.events.resize_with(chunks, Vec::new);
+        for buf in &mut self.fresh_halts {
+            buf.clear();
+        }
+        self.fresh_halts.resize_with(chunks, Vec::new);
+        // The inbox arena keeps its previous length as a high-water mark;
+        // stale envelopes are never read because every per-destination
+        // region is rewritten by the routing pass before delivery. The
+        // region table, however, must be zeroed: round 0 reads it before
+        // any routing has happened.
+        self.inbox_start.clear();
+        self.inbox_start.resize(n + 1, 0);
+        self.cursor.clear();
+        self.cursor.resize(n, 0);
+        self.audit = policy.records_audit();
+        self.record_halt_rounds = policy.records_halts();
+        self.transcript = Transcript::empty(P::OUTPUT_KIND, n, g.m());
     }
 
     /// Applies commit events (in node order — deterministic) for `round`.
@@ -210,7 +413,8 @@ impl<P: Process> RunState<P> {
     }
 
     /// Routes this round's outbox arena into next round's inbox arena;
-    /// returns the maximum message size seen.
+    /// returns the maximum message size seen (0 when the CONGEST audit is
+    /// disabled by the transcript policy — sizes are then never computed).
     ///
     /// Two passes over the senders (both in ascending id order): the first
     /// counts deliveries per destination and prefix-sums the counts into
@@ -220,6 +424,7 @@ impl<P: Process> RunState<P> {
     /// promises.
     fn route_messages(&mut self, g: &Graph) -> usize {
         let n = g.n();
+        let audit = self.audit;
         let mut max_bits = 0usize;
         let mut total = 0usize;
         for v in &mut self.cursor {
@@ -233,8 +438,10 @@ impl<P: Process> RunState<P> {
             let base = g.csr_offset(src);
             for (port, slot) in self.out_slots[base..base + nbrs.len()].iter().enumerate() {
                 if let Some(msg) = slot {
-                    max_bits = max_bits.max(msg.size_bits());
-                    self.transcript.messages_sent += 1;
+                    if audit {
+                        max_bits = max_bits.max(msg.size_bits());
+                        self.transcript.messages_sent += 1;
+                    }
                     let dst = nbrs[port].0;
                     if !self.halted[dst] {
                         self.cursor[dst] += 1;
@@ -243,8 +450,10 @@ impl<P: Process> RunState<P> {
                 }
             }
             for (port, msg) in &self.out_spill[src] {
-                max_bits = max_bits.max(msg.size_bits());
-                self.transcript.messages_sent += 1;
+                if audit {
+                    max_bits = max_bits.max(msg.size_bits());
+                    self.transcript.messages_sent += 1;
+                }
                 let dst = nbrs[*port as usize].0;
                 if !self.halted[dst] {
                     self.cursor[dst] += 1;
@@ -330,12 +539,15 @@ impl<P: Process> RunState<P> {
     }
 
     /// Records this round's halts (chunk order = node order) into the
-    /// transcript, the columnar bitset, and the live counter.
+    /// transcript (unless the policy drops the termination ledger), the
+    /// columnar bitset, and the live counter.
     fn record_halts(&mut self, round: Round) {
         for chunk in &mut self.fresh_halts {
             for v in chunk.drain(..) {
-                debug_assert_eq!(self.transcript.node_halt_round[v], UNCOMMITTED);
-                self.transcript.node_halt_round[v] = round;
+                if self.record_halt_rounds {
+                    debug_assert_eq!(self.transcript.node_halt_round[v], UNCOMMITTED);
+                    self.transcript.node_halt_round[v] = round;
+                }
                 self.halted_bits.set(v);
                 self.live -= 1;
             }
@@ -400,7 +612,7 @@ pub fn run_sequential<P: Process>(
     params: &P::Params,
     cfg: &SimConfig,
 ) -> Transcript<P::NodeOutput, P::EdgeOutput> {
-    run_inner::<P>(g, params, cfg, 1)
+    run_with_threads::<P>(g, params, cfg, 1, &mut RunState::empty())
 }
 
 /// Runs the algorithm on the chunked `std::thread::scope` executor.
@@ -416,12 +628,23 @@ pub fn run_parallel<P: Process>(
     params: &P::Params,
     cfg: &SimConfig,
 ) -> Transcript<P::NodeOutput, P::EdgeOutput> {
-    let threads = if cfg.threads == 0 {
+    run_with_threads::<P>(
+        g,
+        params,
+        cfg,
+        resolve_threads(cfg.threads),
+        &mut RunState::empty(),
+    )
+}
+
+/// Resolves a thread count with the `0 = all available cores` convention.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
         std::thread::available_parallelism().map_or(4, |p| p.get())
     } else {
-        cfg.threads
-    };
-    run_inner::<P>(g, params, cfg, threads.max(1))
+        threads
+    }
+    .max(1)
 }
 
 /// Below this node count [`run_parallel`] falls back to the sequential
@@ -430,11 +653,57 @@ pub fn run_parallel<P: Process>(
 /// against the actual threshold instead of a copied magic number.
 pub const PARALLEL_MIN_NODES: usize = 256;
 
-fn run_inner<P: Process>(
+/// Runs `P` under `spec`, reusing the arenas stored in `ws`.
+///
+/// The first run of a process type (or the first after a CSR shape
+/// change) allocates its arenas inside the workspace; subsequent runs
+/// reuse them, paying only an O(n + m) reset instead of fresh
+/// allocations. Transcripts are bit-identical to workspace-less runs —
+/// the reset path is the only initialization path in the engine.
+///
+/// # Panics
+///
+/// Same conditions as [`run_sequential`].
+pub fn run_spec_in<P>(
+    g: &Graph,
+    params: &P::Params,
+    spec: &RunSpec,
+    ws: &mut Workspace,
+) -> Transcript<P::NodeOutput, P::EdgeOutput>
+where
+    P: Process + 'static,
+    P::Message: 'static,
+    P::NodeOutput: 'static,
+    P::EdgeOutput: 'static,
+{
+    let cfg = spec.sim_config();
+    let threads = match spec.exec {
+        Exec::Sequential => 1,
+        Exec::Parallel { threads } => resolve_threads(threads),
+    };
+    let shape = (g.n(), g.m(), g.degree_sum());
+    if ws.shape != Some(shape) {
+        ws.states.clear();
+        ws.shape = Some(shape);
+    }
+    ws.runs += 1;
+    let slot = ws.states.entry(TypeId::of::<P>());
+    if let std::collections::hash_map::Entry::Occupied(_) = &slot {
+        ws.reuses += 1;
+    }
+    let state = slot
+        .or_insert_with(|| Box::new(RunState::<P>::empty()))
+        .downcast_mut::<RunState<P>>()
+        .expect("workspace slot keyed by process type");
+    run_with_threads::<P>(g, params, &cfg, threads, state)
+}
+
+fn run_with_threads<P: Process>(
     g: &Graph,
     params: &P::Params,
     cfg: &SimConfig,
     threads: usize,
+    state: &mut RunState<P>,
 ) -> Transcript<P::NodeOutput, P::EdgeOutput> {
     let n = g.n();
     // The chunking decision is fixed for the whole run: small instances
@@ -446,20 +715,22 @@ fn run_inner<P: Process>(
         n.div_ceil(threads)
     };
     let chunks = if sequential { 1 } else { n.div_ceil(chunk) };
-    let mut state: RunState<P> = RunState::new(g, cfg.seed, chunks);
+    state.reset(g, cfg.seed, chunks, cfg.transcript);
     let max_degree = g.max_degree();
 
     let mut round: Round = 0;
     loop {
         if sequential {
-            step_sequential::<P>(g, cfg, params, round, max_degree, &mut state);
+            step_sequential::<P>(g, cfg, params, round, max_degree, state);
         } else {
-            step_parallel::<P>(g, cfg, params, round, max_degree, &mut state, chunk);
+            step_parallel::<P>(g, cfg, params, round, max_degree, state, chunk);
         }
         state.apply_events(round);
         state.record_halts(round);
         let max_bits = state.route_messages(g);
-        state.transcript.max_message_bits.push(max_bits);
+        if state.audit {
+            state.transcript.max_message_bits.push(max_bits);
+        }
         if state.all_halted() {
             break;
         }
@@ -471,7 +742,11 @@ fn run_inner<P: Process>(
         );
     }
     state.transcript.rounds = round;
-    state.transcript
+    // Hand the ledger to the caller; the arenas stay behind for reuse.
+    std::mem::replace(
+        &mut state.transcript,
+        Transcript::empty(P::OUTPUT_KIND, 0, 0),
+    )
 }
 
 /// One round of activations on the sequential executor.
@@ -898,9 +1173,182 @@ mod tests {
         let cfg = SimConfig::new(9)
             .with_max_rounds(50)
             .with_threads(2)
-            .with_knowledge(Knowledge::default());
+            .with_knowledge(Knowledge::default())
+            .with_transcript(TranscriptPolicy::CompletionsOnly);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.max_rounds, 50);
         assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.transcript, TranscriptPolicy::CompletionsOnly);
+    }
+
+    #[test]
+    fn run_spec_builders_and_sim_config() {
+        let spec = RunSpec::new(3)
+            .with_seed(4)
+            .with_exec(Exec::Parallel { threads: 2 })
+            .with_max_rounds(99)
+            .with_transcript(TranscriptPolicy::None)
+            .with_knowledge(Knowledge::default());
+        assert_eq!(spec.seed, 4);
+        assert_eq!(spec.max_rounds, 99);
+        let cfg = spec.sim_config();
+        assert_eq!(cfg.seed, 4);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.max_rounds, 99);
+        assert_eq!(cfg.transcript, TranscriptPolicy::None);
+        assert_eq!(RunSpec::new(1).sim_config().threads, 1);
+    }
+
+    #[test]
+    fn transcript_policy_drops_only_what_it_promises() {
+        let g = gen::grid(6, 6);
+        let full = RunSpec::new(5).run::<MaxFlood>(&g, &RADIUS);
+        let completions = RunSpec::new(5)
+            .with_transcript(TranscriptPolicy::CompletionsOnly)
+            .run::<MaxFlood>(&g, &RADIUS);
+        let none = RunSpec::new(5)
+            .with_transcript(TranscriptPolicy::None)
+            .run::<MaxFlood>(&g, &RADIUS);
+        // Outputs and commit clocks survive every policy.
+        for t in [&completions, &none] {
+            assert_eq!(t.node_output, full.node_output);
+            assert_eq!(t.node_commit_round, full.node_commit_round);
+            assert_eq!(t.rounds, full.rounds);
+            assert!(t.is_complete());
+            // The CONGEST audit is gone below Full.
+            assert!(t.max_message_bits.is_empty());
+            assert_eq!(t.messages_sent, 0);
+            assert_eq!(t.peak_message_bits(), 0);
+        }
+        assert!(full.messages_sent > 0);
+        assert!(!full.max_message_bits.is_empty());
+        // Halt clocks survive CompletionsOnly but not None.
+        assert_eq!(completions.node_halt_round, full.node_halt_round);
+        assert!(none.node_halt_round.iter().all(|&r| r == UNCOMMITTED));
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh_runs() {
+        let g = gen::grid(8, 9);
+        let mut ws = Workspace::new();
+        let spec = RunSpec::new(7);
+        let first = spec.run_in::<MaxFlood>(&g, &RADIUS, &mut ws);
+        let reused = spec.run_in::<MaxFlood>(&g, &RADIUS, &mut ws);
+        let fresh = spec.run::<MaxFlood>(&g, &RADIUS);
+        assert_eq!(ws.run_count(), 2);
+        assert_eq!(ws.reuse_count(), 1);
+        assert_eq!(first.node_output, fresh.node_output);
+        assert_eq!(reused.node_output, fresh.node_output);
+        assert_eq!(reused.node_commit_round, fresh.node_commit_round);
+        assert_eq!(reused.node_halt_round, fresh.node_halt_round);
+        assert_eq!(reused.max_message_bits, fresh.max_message_bits);
+        assert_eq!(reused.messages_sent, fresh.messages_sent);
+        // A different seed through the same arenas still matches fresh.
+        let other_ws = spec.with_seed(9).run_in::<MaxFlood>(&g, &RADIUS, &mut ws);
+        let other = RunSpec::new(9).run::<MaxFlood>(&g, &RADIUS);
+        assert_eq!(other_ws.node_output, other.node_output);
+    }
+
+    #[test]
+    fn workspace_handles_shape_changes_and_many_process_types() {
+        let small = gen::path(6);
+        let big = gen::grid(7, 7);
+        let mut ws = Workspace::new();
+        let spec = RunSpec::new(2);
+        let _ = spec.run_in::<MaxFlood>(&small, &RADIUS, &mut ws);
+        let _ = spec.run_in::<CoinFlip>(&small, &(), &mut ws);
+        assert_eq!(ws.arena_count(), 2);
+        // Shape change flushes the stored arenas, then runs fine.
+        let on_big = spec.run_in::<MaxFlood>(&big, &RADIUS, &mut ws);
+        assert_eq!(ws.arena_count(), 1);
+        assert_eq!(
+            on_big.node_output,
+            spec.run::<MaxFlood>(&big, &RADIUS).node_output
+        );
+        // Back to the small shape: flush again, still correct.
+        let back = spec.run_in::<MaxFlood>(&small, &RADIUS, &mut ws);
+        assert_eq!(
+            back.node_output,
+            spec.run::<MaxFlood>(&small, &RADIUS).node_output
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_after_an_aborted_run_is_clean() {
+        // A run that panics mid-round leaves messages pending in the
+        // outbox arena. Reusing the workspace afterwards — for the same
+        // process type, hence the same arena slot — must behave exactly
+        // like a fresh run: stale sends must not be delivered (they
+        // would spill behind the next run's own sends).
+        use std::sync::atomic::{AtomicBool, Ordering};
+        static POISON: AtomicBool = AtomicBool::new(false);
+
+        /// Broadcasts in rounds 0 and 1; while `POISON` is set, node 5
+        /// panics in round 1 *after* lower-id nodes already wrote their
+        /// round-1 sends into the shared outbox arena.
+        struct MidRoundPanic;
+        impl Process for MidRoundPanic {
+            type Message = u64;
+            type NodeOutput = u64;
+            type EdgeOutput = ();
+            type Params = ();
+            const OUTPUT_KIND: OutputKind = OutputKind::NodeLabels;
+            fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+                ctx.broadcast(1);
+                MidRoundPanic
+            }
+            fn round(&mut self, ctx: &mut Ctx<'_, Self>, inbox: &[Envelope<u64>]) {
+                if ctx.round() == 1 {
+                    ctx.broadcast(2);
+                    assert!(
+                        !(POISON.load(Ordering::Relaxed) && ctx.id() == 5),
+                        "poisoned node"
+                    );
+                } else {
+                    ctx.commit_node(inbox.iter().map(|e| e.msg).sum());
+                    ctx.halt();
+                }
+            }
+        }
+
+        let g = gen::grid(6, 6); // node 5 exists; sequential id order
+        let mut ws = Workspace::new();
+        let spec = RunSpec::new(4);
+        POISON.store(true, Ordering::Relaxed);
+        let aborted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = spec.run_in::<MidRoundPanic>(&g, &(), &mut ws);
+        }));
+        assert!(aborted.is_err(), "the poisoned run must panic");
+        POISON.store(false, Ordering::Relaxed);
+        // Same process type through the abandoned arena: the pending
+        // round-1 broadcasts of nodes 0..5 must be gone.
+        let reused = spec.run_in::<MidRoundPanic>(&g, &(), &mut ws);
+        let fresh = spec.run::<MidRoundPanic>(&g, &());
+        assert_eq!(reused.node_output, fresh.node_output);
+        assert_eq!(reused.messages_sent, fresh.messages_sent);
+        assert_eq!(reused.max_message_bits, fresh.max_message_bits);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_across_executors_and_policies() {
+        let g = gen::grid(17, 17); // big enough to really chunk
+        assert!(g.n() >= PARALLEL_MIN_NODES);
+        let mut ws = Workspace::new();
+        for policy in [
+            TranscriptPolicy::Full,
+            TranscriptPolicy::CompletionsOnly,
+            TranscriptPolicy::None,
+        ] {
+            for exec in [Exec::Sequential, Exec::Parallel { threads: 3 }] {
+                let spec = RunSpec::new(11).with_exec(exec).with_transcript(policy);
+                let reused = spec.run_in::<MaxFlood>(&g, &RADIUS, &mut ws);
+                let fresh = spec.run::<MaxFlood>(&g, &RADIUS);
+                assert_eq!(reused.node_output, fresh.node_output);
+                assert_eq!(reused.node_commit_round, fresh.node_commit_round);
+                assert_eq!(reused.node_halt_round, fresh.node_halt_round);
+                assert_eq!(reused.max_message_bits, fresh.max_message_bits);
+            }
+        }
+        assert_eq!(ws.reuse_count(), 5);
     }
 }

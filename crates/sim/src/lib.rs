@@ -64,13 +64,15 @@ pub mod engine;
 pub mod message;
 pub mod process;
 pub mod transcript;
+pub mod workspace;
 
 /// Convenient glob import for algorithm implementations.
 pub mod prelude {
-    pub use crate::engine::{run_parallel, run_sequential, Exec, SimConfig};
+    pub use crate::engine::{run_parallel, run_sequential, run_spec_in, Exec, RunSpec, SimConfig};
     pub use crate::message::{Envelope, MessageSize};
     pub use crate::process::{Ctx, Knowledge, Process};
-    pub use crate::transcript::{OutputKind, Round, Transcript, UNCOMMITTED};
+    pub use crate::transcript::{OutputKind, Round, Transcript, TranscriptPolicy, UNCOMMITTED};
+    pub use crate::workspace::Workspace;
     pub use localavg_graph::rng::Rng;
     pub use localavg_graph::{EdgeId, Graph, NodeId};
 }

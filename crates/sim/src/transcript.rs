@@ -14,6 +14,63 @@ pub type Round = usize;
 /// Sentinel for "never committed / never halted".
 pub const UNCOMMITTED: Round = Round::MAX;
 
+/// How much ledger a run retains beyond the outputs themselves.
+///
+/// The paper's averaged measures (Definition 1) need only the per-element
+/// *commit* clocks, yet the full transcript also carries the termination
+/// ledger and a per-round CONGEST audit. When a caller runs thousands of
+/// cells and only reads completion times, that bookkeeping is pure
+/// overhead — the policy lets the engine skip it. Commit clocks and
+/// outputs are **always** retained: without them the run could neither be
+/// verified nor measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TranscriptPolicy {
+    /// Everything: commit clocks, halt clocks, and the per-round
+    /// CONGEST message audit (`max_message_bits`, `messages_sent`).
+    #[default]
+    Full,
+    /// Commit and halt clocks only; the CONGEST audit is skipped
+    /// (`max_message_bits` stays empty, `messages_sent` stays 0, and the
+    /// engine never calls `MessageSize::size_bits`).
+    CompletionsOnly,
+    /// The bare minimum for a measurable, verifiable run: outputs and
+    /// commit clocks. Halt clocks stay [`UNCOMMITTED`] (termination-time
+    /// metrics degrade to the worst case) and the CONGEST audit is
+    /// skipped.
+    None,
+}
+
+impl TranscriptPolicy {
+    /// Whether the engine keeps the per-round CONGEST audit.
+    pub fn records_audit(&self) -> bool {
+        matches!(self, TranscriptPolicy::Full)
+    }
+
+    /// Whether the engine records per-node halt (termination) rounds.
+    pub fn records_halts(&self) -> bool {
+        !matches!(self, TranscriptPolicy::None)
+    }
+
+    /// Stable CLI / JSON label (`"full"`, `"completions"`, `"none"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TranscriptPolicy::Full => "full",
+            TranscriptPolicy::CompletionsOnly => "completions",
+            TranscriptPolicy::None => "none",
+        }
+    }
+
+    /// Parses a CLI label; the inverse of [`TranscriptPolicy::label`].
+    pub fn parse(s: &str) -> Option<TranscriptPolicy> {
+        match s {
+            "full" => Some(TranscriptPolicy::Full),
+            "completions" | "completions-only" => Some(TranscriptPolicy::CompletionsOnly),
+            "none" => Some(TranscriptPolicy::None),
+            _ => None,
+        }
+    }
+}
+
 /// Which outputs a problem labels — determines how Definition 1 completion
 /// times treat missing commitments.
 ///
@@ -146,6 +203,33 @@ impl<NO, EO> Transcript<NO, EO> {
             messages_sent: self.messages_sent,
         }
     }
+
+    /// Consuming variant of [`Transcript::erased`]: the ledger columns
+    /// (commit/halt clocks, audit) are *moved*, not cloned — only the two
+    /// output vectors are re-mapped. This is the conversion the unified
+    /// `AlgoRun` result type uses, so erasing a transcript costs two
+    /// allocations instead of six.
+    pub fn into_erased(self) -> Transcript<(), ()> {
+        Transcript {
+            kind: self.kind,
+            rounds: self.rounds,
+            node_output: self
+                .node_output
+                .iter()
+                .map(|o| o.as_ref().map(|_| ()))
+                .collect(),
+            edge_output: self
+                .edge_output
+                .iter()
+                .map(|o| o.as_ref().map(|_| ()))
+                .collect(),
+            node_commit_round: self.node_commit_round,
+            edge_commit_round: self.edge_commit_round,
+            node_halt_round: self.node_halt_round,
+            max_message_bits: self.max_message_bits,
+            messages_sent: self.messages_sent,
+        }
+    }
 }
 
 impl<NO: Clone, EO: Clone> Transcript<NO, EO> {
@@ -223,5 +307,50 @@ mod tests {
     fn missing_label_panics() {
         let t: Transcript<u8, ()> = Transcript::empty(OutputKind::NodeLabels, 1, 0);
         let _ = t.node_labels();
+    }
+
+    #[test]
+    fn policy_gates_and_labels() {
+        assert!(TranscriptPolicy::Full.records_audit());
+        assert!(TranscriptPolicy::Full.records_halts());
+        assert!(!TranscriptPolicy::CompletionsOnly.records_audit());
+        assert!(TranscriptPolicy::CompletionsOnly.records_halts());
+        assert!(!TranscriptPolicy::None.records_audit());
+        assert!(!TranscriptPolicy::None.records_halts());
+        assert_eq!(TranscriptPolicy::default(), TranscriptPolicy::Full);
+        for p in [
+            TranscriptPolicy::Full,
+            TranscriptPolicy::CompletionsOnly,
+            TranscriptPolicy::None,
+        ] {
+            assert_eq!(TranscriptPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(
+            TranscriptPolicy::parse("completions-only"),
+            Some(TranscriptPolicy::CompletionsOnly)
+        );
+        assert_eq!(TranscriptPolicy::parse("fast"), None);
+    }
+
+    #[test]
+    fn into_erased_preserves_the_ledger() {
+        let mut t: Transcript<u8, u8> = Transcript::empty(OutputKind::Both, 2, 1);
+        t.node_commit_round = vec![1, 2];
+        t.node_output = vec![Some(7), None];
+        t.edge_commit_round = vec![3];
+        t.edge_output = vec![Some(9)];
+        t.node_halt_round = vec![4, 5];
+        t.max_message_bits = vec![8, 16];
+        t.messages_sent = 6;
+        t.rounds = 5;
+        let by_ref = t.erased();
+        let by_move = t.into_erased();
+        assert_eq!(by_move.node_commit_round, by_ref.node_commit_round);
+        assert_eq!(by_move.edge_commit_round, by_ref.edge_commit_round);
+        assert_eq!(by_move.node_halt_round, by_ref.node_halt_round);
+        assert_eq!(by_move.max_message_bits, by_ref.max_message_bits);
+        assert_eq!(by_move.messages_sent, by_ref.messages_sent);
+        assert_eq!(by_move.node_output, vec![Some(()), None]);
+        assert_eq!(by_move.edge_output, vec![Some(())]);
     }
 }

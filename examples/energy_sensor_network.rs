@@ -7,7 +7,7 @@
 //! cargo run --release --example energy_sensor_network
 //! ```
 
-use localavg::core::algo::registry;
+use localavg::core::algo::{registry, RunSpec};
 use localavg::graph::{analysis, gen, rng::Rng, transform};
 
 fn main() {
@@ -34,12 +34,15 @@ fn main() {
 
     // Cluster-head election via MIS, or via the relaxed (2,2)-ruling set
     // of Theorem 2 — the same three lines either way.
-    let mis_run = registry().get("mis/luby").expect("registered").run(&g, 1);
+    let mis_run = registry()
+        .get("mis/luby")
+        .expect("registered")
+        .execute(&g, &RunSpec::new(1));
     mis_run.verify(&g).expect("valid MIS");
     let rs_run = registry()
         .get("ruling/two-two")
         .expect("registered")
-        .run(&g, 1);
+        .execute(&g, &RunSpec::new(1));
     rs_run.verify(&g).expect("valid (2,2)-ruling set");
     let mis_report = mis_run.report(&g);
     let rs_report = rs_run.report(&g);

@@ -7,7 +7,7 @@
 //! cargo run --release --example kmw_lower_bound
 //! ```
 
-use localavg::core::algo::registry;
+use localavg::core::algo::{registry, RunSpec};
 use localavg::graph::rng::Rng;
 use localavg::lowerbound::base_graph::{BaseGraph, LiftedGk};
 use localavg::lowerbound::cluster_tree::ClusterTree;
@@ -54,7 +54,7 @@ fn main() {
     let run = registry()
         .get("mis/luby")
         .expect("registered")
-        .run(lg.graph(), 3);
+        .execute(lg.graph(), &RunSpec::new(3));
     run.verify(lg.graph()).expect("valid MIS");
     let report = run.report(lg.graph());
     let s0 = lg.s0();

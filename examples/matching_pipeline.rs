@@ -7,12 +7,15 @@
 //! cargo run --release --example matching_pipeline
 //! ```
 
-use localavg::core::algo::registry;
+use localavg::core::algo::{registry, RunSpec};
 use localavg::core::matching;
 use localavg::graph::{gen, rng::Rng, Graph};
 
 fn describe(label: &str, name: &str, g: &Graph, seed: u64) {
-    let run = registry().get(name).expect("registered").run(g, seed);
+    let run = registry()
+        .get(name)
+        .expect("registered")
+        .execute(g, &RunSpec::new(seed));
     run.verify(g).expect("valid maximal matching");
     let in_matching = run.solution.matching().expect("matching output");
     let rep = run.report(g);

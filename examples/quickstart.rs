@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use localavg::core::algo::registry;
+use localavg::core::algo::{registry, RunSpec, Workspace};
 use localavg::graph::{gen, rng::Rng};
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
 
     // One unified API for every family: look up by name, run, verify.
     let luby = registry().get("mis/luby").expect("registered");
-    let run = luby.run(&g, 7);
+    let run = luby.execute(&g, &RunSpec::new(7));
     run.verify(&g).expect("valid MIS");
     let in_set = run.solution.node_set().expect("node-set output");
     println!(
@@ -48,13 +48,15 @@ fn main() {
         run.transcript.peak_message_bits()
     );
 
-    // The registry makes sweeping every algorithm a three-line loop.
+    // The registry makes sweeping every algorithm a three-line loop;
+    // one shared Workspace reuses the engine arenas across the runs.
     println!("\nregistry sweep (node-avg on the same graph):");
+    let mut ws = Workspace::new();
     for algo in registry().iter() {
         if algo.problem().min_degree() > g.min_degree() {
             continue;
         }
-        let r = algo.run(&g, 7);
+        let r = algo.execute_in(&g, &RunSpec::new(7), &mut ws);
         r.verify(&g).expect("every registered algorithm is valid");
         println!(
             "  {:<18} {:<22} {:>8.2}",

@@ -5,7 +5,7 @@
 //! cargo run --release --example sinkless_orientation
 //! ```
 
-use localavg::core::algo::registry;
+use localavg::core::algo::{registry, RunSpec};
 use localavg::core::subroutines::log_star;
 use localavg::graph::{gen, rng::Rng};
 
@@ -19,7 +19,7 @@ fn main() {
     for n in [128usize, 512, 2048] {
         let mut rng = Rng::seed_from(5 + n as u64);
         let g = gen::random_regular(n, 3, &mut rng).expect("3-regular graph");
-        let run = det.run(&g, 0);
+        let run = det.execute(&g, &RunSpec::new(0));
         run.verify(&g).expect("sinkless orientation");
         let rep = run.report(&g);
         println!(
@@ -38,7 +38,7 @@ fn main() {
     for n in [128usize, 512, 2048] {
         let mut rng = Rng::seed_from(11 + n as u64);
         let g = gen::random_regular(n, 3, &mut rng).expect("3-regular graph");
-        let run = rand.run(&g, 9);
+        let run = rand.execute(&g, &RunSpec::new(9));
         run.verify(&g).expect("sinkless orientation");
         let rep = run.report(&g);
         println!("{:>6} {:>10.2} {:>10}", n, rep.node_averaged, rep.rounds);

@@ -28,11 +28,14 @@
 //!
 //! ```
 //! use localavg::graph::{gen, rng::Rng};
-//! use localavg::core::algo::registry;
+//! use localavg::core::algo::{registry, RunSpec};
 //!
 //! let mut rng = Rng::seed_from(7);
 //! let g = gen::random_regular(64, 4, &mut rng).expect("regular graph");
-//! let run = registry().get("mis/luby").expect("registered").run(&g, 123);
+//! let run = registry()
+//!     .get("mis/luby")
+//!     .expect("registered")
+//!     .execute(&g, &RunSpec::new(123));
 //! run.verify(&g).expect("valid MIS");
 //! assert!(run.worst_case() < 64);
 //! // Constant-degree graphs: Luby decides most nodes in O(1) rounds.

@@ -3,7 +3,9 @@
 //! and `localavg-lowerbound`, with metrics cross-checked on the shared
 //! `AlgoRun` result type.
 
-use localavg::core::algo::{registry, AlgoRun, Algorithm, DetRulingSpec, RulingDet, Solution};
+use localavg::core::algo::{
+    registry, AlgoRun, Algorithm, DetRulingSpec, RulingDet, RunSpec, Solution,
+};
 use localavg::core::metrics::{CompletionTimes, RunAggregate};
 use localavg::graph::{gen, rng::Rng};
 use localavg::lowerbound::base_graph::{BaseGraph, LiftedGk};
@@ -19,7 +21,7 @@ fn run(name: &str, g: &localavg::graph::Graph, seed: u64) -> AlgoRun {
     let r = registry()
         .get(name)
         .unwrap_or_else(|| panic!("{name} not registered"))
-        .run(g, seed);
+        .execute(g, &RunSpec::new(seed));
     r.verify(g).unwrap_or_else(|e| panic!("{name}: {e}"));
     r
 }
@@ -32,7 +34,7 @@ fn every_algorithm_solves_the_lower_bound_graph() {
     // scope: the whole registry must verify.
     assert!(g.min_degree() >= 3);
     for algo in registry().iter() {
-        let r = algo.run(g, 1);
+        let r = algo.execute(g, &RunSpec::new(1));
         r.verify(g)
             .unwrap_or_else(|e| panic!("{} failed on G̃_1: {e}", algo.name()));
         assert_eq!(r.algorithm, algo.name());
@@ -118,7 +120,7 @@ fn ruling_det_specs_resolve_per_graph() {
     let mut rng = Rng::seed_from(19);
     let g = gen::random_regular(128, 4, &mut rng).unwrap();
     for spec in [DetRulingSpec::LogDelta, DetRulingSpec::LogLogN] {
-        let r = RulingDet.run_with(&g, 0, &spec);
+        let r = RulingDet.execute_with(&g, &RunSpec::new(0), &spec);
         r.verify(&g).expect("valid ruling set");
         match r.solution {
             Solution::RulingSet { beta, .. } => assert!(beta >= 3),

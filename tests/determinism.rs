@@ -2,7 +2,7 @@
 //! bit-identical transcripts sequentially, in parallel, and across calls —
 //! checked uniformly through the registry.
 
-use localavg::core::algo::{registry, Exec};
+use localavg::core::algo::{registry, Exec, RunSpec};
 use localavg::graph::{gen, rng::Rng};
 
 #[test]
@@ -10,14 +10,14 @@ fn luby_mis_is_seed_deterministic() {
     let mut rng = Rng::seed_from(3);
     let g = gen::random_regular(256, 6, &mut rng).unwrap();
     let luby = registry().get("mis/luby").unwrap();
-    let a = luby.run(&g, 42);
-    let b = luby.run(&g, 42);
+    let a = luby.execute(&g, &RunSpec::new(42));
+    let b = luby.execute(&g, &RunSpec::new(42));
     assert_eq!(a.solution, b.solution);
     assert_eq!(
         a.transcript.node_commit_round,
         b.transcript.node_commit_round
     );
-    let c = luby.run(&g, 43);
+    let c = luby.execute(&g, &RunSpec::new(43));
     assert_ne!(a.solution, c.solution, "different seeds should differ");
 }
 
@@ -29,8 +29,8 @@ fn every_randomized_algorithm_is_seed_deterministic() {
         if algo.problem().min_degree() > g.min_degree() {
             continue;
         }
-        let a = algo.run(&g, 9);
-        let b = algo.run(&g, 9);
+        let a = algo.execute(&g, &RunSpec::new(9));
+        let b = algo.execute(&g, &RunSpec::new(9));
         assert_eq!(
             a.solution,
             b.solution,
@@ -72,9 +72,9 @@ fn parallel_and_sequential_executors_are_bit_identical() {
             if algo.problem().min_degree() > g.min_degree() {
                 continue;
             }
-            let seq = algo.run_exec(&g, 5, Exec::Sequential);
+            let seq = algo.execute(&g, &RunSpec::new(5));
             for threads in [1usize, 2, 8] {
-                let par = algo.run_exec(&g, 5, Exec::Parallel { threads });
+                let par = algo.execute(&g, &RunSpec::new(5).with_exec(Exec::Parallel { threads }));
                 let label = format!("{} on {family} with {threads} thread(s)", algo.name());
                 assert_eq!(seq.solution, par.solution, "{label}: outputs differ");
                 assert_eq!(
@@ -111,8 +111,8 @@ fn deterministic_algorithms_ignore_the_seed() {
             continue;
         }
         assert_eq!(
-            algo.run(&g, 1).solution,
-            algo.run(&g, 999).solution,
+            algo.execute(&g, &RunSpec::new(1)).solution,
+            algo.execute(&g, &RunSpec::new(999)).solution,
             "{} claims to ignore the seed",
             algo.name()
         );

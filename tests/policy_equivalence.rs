@@ -1,0 +1,170 @@
+//! Transcript-policy equivalence: `Full`, `CompletionsOnly`, and `None`
+//! must produce identical solutions, completion times, and Definition 1
+//! metrics — the policy only drops *auxiliary* ledger (the CONGEST audit
+//! and, for `None`, the termination clocks). Checked for every registry
+//! algorithm, across executors at 1/2/8 threads, with and without
+//! reusable [`Workspace`] arenas, and against the committed sweep
+//! goldens (whose bytes pin the `Full` policy).
+
+use localavg::core::algo::{registry, Exec, RunSpec, TranscriptPolicy, Workspace};
+use localavg::graph::gen;
+
+const LEAN_POLICIES: [TranscriptPolicy; 2] =
+    [TranscriptPolicy::CompletionsOnly, TranscriptPolicy::None];
+
+#[test]
+fn policies_agree_on_metrics_and_solutions() {
+    let g = gen::registry()
+        .get("regular/4")
+        .expect("registered family")
+        .build(96, 5)
+        .expect("instance");
+    for algo in registry().iter() {
+        if algo.problem().min_degree() > g.min_degree() {
+            continue;
+        }
+        let full = algo.execute(&g, &RunSpec::new(7));
+        let full_times = full.completion_times(&g);
+        for policy in LEAN_POLICIES {
+            let lean = algo.execute(&g, &RunSpec::new(7).with_transcript(policy));
+            let label = format!("{} under {policy:?}", algo.name());
+            assert_eq!(lean.solution, full.solution, "{label}: outputs differ");
+            assert_eq!(lean.verify(&g), Ok(()), "{label}: verification");
+            assert_eq!(
+                lean.completion_times(&g),
+                full_times,
+                "{label}: completion times differ"
+            );
+            // Definition 1 metrics are bit-identical.
+            let a = lean.report(&g);
+            let b = full.report(&g);
+            assert_eq!(
+                a.node_averaged.to_bits(),
+                b.node_averaged.to_bits(),
+                "{label}"
+            );
+            assert_eq!(
+                a.edge_averaged.to_bits(),
+                b.edge_averaged.to_bits(),
+                "{label}"
+            );
+            assert_eq!(
+                a.edge_averaged_one_endpoint.to_bits(),
+                b.edge_averaged_one_endpoint.to_bits(),
+                "{label}"
+            );
+            assert_eq!(a.node_worst, b.node_worst, "{label}");
+            assert_eq!(a.rounds, b.rounds, "{label}");
+            // Only the audit is gone.
+            assert_eq!(lean.transcript.messages_sent, 0, "{label}");
+            assert!(lean.transcript.max_message_bits.is_empty(), "{label}");
+        }
+        // CompletionsOnly keeps the termination ledger too.
+        let completions = algo.execute(
+            &g,
+            &RunSpec::new(7).with_transcript(TranscriptPolicy::CompletionsOnly),
+        );
+        assert_eq!(
+            completions.transcript.node_halt_round,
+            full.transcript.node_halt_round,
+            "{}: halt clocks under CompletionsOnly",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn policies_are_thread_count_invariant() {
+    // Identical results at 1/2/8 worker threads under every policy
+    // (instances above PARALLEL_MIN_NODES so chunking really happens).
+    let g = gen::registry()
+        .get("tree/random")
+        .expect("registered family")
+        .build(300, 17)
+        .expect("instance");
+    assert!(g.n() >= localavg::sim::engine::PARALLEL_MIN_NODES);
+    for algo in registry().iter() {
+        if algo.problem().min_degree() > g.min_degree() {
+            continue;
+        }
+        for policy in [
+            TranscriptPolicy::Full,
+            TranscriptPolicy::CompletionsOnly,
+            TranscriptPolicy::None,
+        ] {
+            let seq = algo.execute(&g, &RunSpec::new(5).with_transcript(policy));
+            for threads in [1usize, 2, 8] {
+                let par = algo.execute(
+                    &g,
+                    &RunSpec::new(5)
+                        .with_transcript(policy)
+                        .with_exec(Exec::Parallel { threads }),
+                );
+                let label = format!("{} / {policy:?} / {threads} thread(s)", algo.name());
+                assert_eq!(seq.solution, par.solution, "{label}: outputs");
+                assert_eq!(
+                    seq.transcript.node_commit_round, par.transcript.node_commit_round,
+                    "{label}: node commit clocks"
+                );
+                assert_eq!(
+                    seq.transcript.edge_commit_round, par.transcript.edge_commit_round,
+                    "{label}: edge commit clocks"
+                );
+                assert_eq!(
+                    seq.transcript.node_halt_round, par.transcript.node_halt_round,
+                    "{label}: halt clocks"
+                );
+                assert_eq!(
+                    seq.transcript.max_message_bits, par.transcript.max_message_bits,
+                    "{label}: audit"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_reuse_is_policy_transparent() {
+    // One workspace serving every (algorithm, policy) combination in a
+    // row must never leak state between runs.
+    let g = gen::registry()
+        .get("regular/4")
+        .expect("registered family")
+        .build(96, 9)
+        .expect("instance");
+    let mut ws = Workspace::new();
+    for round in 0..2 {
+        for algo in registry().iter() {
+            if algo.problem().min_degree() > g.min_degree() {
+                continue;
+            }
+            for policy in [
+                TranscriptPolicy::Full,
+                TranscriptPolicy::None,
+                TranscriptPolicy::CompletionsOnly,
+            ] {
+                let spec = RunSpec::new(3).with_transcript(policy);
+                let reused = algo.execute_in(&g, &spec, &mut ws);
+                let fresh = algo.execute(&g, &spec);
+                let label = format!("{} / {policy:?} / pass {round}", algo.name());
+                assert_eq!(reused.solution, fresh.solution, "{label}");
+                assert_eq!(
+                    reused.transcript.node_commit_round, fresh.transcript.node_commit_round,
+                    "{label}"
+                );
+                assert_eq!(
+                    reused.transcript.node_halt_round, fresh.transcript.node_halt_round,
+                    "{label}"
+                );
+                assert_eq!(
+                    reused.transcript.messages_sent, fresh.transcript.messages_sent,
+                    "{label}"
+                );
+            }
+        }
+    }
+    assert!(
+        ws.reuse_count() > 0,
+        "the workspace should have been reused"
+    );
+}

@@ -3,7 +3,7 @@
 //! outputs are valid on arbitrary random graphs, metrics obey their
 //! defining inequalities, and structural transforms preserve invariants.
 
-use localavg::core::algo::{registry, Problem};
+use localavg::core::algo::{registry, Problem, RunSpec};
 use localavg::core::matching;
 use localavg::graph::rng::Rng;
 use localavg::graph::{analysis, gen, lift, transform, Graph, GraphBuilder};
@@ -30,7 +30,7 @@ fn every_node_and_edge_problem_is_valid_on_random_graphs() {
             if algo.problem().min_degree() > g.min_degree() {
                 continue;
             }
-            let run = algo.run(&g, seed);
+            let run = algo.execute(&g, &RunSpec::new(seed));
             run.verify(&g)
                 .unwrap_or_else(|e| panic!("{} invalid on n={}: {e}", algo.name(), g.n()));
         }
@@ -48,7 +48,7 @@ fn orientation_valid_on_random_cubic_graphs() {
             if algo.problem() != Problem::SinklessOrientation {
                 continue;
             }
-            let run = algo.run(&g, seed);
+            let run = algo.execute(&g, &RunSpec::new(seed));
             run.verify(&g)
                 .unwrap_or_else(|e| panic!("{} invalid at seed {seed}: {e}", algo.name()));
         }
@@ -67,7 +67,7 @@ fn fractional_matching_always_feasible() {
 fn metrics_inequalities() {
     let luby = registry().get("mis/luby").expect("registered");
     for (g, seed) in cases(12, 64, 3) {
-        let rep = luby.run(&g, seed).report(&g);
+        let rep = luby.execute(&g, &RunSpec::new(seed)).report(&g);
         assert!(rep.edge_averaged_one_endpoint <= rep.edge_averaged + 1e-9);
         assert!(rep.node_averaged <= rep.node_worst as f64 + 1e-9);
         assert!(rep.node_worst <= rep.rounds);
@@ -89,7 +89,7 @@ fn matching_is_mis_on_line_graph() {
     // §1.1: a maximal matching of G is an MIS of L(G).
     let luby = registry().get("matching/luby").expect("registered");
     for (g, seed) in cases(10, 40, 5) {
-        let run = luby.run(&g, seed);
+        let run = luby.execute(&g, &RunSpec::new(seed));
         let in_matching = run.solution.matching().expect("matching output");
         let l = transform::line_graph(&g);
         assert!(analysis::is_maximal_independent_set(&l, in_matching));

@@ -3,7 +3,7 @@
 //! its output verifies, and the Appendix A inequality chain holds on the
 //! aggregated reports.
 
-use localavg::core::algo::{registry, AlgoRun, Problem};
+use localavg::core::algo::{registry, AlgoRun, Problem, RunSpec};
 use localavg::core::metrics::{CompletionTimes, RunAggregate};
 use localavg::graph::{gen, rng::Rng, Graph};
 
@@ -30,7 +30,9 @@ fn every_registered_algorithm_runs_on_a_regular_graph() {
     assert!(!registry().is_empty());
     for algo in registry().iter() {
         assert!(algo.problem().min_degree() <= g.min_degree());
-        let runs: Vec<AlgoRun> = (0..4u64).map(|s| algo.run(&g, s + 1)).collect();
+        let runs: Vec<AlgoRun> = (0..4u64)
+            .map(|s| algo.execute(&g, &RunSpec::new(s + 1)))
+            .collect();
         for r in &runs {
             r.verify(&g)
                 .unwrap_or_else(|e| panic!("{} invalid on the regular graph: {e}", algo.name()));
@@ -55,7 +57,9 @@ fn every_registered_algorithm_runs_on_a_path() {
             );
             continue;
         }
-        let runs: Vec<AlgoRun> = (0..4u64).map(|s| algo.run(&g, s + 1)).collect();
+        let runs: Vec<AlgoRun> = (0..4u64)
+            .map(|s| algo.execute(&g, &RunSpec::new(s + 1)))
+            .collect();
         for r in &runs {
             r.verify(&g)
                 .unwrap_or_else(|e| panic!("{} invalid on the path: {e}", algo.name()));
