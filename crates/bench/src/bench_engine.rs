@@ -21,9 +21,9 @@
 //! against the PR 3 defaults (full transcript, fresh arenas).
 
 use crate::emit::json_escape;
+use crate::generators;
 use crate::sweep::{self, SweepError};
 use localavg_core::algo::{registry, Exec, RunSpec, TranscriptPolicy, Workspace};
-use localavg_graph::gen;
 use localavg_graph::Graph;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -146,15 +146,18 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
         }
     }
     for name in &spec.generators {
-        if gen::registry().get(name).is_none() {
-            return Err(SweepError::UnknownGenerator { name: name.clone() });
+        if generators::registry().get(name).is_none() {
+            return Err(SweepError::UnknownGenerator {
+                name: name.clone(),
+                suggestion: generators::registry().suggest(name).map(str::to_string),
+            });
         }
     }
     let grid_start = Instant::now();
     let algos = sweep::configure(&spec.algorithms, &spec.params)?;
     let mut cells = Vec::new();
     for gname in &spec.generators {
-        let family = gen::registry().get(gname).expect("validated key");
+        let family = generators::registry().get(gname).expect("validated key");
         for &n in &spec.sizes {
             let g: Graph = family
                 .build(n, sweep::graph_seed(spec.master_seed, gname, n))

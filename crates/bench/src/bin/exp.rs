@@ -12,6 +12,8 @@
 //! cargo run --release -p localavg-bench --bin exp -- sweep --problem coloring --param coloring/trial:extra-colors=4
 //! cargo run --release -p localavg-bench --bin exp -- bench-engine --out BENCH.json
 //! cargo run --release -p localavg-bench --bin exp -- bench-engine --policy none --reuse-workspace
+//! cargo run --release -p localavg-bench --bin exp -- fuzz --cases 500 --master-seed 5
+//! cargo run --release -p localavg-bench --bin exp -- fuzz --generators lb/lift/1,tree/spider
 //! ```
 //!
 //! `--algo` runs a single algorithm (looked up in the string registry) on
@@ -32,11 +34,16 @@
 //! embeds a previous run and computes per-cell speedups; `--policy
 //! full|completions|none` and `--reuse-workspace` drive the
 //! `TranscriptPolicy`/`Workspace` fast path.
+//!
+//! `fuzz` runs the seeded differential harness (DESIGN.md §8): sampled
+//! (family × size × algorithm × params × policy × executor) cells are
+//! cross-checked against the independent `localavg_core::check` oracle,
+//! and any disagreement is shrunk to a minimal failing tuple.
 
 use localavg_bench::cli::{flag_list, flag_value, flag_values};
 use localavg_bench::experiments::{self, Scale};
 use localavg_bench::sweep::ParamOverride;
-use localavg_bench::{bench_engine, cli, emit, sweep, Table};
+use localavg_bench::{bench_engine, cli, emit, fuzz, generators, sweep, Table};
 use localavg_core::algo::{registry, Exec, Problem, RunSpec};
 use localavg_graph::{gen, rng::Rng};
 
@@ -239,7 +246,7 @@ fn run_sweep(args: &[String]) {
             "Registered graph families (`--generators a,b` selects a subset)",
             &["name", "description"],
         );
-        for g in gen::registry().iter() {
+        for g in generators::registry().iter() {
             t.row(vec![g.name().to_string(), g.description().to_string()]);
         }
         println!("{t}");
@@ -439,6 +446,131 @@ fn run_bench_engine(args: &[String]) {
     }
 }
 
+/// Rejects unknown or value-less `exp fuzz` options up front.
+fn validate_fuzz_args(args: &[String]) {
+    const VALUED: [&str; 9] = [
+        "--cases",
+        "--master-seed",
+        "--algorithms",
+        "--generators",
+        "--sizes",
+        "--seed",
+        "--policy",
+        "--threads",
+        "--param",
+    ];
+    if let Err(e) = cli::validate_flags(args, &VALUED, &["--exact"]) {
+        eprintln!("error: {e}");
+        eprintln!(
+            "known options: --cases N, --master-seed S, --algorithms a,b, \
+             --generators g,h, --sizes n,m, --exact (with --seed X, \
+             --policy full|completions|none, --threads T, --param algo:key=value)"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// The `exp fuzz` subcommand: seeded differential verification of the
+/// fast engine against the `localavg_core::check` oracle (DESIGN.md §8).
+fn run_fuzz(args: &[String]) {
+    validate_fuzz_args(args);
+    let mut spec = fuzz::FuzzSpec::default();
+    spec.cases = parse_usize(args, "--cases", spec.cases);
+    spec.master_seed = parse_usize(args, "--master-seed", spec.master_seed as usize) as u64;
+    if let Some(algos) = flag_list(args, "--algorithms") {
+        spec.algorithms = algos;
+    }
+    if let Some(gens) = flag_list(args, "--generators") {
+        spec.generators = gens;
+    }
+    if let Some(sizes) = flag_list(args, "--sizes") {
+        spec.sizes = sizes
+            .iter()
+            .map(|s| {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --sizes expects integers, got `{s}`");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+    }
+    // The pinned-cell flags only make sense under --exact: a sampled run
+    // silently ignoring them would report cells the user did not ask for.
+    let exact = args.iter().any(|a| a == "--exact");
+    if !exact {
+        for flag in ["--seed", "--policy", "--threads", "--param"] {
+            if args.iter().any(|a| a == flag) {
+                eprintln!("error: {flag} requires --exact (it pins one replay cell)");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        let overrides = parse_params(args);
+        if let Some(other) = overrides
+            .iter()
+            .find(|p| !spec.algorithms.contains(&p.algorithm))
+        {
+            eprintln!(
+                "error: --param {}:{}={} names an algorithm outside --algorithms",
+                other.algorithm, other.key, other.value
+            );
+            std::process::exit(2);
+        }
+        spec.exact = Some(fuzz::ExactCell {
+            seed: parse_usize(args, "--seed", 0) as u64,
+            policy: cli::parse_policy(args).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }),
+            threads: parse_usize(args, "--threads", 0),
+            params: overrides.into_iter().map(|p| (p.key, p.value)).collect(),
+        });
+    }
+    let report = fuzz::run(&spec).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        eprintln!("hint: `exp sweep --list-generators` and `exp --list` print the registries");
+        std::process::exit(2);
+    });
+    println!(
+        "fuzz: {} cells across {} algorithms × {} families (master seed {})",
+        report.cases,
+        report.per_algorithm.len(),
+        report.per_generator.len(),
+        spec.master_seed
+    );
+    println!(
+        "      {} brute-force-checked, {} mutation-checked",
+        report.brute_checked, report.mutations_checked
+    );
+    match report.failure {
+        None => println!("all differential checks passed"),
+        Some(f) => {
+            eprintln!("FAILURE: {}", f.message);
+            eprintln!("  sampled at {}", f.original);
+            eprintln!("  shrunk to  {}", f.shrunk);
+            // --exact pins every axis, so this command replays the
+            // shrunk cell verbatim (the master seed still selects the
+            // graph instance).
+            let mut replay = format!(
+                "exp fuzz --exact --master-seed {} --generators {} --algorithms {} \
+                 --sizes {} --seed {} --policy {} --threads {}",
+                spec.master_seed,
+                f.shrunk.generator,
+                f.shrunk.algorithm,
+                f.shrunk.n,
+                f.shrunk.seed,
+                f.shrunk.policy.label(),
+                f.shrunk.threads
+            );
+            for (k, v) in &f.shrunk.params {
+                replay.push_str(&format!(" --param {}:{k}={v}", f.shrunk.algorithm));
+            }
+            eprintln!("  replay: {replay}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -448,6 +580,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("bench-engine") {
         run_bench_engine(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        run_fuzz(&args[1..]);
         return;
     }
     if args.iter().any(|a| a == "--list") {

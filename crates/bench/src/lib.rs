@@ -13,6 +13,12 @@
 //!   graph families × sizes × seeds, run across `std::thread::scope`
 //!   workers with byte-identical output at any thread count, serialized
 //!   to JSON/CSV by the zero-dependency emitters (`exp sweep`).
+//!
+//! Both resolve graph families through [`generators`] — the composed
+//! registry joining `localavg_graph::gen::registry()` with the
+//! lower-bound hard instances of `localavg_lowerbound::families` — and
+//! the [`fuzz`] module (`exp fuzz`, DESIGN.md §8) differentially
+//! verifies the whole stack against the `localavg_core::check` oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +27,8 @@ pub mod bench_engine;
 pub mod cli;
 pub mod emit;
 pub mod experiments;
+pub mod fuzz;
+pub mod generators;
 pub mod sweep;
 pub mod table;
 

@@ -24,9 +24,10 @@
 //! Deterministic algorithms ignore their seed, so the sweep collapses
 //! their seed axis to a single run per group.
 
+use crate::generators;
 use localavg_core::algo::{registry, DynAlgorithm, RunSpec};
 use localavg_core::metrics::{CompletionTimes, RunAggregate};
-use localavg_graph::gen::{self, NamedGenerator};
+use localavg_graph::gen::NamedGenerator;
 use localavg_graph::rng::{splitmix64, Rng};
 use localavg_graph::Graph;
 use localavg_sim::workspace::Workspace;
@@ -160,9 +161,14 @@ impl SweepSpec {
         }
         let mut gens: Vec<&'static NamedGenerator> = Vec::new();
         for name in &self.generators {
-            match gen::registry().get(name) {
+            match generators::registry().get(name) {
                 Some(g) => gens.push(g),
-                None => return Err(SweepError::UnknownGenerator { name: name.clone() }),
+                None => {
+                    return Err(SweepError::UnknownGenerator {
+                        name: name.clone(),
+                        suggestion: generators::registry().suggest(name).map(str::to_string),
+                    })
+                }
             }
         }
         let mut cells = Vec::new();
@@ -215,6 +221,9 @@ pub enum SweepError {
     UnknownGenerator {
         /// The offending key.
         name: String,
+        /// Closest registered key, if any is plausible — same
+        /// [`localavg_graph::suggest`] policy as algorithm keys.
+        suggestion: Option<String>,
     },
     /// Some grid axis is empty.
     EmptyAxis,
@@ -233,6 +242,10 @@ pub enum SweepError {
         /// Human-readable rejection (from the algorithm's validation).
         message: String,
     },
+    /// No selected (family, algorithm) pair is compatible: every chosen
+    /// algorithm's domain requirement exceeds every chosen family's
+    /// minimum-degree guarantee (`exp fuzz` sampling).
+    NoCompatibleCells,
 }
 
 impl fmt::Display for SweepError {
@@ -245,10 +258,13 @@ impl fmt::Display for SweepError {
                 }
                 Ok(())
             }
-            SweepError::UnknownGenerator { name } => {
-                write!(f, "unknown generator `{name}` (known: ")?;
-                let names: Vec<&str> = gen::registry().names().collect();
-                write!(f, "{})", names.join(", "))
+            SweepError::UnknownGenerator { name, suggestion } => {
+                write!(f, "unknown generator `{name}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " — did you mean `{s}`?")?;
+                }
+                let names: Vec<&str> = generators::registry().names().collect();
+                write!(f, " (known: {})", names.join(", "))
             }
             SweepError::EmptyAxis => f.write_str("sweep grid has an empty axis"),
             SweepError::GraphBuild {
@@ -257,6 +273,10 @@ impl fmt::Display for SweepError {
                 message,
             } => write!(f, "generator `{generator}` failed at n={n}: {message}"),
             SweepError::Param { message } => write!(f, "invalid --param: {message}"),
+            SweepError::NoCompatibleCells => f.write_str(
+                "no compatible (generator, algorithm) cells: every selected algorithm's \
+                 domain requirement (min degree) exceeds every selected family's guarantee",
+            ),
         }
     }
 }
@@ -442,7 +462,7 @@ pub fn run(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> 
         if graphs.contains_key(&(c.generator, c.n)) {
             continue;
         }
-        let g = gen::registry()
+        let g = generators::registry()
             .get(c.generator)
             .expect("cells() validated the key")
             .build(c.n, graph_seed(spec.master_seed, c.generator, c.n))
@@ -626,10 +646,21 @@ mod tests {
         }
         let mut spec = tiny_spec();
         spec.generators.push("regullar/4".into());
-        assert!(matches!(
-            spec.cells(),
-            Err(SweepError::UnknownGenerator { .. })
-        ));
+        match spec.cells() {
+            Err(SweepError::UnknownGenerator { name, suggestion }) => {
+                assert_eq!(name, "regullar/4");
+                assert_eq!(suggestion.as_deref(), Some("regular/4"));
+            }
+            other => panic!("expected UnknownGenerator, got {other:?}"),
+        }
+        let mut spec = tiny_spec();
+        spec.generators.push("lb/lifft/1".into());
+        match spec.cells() {
+            Err(SweepError::UnknownGenerator { suggestion, .. }) => {
+                assert_eq!(suggestion.as_deref(), Some("lb/lift/1"));
+            }
+            other => panic!("expected UnknownGenerator, got {other:?}"),
+        }
         let mut spec = tiny_spec();
         spec.sizes.clear();
         assert_eq!(spec.cells(), Err(SweepError::EmptyAxis));
@@ -672,6 +703,55 @@ mod tests {
                 assert_eq!(a.edges, b.edges);
                 assert_eq!(a.nodes, b.nodes);
             }
+        }
+    }
+
+    #[test]
+    fn hard_families_sweep_is_thread_count_independent() {
+        // The lb/* and tree/* workloads behave like any other family:
+        // domain-filtered, content-addressed seeding, byte-identical
+        // reports at any worker count.
+        let spec = SweepSpec {
+            algorithms: vec![
+                "mis/luby".into(),
+                "matching/det".into(),
+                "orientation/rand".into(),
+            ],
+            generators: vec![
+                "lb/lift/1".into(),
+                "lb/doubled/1".into(),
+                "tree/spider".into(),
+            ],
+            sizes: vec![64],
+            seeds: 2,
+            master_seed: 3,
+            params: Vec::new(),
+        };
+        let a = run(&spec, 1).unwrap();
+        let b = run(&spec, 8).unwrap();
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.cell, y.cell);
+            assert_eq!(x.node_averaged.to_bits(), y.node_averaged.to_bits());
+            assert_eq!(x.edge_averaged.to_bits(), y.edge_averaged.to_bits());
+            assert_eq!(x.rounds, y.rounds);
+        }
+        // Sinkless orientation runs on the hard families (min degree ≥ 8)
+        // but is filtered off the tree family.
+        assert!(a
+            .cells
+            .iter()
+            .any(|c| c.cell.algorithm == "orientation/rand" && c.cell.generator == "lb/lift/1"));
+        assert!(!a
+            .cells
+            .iter()
+            .any(|c| c.cell.algorithm == "orientation/rand" && c.cell.generator == "tree/spider"));
+        for g in &a.groups {
+            assert!(
+                g.chain_holds,
+                "{}/{} chain broken",
+                g.algorithm, g.generator
+            );
         }
     }
 

@@ -93,6 +93,7 @@ use crate::mis::MisRun;
 use crate::orientation::OrientationRun;
 use crate::ruling::RulingRun;
 use localavg_graph::analysis::{self, Orientation};
+use localavg_graph::suggest::closest_match;
 use localavg_graph::Graph;
 pub use localavg_sim::engine::{Exec, RunSpec};
 pub use localavg_sim::transcript::TranscriptPolicy;
@@ -171,22 +172,6 @@ impl Problem {
     pub fn suggest(s: &str) -> Option<&'static str> {
         closest_match(Problem::ALL.into_iter().map(|p| p.key()), s)
     }
-}
-
-/// The candidate closest to `query` by edit distance, or `None` when
-/// even the best candidate is too far off to be a plausible typo
-/// (distance above half the query length) — the one "did you mean"
-/// policy shared by registry keys, problem keys, and parameter keys.
-fn closest_match(
-    candidates: impl Iterator<Item = &'static str>,
-    query: &str,
-) -> Option<&'static str> {
-    let threshold = (query.chars().count() / 2).max(2);
-    candidates
-        .map(|k| (edit_distance(k, query), k))
-        .min()
-        .filter(|&(d, _)| d <= threshold)
-        .map(|(_, k)| k)
 }
 
 impl fmt::Display for Problem {
@@ -900,30 +885,13 @@ impl Registry {
     }
 
     /// The registered key closest to `name` by edit distance — the basis
-    /// of `exp`'s "unknown algorithm, did you mean …" error. Returns
-    /// `None` when even the best candidate is too far off to be a typo
-    /// (distance above half the query length), so garbage input doesn't
-    /// get a misleading suggestion.
+    /// of `exp`'s "unknown algorithm, did you mean …" error, via the
+    /// workspace-wide [`localavg_graph::suggest`] policy. Returns `None`
+    /// when even the best candidate is too far off to be a typo, so
+    /// garbage input doesn't get a misleading suggestion.
     pub fn suggest(&self, name: &str) -> Option<&'static str> {
         closest_match(self.names(), name)
     }
-}
-
-/// Classic two-row Levenshtein distance (ASCII-ish keys, tiny inputs).
-fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
-            let sub = prev[j] + usize::from(ca != cb);
-            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[b.len()]
 }
 
 /// The global registry of every algorithm in the workspace.
@@ -1200,13 +1168,6 @@ mod tests {
         // Nothing remotely close: no misleading "did you mean".
         assert_eq!(registry().suggest("foobar"), None);
         assert_eq!(registry().suggest("xx"), None);
-    }
-
-    #[test]
-    fn edit_distance_basics() {
-        assert_eq!(edit_distance("", "abc"), 3);
-        assert_eq!(edit_distance("abc", "abc"), 0);
-        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! |---|---|
 //! | [`algo`] | Unified [`algo::Algorithm`] trait, [`algo::AlgoRun`] result type, and the string-keyed [`algo::registry`] over every implementation |
 //! | [`metrics`] | Definition 1 (`AVG_V`, `AVG_E`, footnote-2 convention), Appendix A (weighted, expected, worst case) |
+//! | [`check`] | Independent oracle: naive reference validators, brute-force optima for tiny instances, and a second Definition 1 accounting (what `exp fuzz` cross-checks against) |
 //! | [`mis`] | §3.1: Luby's MIS, degree-guided MIS, deterministic greedy |
 //! | [`ruling`] | Theorem 2 ((2,2)-ruling set, node-avg O(1)) and Theorem 3 (deterministic (2,β)-ruling sets, node-avg O(log\* n)) |
 //! | [`matching`] | Theorem 4 (randomized maximal matching, edge-avg O(1)) and Theorem 5 (deterministic maximal matching) |
@@ -41,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod check;
 pub mod coloring;
 pub mod matching;
 pub mod metrics;

@@ -139,6 +139,69 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     b.build()
 }
 
+/// Spider `S(legs, len)`: `legs` disjoint paths of `len` nodes, all
+/// attached to a central node 0 (`n = 1 + legs·len`).
+///
+/// A canonical hard shape for node-averaged measures on trees: the
+/// center's completion is gated by every leg, while deep leg nodes look
+/// locally like a path.
+///
+/// # Panics
+///
+/// Panics if `legs == 0` or `len == 0`.
+pub fn spider(legs: usize, len: usize) -> Graph {
+    assert!(legs >= 1 && len >= 1, "spider requires legs, len >= 1");
+    let n = 1 + legs * len;
+    let mut b = GraphBuilder::with_edge_capacity(n, n - 1);
+    for l in 0..legs {
+        let base = 1 + l * len;
+        b.add_edge(0, base).expect("spider hub edge");
+        for i in 1..len {
+            b.add_edge(base + i - 1, base + i).expect("spider leg edge");
+        }
+    }
+    b.build()
+}
+
+/// Random tree on `n` nodes with maximum degree `<= dmax`, by random
+/// attachment: node `v` joins a uniformly random earlier node that still
+/// has spare degree capacity.
+///
+/// Degree-bounded trees are exactly where the node-averaged landscape
+/// papers place the interesting separations (bounded-degree trees admit
+/// the full ω(1)…O(log n) spectrum), so the sweep needs them as a
+/// first-class family.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `dmax < 2` (a path already needs degree 2).
+pub fn bounded_random_tree(n: usize, dmax: usize, rng: &mut Rng) -> Graph {
+    assert!(n >= 1, "bounded_random_tree requires at least one node");
+    assert!(dmax >= 2, "dmax must be >= 2 (paths need degree 2)");
+    let mut b = GraphBuilder::with_edge_capacity(n, n.saturating_sub(1));
+    let mut degree = vec![0usize; n];
+    // Nodes with degree < dmax, in no particular order (swap_remove keeps
+    // selection O(1) and fully determined by the rng stream).
+    let mut open: Vec<NodeId> = Vec::with_capacity(n);
+    if n >= 1 {
+        open.push(0);
+    }
+    for v in 1..n {
+        let slot = rng.index(open.len());
+        let parent = open[slot];
+        b.add_edge(parent, v).expect("tree edge");
+        degree[parent] += 1;
+        degree[v] += 1;
+        if degree[parent] == dmax {
+            open.swap_remove(slot);
+        }
+        if degree[v] < dmax {
+            open.push(v);
+        }
+    }
+    b.build()
+}
+
 /// Uniformly random labelled tree on `n` nodes via Prüfer sequences.
 ///
 /// # Panics
@@ -388,6 +451,7 @@ pub fn petersen() -> Graph {
 /// (regular parity, hypercube powers of two, near-square grids) round the
 /// target to the nearest legal size deterministically, so the realized
 /// node count is a pure function of `(key, n)`.
+#[derive(Clone, Copy)]
 pub struct NamedGenerator {
     name: &'static str,
     description: &'static str,
@@ -396,6 +460,24 @@ pub struct NamedGenerator {
 }
 
 impl NamedGenerator {
+    /// Declares a named family. Public so downstream crates can
+    /// contribute entries (the lower-bound hard instances of
+    /// `localavg-lowerbound` cannot live here without a dependency
+    /// cycle); compose them with [`GenRegistry::from_entries`].
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        min_degree_of: fn(usize) -> usize,
+        build_fn: fn(usize, u64) -> Result<Graph, GraphError>,
+    ) -> NamedGenerator {
+        NamedGenerator {
+            name,
+            description,
+            min_degree_of,
+            build_fn,
+        }
+    }
+
     /// Stable registry key, e.g. `"regular/3"`.
     pub fn name(&self) -> &'static str {
         self.name
@@ -436,9 +518,33 @@ pub struct GenRegistry {
 }
 
 impl GenRegistry {
+    /// Builds a registry from explicit entries — how downstream crates
+    /// compose the base families here with their own contributions (e.g.
+    /// the `lb/*` hard instances of `localavg-lowerbound`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate keys: two families answering to one name would
+    /// make sweep results ambiguous.
+    pub fn from_entries(entries: Vec<NamedGenerator>) -> GenRegistry {
+        let mut keys: Vec<&str> = entries.iter().map(|g| g.name).collect();
+        keys.sort_unstable();
+        for w in keys.windows(2) {
+            assert_ne!(w[0], w[1], "duplicate generator key `{}`", w[0]);
+        }
+        GenRegistry { entries }
+    }
+
     /// Looks a family up by its registry key.
     pub fn get(&self, name: &str) -> Option<&NamedGenerator> {
         self.entries.iter().find(|g| g.name == name)
+    }
+
+    /// The registered key closest to `name` by edit distance — the same
+    /// "did you mean …" policy as the algorithm registry (see
+    /// [`crate::suggest::closest_match`]).
+    pub fn suggest(&self, name: &str) -> Option<&'static str> {
+        crate::suggest::closest_match(self.names(), name)
     }
 
     /// All registered families, in registration order.
@@ -517,6 +623,24 @@ fn build_tree_binary(n: usize, _seed: u64) -> Result<Graph, GraphError> {
     Ok(binary_tree(n.max(1)))
 }
 
+fn build_tree_bounded<const D: usize>(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    Ok(bounded_random_tree(n.max(1), D, &mut Rng::seed_from(seed)))
+}
+
+fn build_tree_caterpillar(n: usize, _seed: u64) -> Result<Graph, GraphError> {
+    // Spine carries 3 legs per node: realized size 4·spine ≈ n.
+    let spine = (n / 4).max(1);
+    Ok(caterpillar(spine, 3))
+}
+
+fn build_tree_spider(n: usize, _seed: u64) -> Result<Graph, GraphError> {
+    // Near-balanced shape: ~√n legs of ~√n nodes each.
+    let n = n.max(5);
+    let legs = (n - 1).isqrt().max(2);
+    let len = ((n - 1) / legs).max(1);
+    Ok(spider(legs, len))
+}
+
 fn build_regular<const D: usize>(n: usize, seed: u64) -> Result<Graph, GraphError> {
     let n = n.max(D + 1);
     let n = if (n * D) % 2 == 1 { n + 1 } else { n };
@@ -548,6 +672,9 @@ fn build_gnp_deg8(n: usize, seed: u64) -> Result<Graph, GraphError> {
 /// | `hypercube` | hypercube `Q_d` | largest `2^d <= n` |
 /// | `tree/random` | uniform labelled tree (Prüfer) | exact |
 /// | `tree/binary` | complete binary tree | exact |
+/// | `tree/bounded/3` `tree/bounded/8` | random degree-bounded tree | exact |
+/// | `tree/caterpillar` | spine with 3 leaves per node | `4 · max(n/4, 1)` |
+/// | `tree/spider` | ~√n legs of ~√n nodes | `1 + legs·len` |
 /// | `regular/3` `regular/4` `regular/8` `regular/16` | random d-regular | parity-adjusted |
 /// | `gnp/0.01` `gnp/0.05` | Erdős–Rényi `G(n, p)` | exact |
 /// | `gnp/deg8` | `G(n, 8/n)` — constant average degree | exact |
@@ -590,6 +717,30 @@ pub fn registry() -> &'static GenRegistry {
                 description: "complete binary tree",
                 min_degree_of: md_tree,
                 build_fn: build_tree_binary,
+            },
+            NamedGenerator {
+                name: "tree/bounded/3",
+                description: "random tree with maximum degree 3 (random attachment)",
+                min_degree_of: md_tree,
+                build_fn: build_tree_bounded::<3>,
+            },
+            NamedGenerator {
+                name: "tree/bounded/8",
+                description: "random tree with maximum degree 8 (random attachment)",
+                min_degree_of: md_tree,
+                build_fn: build_tree_bounded::<8>,
+            },
+            NamedGenerator {
+                name: "tree/caterpillar",
+                description: "caterpillar: ~n/4 spine nodes with 3 pendant leaves each",
+                min_degree_of: md_tree,
+                build_fn: build_tree_caterpillar,
+            },
+            NamedGenerator {
+                name: "tree/spider",
+                description: "spider: ~sqrt(n) legs of ~sqrt(n) nodes on a central hub",
+                min_degree_of: md_tree,
+                build_fn: build_tree_spider,
             },
             NamedGenerator {
                 name: "regular/3",
@@ -721,6 +872,86 @@ mod tests {
         assert_eq!(g.m(), 3 + 8);
         assert!(analysis::is_forest(&g));
         assert!(analysis::is_connected(&g));
+    }
+
+    #[test]
+    fn spider_structure() {
+        let g = spider(4, 3);
+        assert_eq!(g.n(), 13);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(0), 4);
+        assert!(analysis::is_forest(&g));
+        assert!(analysis::is_connected(&g));
+        // Leaf tips have degree 1, interior leg nodes degree 2.
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn bounded_random_tree_respects_cap() {
+        let mut rng = Rng::seed_from(11);
+        for (n, dmax) in [(1usize, 2usize), (2, 2), (50, 3), (200, 8)] {
+            let g = bounded_random_tree(n, dmax, &mut rng);
+            assert_eq!(g.n(), n);
+            assert_eq!(g.m(), n.saturating_sub(1));
+            assert!(analysis::is_connected(&g));
+            assert!(analysis::is_forest(&g));
+            assert!(g.max_degree() <= dmax, "n={n}, dmax={dmax}");
+        }
+    }
+
+    #[test]
+    fn tree_families_are_trees_at_registry_sizes() {
+        for key in [
+            "tree/bounded/3",
+            "tree/bounded/8",
+            "tree/caterpillar",
+            "tree/spider",
+        ] {
+            let fam = registry()
+                .get(key)
+                .unwrap_or_else(|| panic!("missing {key}"));
+            for n in [16usize, 64, 257] {
+                let g = fam.build(n, 3).unwrap();
+                assert!(analysis::is_connected(&g), "{key} at n={n}");
+                assert!(analysis::is_forest(&g), "{key} at n={n}");
+                // Size rounding stays near the target.
+                assert!(
+                    g.n() >= n / 2 && g.n() <= n + 4,
+                    "{key}: n={} for target {n}",
+                    g.n()
+                );
+            }
+        }
+        // Degree caps hold at the family level too.
+        let g = registry()
+            .get("tree/bounded/3")
+            .unwrap()
+            .build(300, 7)
+            .unwrap();
+        assert!(g.max_degree() <= 3);
+    }
+
+    #[test]
+    fn registry_suggest_and_from_entries() {
+        assert_eq!(registry().suggest("tree/spiderr"), Some("tree/spider"));
+        assert_eq!(registry().suggest("regullar/4"), Some("regular/4"));
+        assert_eq!(registry().suggest("qqqqqq"), None);
+        let composed = GenRegistry::from_entries(vec![
+            NamedGenerator::new("path", "path", md_zero, build_path),
+            NamedGenerator::new("x/y", "custom", md_zero, build_path),
+        ]);
+        assert_eq!(composed.len(), 2);
+        assert!(composed.get("x/y").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate generator key")]
+    fn from_entries_rejects_duplicates() {
+        let _ = GenRegistry::from_entries(vec![
+            NamedGenerator::new("path", "path", md_zero, build_path),
+            NamedGenerator::new("path", "again", md_zero, build_path),
+        ]);
     }
 
     #[test]

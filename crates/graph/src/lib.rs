@@ -47,6 +47,7 @@ pub mod gen;
 pub mod graph;
 pub mod lift;
 pub mod rng;
+pub mod suggest;
 pub mod transform;
 
 pub use graph::{EdgeId, Graph, GraphBuilder, GraphError, NodeId};

@@ -1,0 +1,71 @@
+//! The one "did you mean …" helper shared by every string-keyed registry
+//! in the workspace.
+//!
+//! Algorithm keys (`localavg_core::algo::Registry::suggest`), problem
+//! keys (`Problem::suggest`), parameter keys (`ParamError::unknown_key`),
+//! and generator keys ([`crate::gen::GenRegistry::suggest`]) all reject
+//! unknown names with the same closest-match policy, so a typo in any
+//! CLI surface produces the same kind of suggestion. Keeping the policy
+//! in one place is deliberate: a registry whose suggestions drift from
+//! the others reads like a different tool.
+
+/// Classic two-row Levenshtein distance (ASCII-ish keys, tiny inputs).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `query` by edit distance, or `None` when
+/// even the best candidate is too far off to be a plausible typo
+/// (distance above half the query length, floored at 2) — garbage input
+/// gets no misleading suggestion.
+pub fn closest_match(
+    candidates: impl Iterator<Item = &'static str>,
+    query: &str,
+) -> Option<&'static str> {
+    let threshold = (query.chars().count() / 2).max(2);
+    candidates
+        .map(|k| (edit_distance(k, query), k))
+        .min()
+        .filter(|&(d, _)| d <= threshold)
+        .map(|(_, k)| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("regular/3", "regullar/3"), 1);
+    }
+
+    #[test]
+    fn closest_match_accepts_typos_and_rejects_garbage() {
+        let keys = ["regular/3", "tree/random", "gnp/0.05"];
+        assert_eq!(
+            closest_match(keys.iter().copied(), "regullar/3"),
+            Some("regular/3")
+        );
+        assert_eq!(
+            closest_match(keys.iter().copied(), "tree/randm"),
+            Some("tree/random")
+        );
+        assert_eq!(closest_match(keys.iter().copied(), "zzzzzz"), None);
+        assert_eq!(closest_match(std::iter::empty(), "anything"), None);
+    }
+}

@@ -17,6 +17,33 @@ use localavg_graph::lift::{lift, Lifted};
 use localavg_graph::rng::Rng;
 use localavg_graph::{analysis, Graph, GraphBuilder, GraphError, NodeId};
 
+/// Total node count of `G_k` with parameter β, computed from the paper's
+/// cluster-size formula without building the graph (`None` on overflow
+/// or a non-integral cluster size). This is what lets the hard-instance
+/// generator families ([`crate::families`]) pick the largest β fitting a
+/// target size deterministically.
+pub fn gk_node_count(k: usize, beta: u64) -> Option<u64> {
+    let ct = ClusterTree::new(k);
+    let mut total: u64 = 0;
+    for (_, node) in ct.nodes() {
+        let d = node.depth;
+        // 2 β^{k+1} (β/2)^{k+1-d} = β^{2k+2-d} 2^{d-k}.
+        let exp = (2 * k + 2).checked_sub(d)?;
+        let pow = beta.checked_pow(exp as u32)?;
+        let z = if d >= k {
+            pow.checked_mul(1u64 << (d - k))?
+        } else {
+            let div = 1u64 << (k - d);
+            if pow % div != 0 {
+                return None;
+            }
+            pow / div
+        };
+        total = total.checked_add(z)?;
+    }
+    Some(total)
+}
+
 /// A constructed base graph with full cluster metadata.
 #[derive(Debug, Clone)]
 pub struct BaseGraph {
@@ -304,6 +331,17 @@ mod tests {
 
     fn small() -> BaseGraph {
         BaseGraph::build(1, 4, 2_000_000).expect("G_1 with β=4")
+    }
+
+    #[test]
+    fn gk_node_count_matches_built_graphs() {
+        for (k, beta) in [(0usize, 4u64), (1, 4), (1, 6), (2, 4)] {
+            let predicted = gk_node_count(k, beta).expect("in range");
+            let built = BaseGraph::build(k, beta, 10_000_000).expect("buildable");
+            assert_eq!(built.graph.n() as u64, predicted, "k={k}, β={beta}");
+        }
+        // Overflow is reported, not wrapped (β^{2k+2} blows past u64).
+        assert_eq!(gk_node_count(2, 1 << 22), None);
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Lower-bound constructions as first-class generator families.
+//!
+//! The paper's separations live on *specific hard instances* — the
+//! cluster-tree base graphs `G_k` (§4.6), their random lifts `G̃_k`
+//! (§4.5), and the doubled matching graphs (§C.4). Before this module
+//! they were a passive library: experiments could not reach them through
+//! the sweep engine, so every committed sweep only ever measured easy
+//! random families. Each entry here wraps one construction as a
+//! [`NamedGenerator`] (`lb/cluster-tree/1`, `lb/lift/2`, …) so
+//! `exp sweep --generators lb/...` and `exp fuzz` can sample them like
+//! any other family.
+//!
+//! The graph crate cannot host these entries (this crate depends on it),
+//! so the composition happens downstream: `localavg_bench::generators`
+//! builds the full registry from [`localavg_graph::gen::registry`] plus
+//! [`generators`] here.
+//!
+//! # Size rounding
+//!
+//! Every family maps a target size `n` to a legal instance
+//! deterministically:
+//!
+//! * `lb/cluster-tree/k` picks the largest even β ≥ 4 with
+//!   [`gk_node_count`]`(k, β) <= max(n, count(k, 4))` — the instance is a
+//!   pure function of `n` (the seed is unused; `G_k` is explicit).
+//! * `lb/lift/k` lifts the β = 4 base graph by
+//!   `q = max(1, n / count(k, 4))`; the lift permutations draw from the
+//!   seed, so different seeds give different (equally hard) topologies.
+//! * `lb/doubled/1` doubles a lifted `G̃_1` with
+//!   `q = max(1, n / (2 · count(1, 4)))` and adds the cross matching.
+
+use crate::base_graph::{gk_node_count, BaseGraph, LiftedGk};
+use crate::constructions::DoubledGk;
+use localavg_graph::gen::NamedGenerator;
+use localavg_graph::rng::Rng;
+use localavg_graph::{Graph, GraphError};
+
+/// Hard ceiling on instance sizes these families will build; targets
+/// above it are clamped (a sweep typo must not allocate the machine).
+const MAX_NODES: usize = 8_000_000;
+
+/// The largest even β ≥ 4 whose `G_k` fits into `max(n, count(k, 4))`
+/// nodes — deterministic β-from-target rounding shared by the
+/// `lb/cluster-tree/*` families.
+fn beta_for_target(k: usize, n: usize) -> u64 {
+    let cap = n.clamp(1, MAX_NODES) as u64;
+    let mut beta = 4u64;
+    while let Some(next) = gk_node_count(k, beta + 2) {
+        if next > cap {
+            break;
+        }
+        beta += 2;
+    }
+    beta
+}
+
+/// Every node of `G_k` has degree ≥ 2β ≥ 8 (the leaf clusters' parent
+/// edge `β^ψ` plus self-loop `β^ψ` with ψ ≥ 1; every other cluster sums
+/// to more), and lifts preserve degrees exactly.
+fn md_lb(_n: usize) -> usize {
+    8
+}
+
+/// The doubled graph adds one cross edge to every node.
+fn md_doubled(_n: usize) -> usize {
+    9
+}
+
+fn build_cluster_tree<const K: usize>(n: usize, _seed: u64) -> Result<Graph, GraphError> {
+    let beta = beta_for_target(K, n);
+    BaseGraph::build(K, beta, MAX_NODES).map(|b| b.graph)
+}
+
+fn lifted_gk(k: usize, q: usize, seed: u64) -> Result<LiftedGk, GraphError> {
+    let base = BaseGraph::build(k, 4, MAX_NODES)?;
+    let mut rng = Rng::seed_from(seed);
+    Ok(LiftedGk::build(base, q, &mut rng))
+}
+
+fn build_lift<const K: usize>(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    let base_n = gk_node_count(K, 4).expect("β=4 base fits in u64") as usize;
+    let q = (n.clamp(1, MAX_NODES) / base_n).max(1);
+    Ok(lifted_gk(K, q, seed)?.lifted.graph)
+}
+
+fn build_doubled(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    let base_n = gk_node_count(1, 4).expect("β=4 base fits in u64") as usize;
+    let q = (n.clamp(1, MAX_NODES) / (2 * base_n)).max(1);
+    Ok(DoubledGk::build(&lifted_gk(1, q, seed)?).graph)
+}
+
+/// The lower-bound hard-instance entries, ready to be composed with the
+/// base families via [`localavg_graph::gen::GenRegistry::from_entries`].
+pub fn generators() -> Vec<NamedGenerator> {
+    vec![
+        NamedGenerator::new(
+            "lb/cluster-tree/1",
+            "KMW base graph G_1 (§4.6), largest even β ≥ 4 fitting n",
+            md_lb,
+            build_cluster_tree::<1>,
+        ),
+        NamedGenerator::new(
+            "lb/cluster-tree/2",
+            "KMW base graph G_2 (§4.6), largest even β ≥ 4 fitting n",
+            md_lb,
+            build_cluster_tree::<2>,
+        ),
+        NamedGenerator::new(
+            "lb/lift/1",
+            "random order-q lift of G_1 at β=4 (§4.5), q = max(1, n/288)",
+            md_lb,
+            build_lift::<1>,
+        ),
+        NamedGenerator::new(
+            "lb/lift/2",
+            "random order-q lift of G_2 at β=4 (§4.5), q = max(1, n/3840)",
+            md_lb,
+            build_lift::<2>,
+        ),
+        NamedGenerator::new(
+            "lb/doubled/1",
+            "doubled lifted G_1 with cross matching (§C.4, Theorem 17)",
+            md_doubled,
+            build_doubled,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_rounding_is_monotone_and_floored() {
+        assert_eq!(beta_for_target(1, 0), 4);
+        assert_eq!(beta_for_target(1, 288), 4);
+        // β=6 at k=1 needs 1152 nodes.
+        assert_eq!(beta_for_target(1, 1151), 4);
+        assert_eq!(beta_for_target(1, 1152), 6);
+        let mut last = 0;
+        for n in [100usize, 1000, 10_000, 100_000] {
+            let b = beta_for_target(1, n);
+            assert!(b >= last, "β must grow with the target");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn entries_build_deterministically_and_meet_min_degree() {
+        for g in generators() {
+            let a = g.build(500, 9).unwrap();
+            let b = g.build(500, 9).unwrap();
+            let ea: Vec<_> = a.edges().collect();
+            let eb: Vec<_> = b.edges().collect();
+            assert_eq!(ea, eb, "{} unstable", g.name());
+            assert!(
+                a.min_degree() >= g.min_degree(500),
+                "{}: realized min degree {} below declared {}",
+                g.name(),
+                a.min_degree(),
+                g.min_degree(500)
+            );
+        }
+    }
+
+    #[test]
+    fn lift_scales_with_target() {
+        let lift1 = generators()
+            .into_iter()
+            .find(|g| g.name() == "lb/lift/1")
+            .unwrap();
+        let small = lift1.build(100, 1).unwrap();
+        assert_eq!(small.n(), 288); // q = 1
+        let big = lift1.build(1000, 1).unwrap();
+        assert_eq!(big.n(), 288 * 3); // q = 3
+                                      // Lifts preserve the base degree sequence.
+        assert_eq!(small.min_degree(), big.min_degree());
+        assert_eq!(small.max_degree(), big.max_degree());
+    }
+
+    #[test]
+    fn doubled_has_the_cross_matching_degrees() {
+        let doubled = generators()
+            .into_iter()
+            .find(|g| g.name() == "lb/doubled/1")
+            .unwrap();
+        let d = doubled.build(576, 2).unwrap();
+        assert_eq!(d.n(), 2 * 288);
+        let plain = generators()
+            .into_iter()
+            .find(|g| g.name() == "lb/lift/1")
+            .unwrap()
+            .build(288, 2)
+            .unwrap();
+        // Every node gains exactly one cross edge over the lifted base.
+        assert_eq!(d.min_degree(), plain.min_degree() + 1);
+        assert_eq!(d.max_degree(), plain.max_degree() + 1);
+    }
+
+    #[test]
+    fn cluster_tree_is_exact_and_seedless() {
+        let ct1 = generators()
+            .into_iter()
+            .find(|g| g.name() == "lb/cluster-tree/1")
+            .unwrap();
+        let g = ct1.build(288, 0).unwrap();
+        assert_eq!(g.n(), 288);
+        // Every node sits inside its cluster gadgetry (G_k may be
+        // disconnected across group towers, but never has isolated or
+        // low-degree nodes).
+        assert!(g.min_degree() >= 8);
+        // The seed is unused: G_k is an explicit construction.
+        let g2 = ct1.build(288, 77).unwrap();
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+    }
+}

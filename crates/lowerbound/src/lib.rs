@@ -22,6 +22,10 @@
 //! 5. [`constructions`] — the doubled graph of §C.4 (maximal matching
 //!    lower bound, Theorem 17) and radius-k tree-view extraction (the
 //!    tree lower bound of Theorem 16).
+//! 6. [`families`] — the constructions packaged as named generator
+//!    entries (`lb/cluster-tree/*`, `lb/lift/*`, `lb/doubled/1`) so the
+//!    sweep engine and the fuzz harness can treat hard instances as
+//!    ordinary workloads.
 //!
 //! Experiment E9 runs MIS algorithms over these graphs and measures the
 //! fraction of `S(c0)` still undecided after `k` rounds — the quantity
@@ -33,4 +37,5 @@
 pub mod base_graph;
 pub mod cluster_tree;
 pub mod constructions;
+pub mod families;
 pub mod isomorphism;

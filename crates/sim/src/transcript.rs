@@ -172,6 +172,48 @@ impl<NO, EO> Transcript<NO, EO> {
     pub fn peak_message_bits(&self) -> usize {
         self.max_message_bits.iter().copied().max().unwrap_or(0)
     }
+
+    /// The round node `v` committed its own output, or `None` if it never
+    /// did. The `Option` accessors exist for independent reimplementations
+    /// of the Definition 1 accounting (the `localavg_core::check` oracle):
+    /// they expose the raw ledger without the [`UNCOMMITTED`] sentinel
+    /// convention leaking into the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn node_commit(&self, v: usize) -> Option<Round> {
+        match self.node_commit_round[v] {
+            UNCOMMITTED => None,
+            r => Some(r),
+        }
+    }
+
+    /// The round edge `e`'s output was committed, or `None` if it never
+    /// was.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= m`.
+    pub fn edge_commit(&self, e: usize) -> Option<Round> {
+        match self.edge_commit_round[e] {
+            UNCOMMITTED => None,
+            r => Some(r),
+        }
+    }
+
+    /// The round node `v` halted, or `None` if the run never recorded a
+    /// halt for it (legitimate under `TranscriptPolicy::None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn node_halt(&self, v: usize) -> Option<Round> {
+        match self.node_halt_round[v] {
+            UNCOMMITTED => None,
+            r => Some(r),
+        }
+    }
 }
 
 impl<NO, EO> Transcript<NO, EO> {
@@ -330,6 +372,19 @@ mod tests {
             Some(TranscriptPolicy::CompletionsOnly)
         );
         assert_eq!(TranscriptPolicy::parse("fast"), None);
+    }
+
+    #[test]
+    fn option_accessors_mirror_the_sentinel_columns() {
+        let mut t: Transcript<u8, u8> = Transcript::empty(OutputKind::Both, 2, 1);
+        t.node_commit_round[0] = 3;
+        t.edge_commit_round[0] = 4;
+        t.node_halt_round[1] = 5;
+        assert_eq!(t.node_commit(0), Some(3));
+        assert_eq!(t.node_commit(1), None);
+        assert_eq!(t.edge_commit(0), Some(4));
+        assert_eq!(t.node_halt(0), None);
+        assert_eq!(t.node_halt(1), Some(5));
     }
 
     #[test]

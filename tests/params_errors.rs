@@ -1,0 +1,185 @@
+//! Error-path coverage for string-keyed algorithm parameters: every
+//! [`ParamSpec`] in the registry gets an unknown-key case (asserting the
+//! `suggest()`-style closest match) and an invalid-value case, so a new
+//! parameter cannot land without validation. Parameterless algorithms
+//! are pinned to the `NoParams` rejection.
+
+use localavg::core::algo::{registry, ParamError};
+
+#[test]
+fn every_param_spec_rejects_an_invalid_value() {
+    // Every declared parameter is numeric or an enum label, so a
+    // non-numeric garbage token must fail per-key validation — and the
+    // error must carry the algorithm, the key, the offending value, and
+    // the expected range from the spec.
+    for algo in registry().iter() {
+        for spec in algo.param_specs() {
+            let err = match algo.with_params(&[(spec.key, "not-a-value")]) {
+                Err(e) => e,
+                Ok(_) => panic!("{}:{} accepted garbage", algo.name(), spec.key),
+            };
+            match err {
+                ParamError::InvalidValue {
+                    algorithm,
+                    key,
+                    value,
+                    expected,
+                } => {
+                    assert_eq!(algorithm, algo.name());
+                    assert_eq!(key, spec.key);
+                    assert_eq!(value, "not-a-value");
+                    assert!(
+                        !expected.is_empty(),
+                        "{}:{} has no expectation text",
+                        algo.name(),
+                        spec.key
+                    );
+                    let msg = ParamError::InvalidValue {
+                        algorithm,
+                        key,
+                        value,
+                        expected,
+                    }
+                    .to_string();
+                    assert!(msg.contains("invalid value"), "odd message: {msg}");
+                    assert!(msg.contains(spec.key), "message must name the key: {msg}");
+                }
+                other => panic!("{}:{} gave {other:?}", algo.name(), spec.key),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_param_spec_suggests_itself_for_a_typo() {
+    // A one-character mangling of each declared key must be rejected as
+    // unknown *with* the true key as the closest-match suggestion — the
+    // same "did you mean" contract the algorithm registry gives.
+    for algo in registry().iter() {
+        for spec in algo.param_specs() {
+            let typo = format!("{}z", spec.key);
+            let err = match algo.with_params(&[(typo.as_str(), "1")]) {
+                Err(e) => e,
+                Ok(_) => panic!("{} accepted typo key `{typo}`", algo.name()),
+            };
+            match err {
+                ParamError::UnknownKey {
+                    algorithm,
+                    key,
+                    suggestion,
+                    known,
+                } => {
+                    assert_eq!(algorithm, algo.name());
+                    assert_eq!(key, typo);
+                    assert_eq!(
+                        suggestion,
+                        Some(spec.key),
+                        "{}: `{typo}` should suggest `{}`",
+                        algo.name(),
+                        spec.key
+                    );
+                    assert!(known.contains(&spec.key));
+                    let msg = ParamError::UnknownKey {
+                        algorithm,
+                        key: typo.clone(),
+                        suggestion,
+                        known,
+                    }
+                    .to_string();
+                    assert!(
+                        msg.contains("did you mean"),
+                        "{}: message lacks the suggestion: {msg}",
+                        algo.name()
+                    );
+                }
+                other => panic!("{}:{typo} gave {other:?}", algo.name()),
+            }
+        }
+    }
+}
+
+#[test]
+fn garbage_keys_get_no_misleading_suggestion() {
+    for algo in registry().iter() {
+        if algo.param_specs().is_empty() {
+            continue;
+        }
+        match algo.with_params(&[("zzzzzzzzzz", "1")]) {
+            Err(ParamError::UnknownKey { suggestion, .. }) => {
+                assert_eq!(suggestion, None, "{}", algo.name());
+            }
+            Err(other) => panic!("{}: expected UnknownKey, got {other:?}", algo.name()),
+            Ok(_) => panic!("{}: garbage key accepted", algo.name()),
+        }
+    }
+}
+
+#[test]
+fn parameterless_algorithms_reject_every_key_as_no_params() {
+    let mut covered = 0;
+    for algo in registry().iter() {
+        if !algo.param_specs().is_empty() {
+            continue;
+        }
+        covered += 1;
+        match algo.with_params(&[("anything", "1")]) {
+            Err(ParamError::NoParams { algorithm, key }) => {
+                assert_eq!(algorithm, algo.name());
+                assert_eq!(key, "anything");
+                let msg = ParamError::NoParams { algorithm, key }.to_string();
+                assert!(msg.contains("takes no parameters"), "{msg}");
+            }
+            Err(other) => panic!("{}: expected NoParams, got {other:?}", algo.name()),
+            Ok(_) => panic!("{}: unknown key accepted", algo.name()),
+        }
+    }
+    // The registry currently has 5 parameterless algorithms; at least
+    // one must exist for this test to mean anything.
+    assert!(covered >= 1);
+}
+
+#[test]
+fn ruling_det_mutually_exclusive_pairs_are_rejected_in_both_orders() {
+    let det = registry().get("ruling/det").expect("registered");
+    for pair in [
+        [("iterations", "2"), ("variant", "log-delta")],
+        [("variant", "log-log-n"), ("iterations", "3")],
+    ] {
+        let err = match det.with_params(&pair) {
+            Err(e) => e,
+            Ok(_) => panic!("exclusive pair accepted"),
+        };
+        assert!(
+            matches!(err, ParamError::InvalidValue { .. }),
+            "expected InvalidValue, got {err:?}"
+        );
+    }
+    // Each half alone stays valid.
+    assert!(det.with_params(&[("iterations", "2")]).is_ok());
+    assert!(det.with_params(&[("variant", "log-log-n")]).is_ok());
+}
+
+#[test]
+fn valid_overrides_round_trip_through_with_params() {
+    // The positive companion: each declared key accepts a representative
+    // in-range value (the same pools `exp fuzz` samples from).
+    for (algo, key, value) in [
+        ("mis/luby", "mark-factor", "0.25"),
+        ("mis/degree-guided", "initial-desire", "0.3"),
+        ("mis/degree-guided", "mass-threshold", "3.5"),
+        ("ruling/det", "variant", "log-log-n"),
+        ("ruling/det", "iterations", "2"),
+        ("matching/luby", "mark-factor", "1.0"),
+        ("orientation/rand", "contest-iterations", "2"),
+        ("orientation/det", "r", "3"),
+        ("orientation/det", "finish-threshold", "16"),
+        ("orientation/det", "max-depth", "6"),
+        ("coloring/trial", "extra-colors", "0"),
+    ] {
+        registry()
+            .get(algo)
+            .unwrap_or_else(|| panic!("missing {algo}"))
+            .with_params(&[(key, value)])
+            .unwrap_or_else(|e| panic!("{algo}:{key}={value} rejected: {e}"));
+    }
+}

@@ -171,6 +171,153 @@ fn csr_neighbors_equal_insertion_order_adjacency() {
 }
 
 #[test]
+fn builder_try_add_matches_a_reference_edge_set() {
+    // Property: a random interleaving of `add_edge` (on known-fresh
+    // pairs), `try_add` (on arbitrary pairs, both orientations), and
+    // `contains` behaves exactly like a reference HashSet of normalized
+    // pairs — including duplicate and reversed submissions.
+    use std::collections::HashSet;
+    let mut rng = Rng::seed_from(0xB01D);
+    for case in 0..20 {
+        let n = 3 + (rng.next_u64() as usize) % 40;
+        let mut b = GraphBuilder::new(n);
+        let mut reference: HashSet<(usize, usize)> = HashSet::new();
+        for _ in 0..(rng.next_u64() as usize) % (4 * n) {
+            let u = rng.index(n);
+            let v = rng.index(n);
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            match rng.index(3) {
+                0 => {
+                    // Fresh pairs go through the unchecked fast path.
+                    if reference.insert(key) {
+                        b.add_edge(u, v).expect("fresh edge");
+                    } else {
+                        assert!(!b.try_add(u, v), "case {case}: duplicate accepted");
+                    }
+                }
+                1 => {
+                    assert_eq!(b.try_add(u, v), reference.insert(key), "case {case}");
+                }
+                _ => {
+                    // Reversed submission must dedup identically.
+                    assert_eq!(b.try_add(v, u), reference.insert(key), "case {case}");
+                }
+            }
+            assert!(b.contains(u, v) && b.contains(v, u), "case {case}");
+        }
+        assert_eq!(b.m(), reference.len(), "case {case}");
+        let g = b.build();
+        let built: HashSet<(usize, usize)> = g.edges().map(|(_, u, v)| (u, v)).collect();
+        assert_eq!(built, reference, "case {case}: edge sets diverge");
+    }
+}
+
+#[test]
+fn sort_adjacency_preserves_edges_and_port_tables() {
+    // Property: `sort_adjacency` reorders ports by (neighbor, edge id)
+    // without touching the edge list, and the flat edge-port /
+    // reverse-port tables stay consistent with the reordered rows.
+    let mut rng = Rng::seed_from(0x50B7);
+    for case in 0..15 {
+        let n = 3 + (rng.next_u64() as usize) % 40;
+        let mut plain = GraphBuilder::new(n);
+        let mut sorted = GraphBuilder::new(n);
+        for _ in 0..(rng.next_u64() as usize) % (3 * n) {
+            let u = rng.index(n);
+            let v = rng.index(n);
+            if u != v && plain.try_add(u, v) {
+                assert!(sorted.try_add(u, v));
+            }
+        }
+        sorted.sort_adjacency();
+        let (gp, gs) = (plain.build(), sorted.build());
+        // Same edges, same ids.
+        assert_eq!(
+            gp.edges().collect::<Vec<_>>(),
+            gs.edges().collect::<Vec<_>>(),
+            "case {case}"
+        );
+        for v in gs.nodes() {
+            let row: Vec<(usize, usize)> = gs.neighbors(v).to_vec();
+            let mut resorted = gp.neighbors(v).to_vec();
+            resorted.sort_unstable();
+            assert_eq!(
+                row, resorted,
+                "case {case}: node {v} row not (nbr, edge)-sorted"
+            );
+        }
+        // Port tables must describe the *sorted* rows.
+        for (e, u, v) in gs.edges() {
+            let (pu, pv) = gs.edge_ports(e);
+            assert_eq!(gs.neighbors(u)[pu], (v, e), "case {case}");
+            assert_eq!(gs.neighbors(v)[pv], (u, e), "case {case}");
+        }
+        for v in gs.nodes() {
+            for (port, &(u, e)) in gs.neighbors(v).iter().enumerate() {
+                let rev = gs.rev_port(gs.csr_offset(v) + port);
+                assert_eq!(gs.neighbors(u)[rev], (v, e), "case {case}");
+            }
+        }
+    }
+}
+
+#[test]
+fn counting_sort_build_survives_adversarial_insertion_orders() {
+    // The two-pass counting sort in `build()` must produce coherent CSR
+    // offsets for insertion orders designed to stress it: all of one
+    // node's edges first, descending endpoints, and a striped order.
+    let n = 24;
+    let mut all_pairs: Vec<(usize, usize)> = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if (u + v) % 3 == 0 {
+                all_pairs.push((u, v));
+            }
+        }
+    }
+    let orders: Vec<Vec<(usize, usize)>> = vec![
+        all_pairs.clone(),
+        all_pairs.iter().rev().map(|&(u, v)| (v, u)).collect(),
+        {
+            // Stripe: edges of the highest-degree hub node last.
+            let (hub, rest): (Vec<_>, Vec<_>) =
+                all_pairs.iter().partition(|&&(u, v)| u == 0 || v == 0);
+            rest.into_iter().chain(hub).collect()
+        },
+    ];
+    let mut reference: Option<Vec<(usize, usize)>> = None;
+    for (i, order) in orders.iter().enumerate() {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in order {
+            b.add_edge(u, v).expect("valid edge");
+        }
+        b.sort_adjacency();
+        let g = b.build();
+        assert_eq!(g.m(), all_pairs.len(), "order {i}");
+        assert_eq!(g.degree_sum(), 2 * g.m(), "order {i}");
+        // Offsets are monotone and rows match degrees.
+        for v in g.nodes() {
+            assert_eq!(g.arc_range(v).len(), g.degree(v), "order {i}");
+        }
+        // With canonical ports, every insertion order yields identical
+        // adjacency rows (edge ids differ, neighbor order must not).
+        let rows: Vec<Vec<usize>> = g.nodes().map(|v| g.neighbor_ids(v).collect()).collect();
+        let flat: Vec<(usize, usize)> = rows
+            .iter()
+            .enumerate()
+            .flat_map(|(v, r)| r.iter().map(move |&u| (v, u)))
+            .collect();
+        match &reference {
+            None => reference = Some(flat),
+            Some(expect) => assert_eq!(&flat, expect, "order {i}: adjacency diverges"),
+        }
+    }
+}
+
+#[test]
 fn power_graph_contains_original() {
     for (i, (g, _)) in cases(10, 32, 8).into_iter().enumerate() {
         let k = 1 + i % 3;

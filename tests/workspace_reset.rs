@@ -1,0 +1,122 @@
+//! Regression: `Workspace` arenas are keyed on the CSR shape
+//! `(n, m, Σdeg)`, which two very different graphs can share. Reuse must
+//! mean *reset*, not *remember*: alternating runs over same-shaped,
+//! non-isomorphic graphs through one workspace have to stay bit-identical
+//! to cold starts. (A stale arena column — an old inbox region, a leaked
+//! halt bit — shows up exactly here and nowhere in the single-graph
+//! tests.)
+
+use localavg::core::algo::{registry, AlgoRun, RunSpec, Workspace};
+use localavg::graph::{gen, Graph};
+
+/// Two non-isomorphic 3-regular graphs with the same shape key
+/// (n = 8, m = 12, Σdeg = 24): the cube `Q_3` (connected) and the
+/// disjoint union of two `K_4`s (two components).
+fn same_shape_pair() -> (Graph, Graph) {
+    let cube = gen::hypercube(3);
+    let two_k4 = Graph::from_edges(
+        8,
+        &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (5, 6),
+            (5, 7),
+            (6, 7),
+        ],
+    )
+    .expect("two K4s");
+    assert_eq!((cube.n(), cube.m()), (two_k4.n(), two_k4.m()));
+    assert_eq!(cube.degree_sum(), two_k4.degree_sum());
+    (cube, two_k4)
+}
+
+fn assert_identical(a: &AlgoRun, b: &AlgoRun, ctx: &str) {
+    assert_eq!(a.solution, b.solution, "{ctx}: solutions diverge");
+    assert_eq!(
+        a.transcript.node_commit_round, b.transcript.node_commit_round,
+        "{ctx}: node commit clocks diverge"
+    );
+    assert_eq!(
+        a.transcript.edge_commit_round, b.transcript.edge_commit_round,
+        "{ctx}: edge commit clocks diverge"
+    );
+    assert_eq!(
+        a.transcript.node_halt_round, b.transcript.node_halt_round,
+        "{ctx}: halt clocks diverge"
+    );
+    assert_eq!(
+        a.transcript.rounds, b.transcript.rounds,
+        "{ctx}: rounds diverge"
+    );
+    assert_eq!(
+        a.transcript.messages_sent, b.transcript.messages_sent,
+        "{ctx}: message audit diverges"
+    );
+}
+
+#[test]
+fn alternating_same_shape_graphs_stay_bit_identical_to_cold_starts() {
+    let (cube, two_k4) = same_shape_pair();
+    let spec = RunSpec::new(11);
+    for algo in registry().iter() {
+        // Both graphs are 3-regular, so even sinkless orientation runs.
+        assert!(algo.problem().min_degree() <= 3);
+        let cold_cube = algo.execute(&cube, &spec);
+        let cold_k4 = algo.execute(&two_k4, &spec);
+        let mut ws = Workspace::new();
+        for lap in 0..3 {
+            let warm_cube = algo.execute_in(&cube, &spec, &mut ws);
+            assert_identical(
+                &warm_cube,
+                &cold_cube,
+                &format!("{} lap {lap} (cube)", algo.name()),
+            );
+            let warm_k4 = algo.execute_in(&two_k4, &spec, &mut ws);
+            assert_identical(
+                &warm_k4,
+                &cold_k4,
+                &format!("{} lap {lap} (2×K4)", algo.name()),
+            );
+        }
+        // The point of the test: the shape key matched, so the arenas
+        // really were reused across the two different graphs.
+        assert!(
+            ws.reuse_count() > 0 || ws.run_count() == 0,
+            "{}: workspace never reused an arena (test lost its teeth)",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn shape_change_flushes_and_still_matches_cold_starts() {
+    // Sanity companion: a differently-shaped graph between two
+    // same-shaped runs must not poison either.
+    let (cube, two_k4) = same_shape_pair();
+    let other = gen::grid(5, 5);
+    let spec = RunSpec::new(4);
+    let algo = registry().get("mis/luby").expect("registered");
+    let cold_cube = algo.execute(&cube, &spec);
+    let cold_other = algo.execute(&other, &spec);
+    let cold_k4 = algo.execute(&two_k4, &spec);
+    let mut ws = Workspace::new();
+    assert_identical(&algo.execute_in(&cube, &spec, &mut ws), &cold_cube, "cube");
+    assert_identical(
+        &algo.execute_in(&other, &spec, &mut ws),
+        &cold_other,
+        "grid",
+    );
+    assert_identical(&algo.execute_in(&two_k4, &spec, &mut ws), &cold_k4, "2×K4");
+    assert_identical(
+        &algo.execute_in(&cube, &spec, &mut ws),
+        &cold_cube,
+        "cube again",
+    );
+}
