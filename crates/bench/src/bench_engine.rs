@@ -20,6 +20,7 @@
 //! cell's repetitions — together they measure the RunSpec-era fast path
 //! against the PR 3 defaults (full transcript, fresh arenas).
 
+use crate::cell::{self, CellKey};
 use crate::emit::json_escape;
 use crate::generators;
 use crate::sweep::{self, SweepError};
@@ -106,8 +107,18 @@ pub struct BenchCell {
 }
 
 impl BenchCell {
-    fn key(&self) -> (&str, &str, usize, &str) {
-        (&self.algorithm, &self.generator, self.n, &self.executor)
+    /// The identity a `--baseline` comparison matches on: the canonical
+    /// [`CellKey`] string of the defaults tuple plus the executor label.
+    /// The policy is intentionally pinned to the default in this key so
+    /// a `--policy none` fast-path run still matches a Full-policy
+    /// baseline (that comparison *is* the fast-path measurement), and
+    /// the executor stays outside the tuple — it is a scheduling knob,
+    /// exactly as in `exp fuzz`.
+    fn key(&self) -> (String, String) {
+        (
+            CellKey::new(self.generator.clone(), self.n, 0, self.algorithm.clone()).canonical(),
+            self.executor.clone(),
+        )
     }
 }
 
@@ -171,7 +182,7 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
                 if algo.problem().min_degree() > g.min_degree() {
                     continue;
                 }
-                let seed = sweep::graph_seed(spec.master_seed ^ 0xBE7C, aname, n);
+                let seed = cell::graph_seed(spec.master_seed ^ 0xBE7C, aname, n);
                 for &exec in &spec.executors {
                     let run_spec = RunSpec::new(seed)
                         .with_exec(exec)
@@ -193,7 +204,8 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
                         assert_eq!(
                             run.worst_case(),
                             rounds,
-                            "non-deterministic round count in a fixed-seed benchmark"
+                            "non-deterministic round count in a fixed-seed benchmark at {}",
+                            CellKey::new(gname.clone(), n, 0, aname.clone())
                         );
                         best = best.min(ms);
                         total += ms;

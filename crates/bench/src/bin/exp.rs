@@ -14,6 +14,9 @@
 //! cargo run --release -p localavg-bench --bin exp -- bench-engine --policy none --reuse-workspace
 //! cargo run --release -p localavg-bench --bin exp -- fuzz --cases 500 --master-seed 5
 //! cargo run --release -p localavg-bench --bin exp -- fuzz --generators lb/lift/1,tree/spider
+//! cargo run --release -p localavg-bench --bin exp -- serve --port 0 --port-file port.txt
+//! cargo run --release -p localavg-bench --bin exp -- submit --addr 127.0.0.1:7411 --scale quick
+//! cargo run --release -p localavg-bench --bin exp -- submit --addr $(cat port.txt) --stats --shutdown
 //! ```
 //!
 //! `--algo` runs a single algorithm (looked up in the string registry) on
@@ -39,13 +42,29 @@
 //! (family × size × algorithm × params × policy × executor) cells are
 //! cross-checked against the independent `localavg_core::check` oracle,
 //! and any disagreement is shrunk to a minimal failing tuple.
+//!
+//! `serve` runs the long-lived result daemon (DESIGN.md §9): a TCP
+//! JSON-lines service that answers submitted cell tuples from a
+//! content-addressed cache, executing each distinct tuple at most once
+//! per daemon lifetime. `submit` is its batch client: cells come from
+//! `--scale quick|full` (the default sweep grids), `--file batch.jsonl`,
+//! or stdin, and results stream to stdout in the `localavg-sweep/v1`
+//! cell schema — byte-identical to what `exp sweep` would emit for the
+//! same tuples under the daemon's `--master-seed`.
 
+use localavg_bench::cell::CellKey;
 use localavg_bench::cli::{flag_list, flag_value, flag_values};
 use localavg_bench::experiments::{self, Scale};
+use localavg_bench::serve;
+use localavg_bench::serve::protocol::{parse_cell, Json};
 use localavg_bench::sweep::ParamOverride;
 use localavg_bench::{bench_engine, cli, emit, fuzz, generators, sweep, Table};
 use localavg_core::algo::{registry, Exec, Problem, RunSpec};
+use localavg_graph::suggest::closest_match;
 use localavg_graph::{gen, rng::Rng};
+use std::io::Read as _;
+use std::net::SocketAddr;
+use std::time::Instant;
 
 /// Parses `--problem NAME`, exiting with a suggestion on unknown names.
 fn parse_problem(args: &[String]) -> Option<Problem> {
@@ -550,25 +569,238 @@ fn run_fuzz(args: &[String]) {
             eprintln!("  shrunk to  {}", f.shrunk);
             // --exact pins every axis, so this command replays the
             // shrunk cell verbatim (the master seed still selects the
-            // graph instance).
-            let mut replay = format!(
-                "exp fuzz --exact --master-seed {} --generators {} --algorithms {} \
-                 --sizes {} --seed {} --policy {} --threads {}",
-                spec.master_seed,
-                f.shrunk.generator,
-                f.shrunk.algorithm,
-                f.shrunk.n,
-                f.shrunk.seed,
-                f.shrunk.policy.label(),
-                f.shrunk.threads
+            // graph instance). The flag string is rendered from the
+            // cell's canonical key — the same code path the serve
+            // cache addresses results by.
+            eprintln!(
+                "  replay: exp fuzz --exact {}",
+                f.shrunk
+                    .key()
+                    .replay_flags(spec.master_seed, f.shrunk.threads)
             );
-            for (k, v) in &f.shrunk.params {
-                replay.push_str(&format!(" --param {}:{k}={v}", f.shrunk.algorithm));
-            }
-            eprintln!("  replay: {replay}");
             std::process::exit(1);
         }
     }
+}
+
+/// Rejects unknown or value-less `exp serve` options up front.
+fn validate_serve_args(args: &[String]) {
+    const VALUED: [&str; 7] = [
+        "--host",
+        "--port",
+        "--threads",
+        "--cache-capacity",
+        "--queue-capacity",
+        "--master-seed",
+        "--port-file",
+    ];
+    if let Err(e) = cli::validate_flags(args, &VALUED, &[]) {
+        eprintln!("error: {e}");
+        eprintln!(
+            "known options: --host H, --port P (0 = ephemeral), --threads N (0 = auto), \
+             --cache-capacity C, --queue-capacity Q, --master-seed S, --port-file FILE"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// The `exp serve` subcommand: run the result daemon until a client
+/// sends `{"op": "shutdown"}` (DESIGN.md §9).
+fn run_serve(args: &[String]) {
+    validate_serve_args(args);
+    let mut cfg = serve::ServeConfig::default();
+    if let Some(host) = flag_value(args, "--host") {
+        cfg.host = host;
+    }
+    let port = parse_usize(args, "--port", 0);
+    cfg.port = u16::try_from(port).unwrap_or_else(|_| {
+        eprintln!("error: --port expects 0..=65535, got {port}");
+        std::process::exit(2);
+    });
+    // `--threads 0` (and the flag's absence) mean "all available
+    // cores", mirroring `exp sweep`.
+    cfg.threads = cli::resolve_threads(parse_usize(args, "--threads", 0));
+    cfg.cache_capacity = parse_usize(args, "--cache-capacity", cfg.cache_capacity);
+    cfg.queue_capacity = parse_usize(args, "--queue-capacity", cfg.queue_capacity);
+    cfg.master_seed = parse_usize(args, "--master-seed", 0) as u64;
+    let port_file = flag_value(args, "--port-file");
+    let threads = cfg.threads;
+    let master_seed = cfg.master_seed;
+    let outcome = serve::run(&cfg, |addr| {
+        eprintln!(
+            "exp serve: listening on {addr} ({threads} worker(s), master seed {master_seed})"
+        );
+        if let Some(path) = &port_file {
+            // CI and scripts read the bound (possibly ephemeral)
+            // address from here instead of parsing stderr.
+            std::fs::write(path, format!("{addr}\n")).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+        }
+    });
+    if let Err(e) = outcome {
+        eprintln!("error: cannot serve on {}:{}: {e}", cfg.host, cfg.port);
+        std::process::exit(1);
+    }
+    eprintln!("exp serve: shut down cleanly");
+}
+
+/// Rejects unknown or value-less `exp submit` options up front.
+fn validate_submit_args(args: &[String]) {
+    const VALUED: [&str; 4] = ["--addr", "--file", "--scale", "--out"];
+    if let Err(e) = cli::validate_flags(args, &VALUED, &["--stats", "--shutdown"]) {
+        eprintln!("error: {e}");
+        eprintln!(
+            "known options: --addr HOST:PORT, --scale quick|full, --file BATCH.jsonl \
+             (default: stdin), --out FILE, --stats, --shutdown"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// Parses a batch of cell objects, one JSON object per line.
+fn parse_batch(source: &str, text: &str) -> Vec<CellKey> {
+    let mut cells = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = Json::parse(line)
+            .map_err(|e| e.to_string())
+            .and_then(|v| parse_cell(&v));
+        match parsed {
+            Ok(key) => cells.push(key),
+            Err(e) => {
+                eprintln!("error: {source}:{}: {e}", lineno + 1);
+                std::process::exit(2);
+            }
+        }
+    }
+    cells
+}
+
+/// The `exp submit` subcommand: stream a batch of cells through a
+/// running `exp serve` daemon.
+fn run_submit(args: &[String]) {
+    validate_submit_args(args);
+    let Some(addr_text) = flag_value(args, "--addr") else {
+        eprintln!("error: --addr HOST:PORT is required (e.g. --addr $(cat port.txt))");
+        std::process::exit(2);
+    };
+    let addr: SocketAddr = addr_text.trim().parse().unwrap_or_else(|e| {
+        eprintln!("error: --addr `{addr_text}`: {e}");
+        std::process::exit(2);
+    });
+    let want_stats = args.iter().any(|a| a == "--stats");
+    let want_shutdown = args.iter().any(|a| a == "--shutdown");
+
+    // Assemble the batch: --scale expands the default sweep grid,
+    // --file reads cell objects line by line, bare `submit` reads the
+    // same format from stdin (unless only --stats/--shutdown is asked).
+    let cells: Vec<CellKey> = if flag_value(args, "--scale").is_some() {
+        if flag_value(args, "--file").is_some() {
+            eprintln!("error: --scale and --file are mutually exclusive");
+            std::process::exit(2);
+        }
+        let spec = sweep::SweepSpec::for_scale(parse_scale(args));
+        let expanded = spec.cells().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        expanded.iter().map(|c| c.key()).collect()
+    } else if let Some(path) = flag_value(args, "--file") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_batch(&path, &text)
+    } else if want_stats || want_shutdown {
+        Vec::new()
+    } else {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot read stdin: {e}");
+                std::process::exit(2);
+            });
+        parse_batch("<stdin>", &text)
+    };
+
+    let mut client = serve::Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let mut batch_errors = 0usize;
+    if !cells.is_empty() {
+        let start = Instant::now();
+        let outcome = client.submit(&cells).unwrap_or_else(|e| {
+            eprintln!("error: submit failed: {e}");
+            std::process::exit(1);
+        });
+        let elapsed = start.elapsed();
+        batch_errors = outcome.errors;
+        let body = outcome.lines.join("\n") + "\n";
+        match flag_value(args, "--out") {
+            None => print!("{body}"),
+            Some(out) => {
+                std::fs::write(&out, &body).unwrap_or_else(|e| {
+                    eprintln!("error: cannot write {out}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("wrote {out}");
+            }
+        }
+        eprintln!(
+            "submit: {} cells in {:.1} ms ({} error(s))",
+            outcome.cells,
+            elapsed.as_secs_f64() * 1e3,
+            outcome.errors
+        );
+    }
+    if want_stats {
+        let stats = client.stats().unwrap_or_else(|e| {
+            eprintln!("error: stats failed: {e}");
+            std::process::exit(1);
+        });
+        println!("{}", serve::protocol::stats_line(&stats));
+    }
+    if want_shutdown {
+        client.shutdown().unwrap_or_else(|e| {
+            eprintln!("error: shutdown failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("submit: server acknowledged shutdown");
+    }
+    if batch_errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Rejects an unrecognized leading word with a closest-match suggestion
+/// (`exp serv` → "did you mean `serve`?") instead of silently falling
+/// through to the run-every-experiment default.
+fn reject_unknown_subcommand(args: &[String]) {
+    const SUBCOMMANDS: [&str; 5] = ["sweep", "bench-engine", "fuzz", "serve", "submit"];
+    let Some(first) = args.first() else { return };
+    // Flags, the `quick` scale word, and experiment ids (`e1`..`e17`,
+    // matched loosely as e-words, validated later) keep the historical
+    // fall-through behaviour.
+    if first.starts_with('-') || first == "quick" || first.starts_with('e') {
+        return;
+    }
+    eprint!("error: unknown subcommand `{first}`");
+    match closest_match(SUBCOMMANDS.iter().copied(), first) {
+        Some(close) => eprintln!(" — did you mean `{close}`?"),
+        None => eprintln!(),
+    }
+    eprintln!(
+        "known subcommands: {} (or an experiment id e1..e17, `quick`, `--list`, `--algo`)",
+        SUBCOMMANDS.join(", ")
+    );
+    std::process::exit(2);
 }
 
 fn main() {
@@ -586,6 +818,15 @@ fn main() {
         run_fuzz(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        run_serve(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("submit") {
+        run_submit(&args[1..]);
+        return;
+    }
+    reject_unknown_subcommand(&args);
     if args.iter().any(|a| a == "--list") {
         print_algo_list(parse_problem(&args));
         return;

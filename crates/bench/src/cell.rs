@@ -1,0 +1,236 @@
+//! The canonical cell identity shared by every measurement front end.
+//!
+//! A *cell* — the unit of work everywhere in this crate — is fully
+//! determined by the tuple `(family, n, seed, algo, params, policy)`
+//! (the sweep goldens and the `exp fuzz` canonical-re-run leg prove
+//! it). [`CellKey`] is the one canonical representation of that tuple:
+//!
+//! * [`CellKey::canonical`] is the stable string form — the `exp serve`
+//!   content-addressed cache key, the identity printed in sweep/fuzz
+//!   failure messages, and (via [`CellKey::replay_flags`]) the
+//!   `exp fuzz --exact` replay command are all the same code path;
+//! * [`CellKey::hash`] folds the canonical string through the same
+//!   iterated-SplitMix64 digest ([`key_tag`]) the seeding discipline
+//!   uses;
+//! * [`graph_seed`] / [`algo_seed`] are the content-addressed seed
+//!   derivations (DESIGN.md §7), moved here from the sweep engine so
+//!   that `exp sweep`, `exp bench-engine`, `exp fuzz`, and `exp serve`
+//!   provably run every cell from the same substreams.
+//!
+//! Canonicalization rules: parameter overrides are sorted by key (the
+//! CLI/protocol order never matters), and the policy is rendered by its
+//! stable [`TranscriptPolicy::label`]. Two requests that differ only in
+//! param order or policy spelling therefore collapse to one cache entry.
+
+use localavg_core::algo::TranscriptPolicy;
+use localavg_graph::rng::{splitmix64, Rng};
+use std::fmt;
+
+/// Hashes a registry key (or any canonical string) into a substream tag:
+/// iterated SplitMix64 over the bytes. Part of the content-addressed
+/// seeding discipline — cell seeds depend on *what* runs, never on
+/// *where* or *when*.
+pub fn key_tag(s: &str) -> u64 {
+    let mut acc = 0x5EED0F5EED ^ s.len() as u64;
+    for &b in s.as_bytes() {
+        let mut st = acc ^ u64::from(b);
+        acc = splitmix64(&mut st);
+    }
+    acc
+}
+
+/// The seed a `(family, n)` instance is built from: forked from the
+/// master seed by generator key and target size only, so every algorithm
+/// and every seed index sees the same topology.
+pub fn graph_seed(master: u64, family: &str, n: usize) -> u64 {
+    Rng::seed_from(master)
+        .fork(key_tag(family))
+        .fork(n as u64)
+        .next_u64()
+}
+
+/// The seed a cell's algorithm run draws from: additionally forked by
+/// algorithm key and seed index.
+pub fn algo_seed(master: u64, family: &str, n: usize, algo: &str, seed: u64) -> u64 {
+    Rng::seed_from(master)
+        .fork(key_tag(family))
+        .fork(n as u64)
+        .fork(key_tag(algo))
+        .fork(seed)
+        .next_u64()
+}
+
+/// The canonical `(family, n, seed, algo, params, policy)` cell tuple
+/// (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Generator registry key.
+    pub family: String,
+    /// Target size (the family may round it).
+    pub n: usize,
+    /// Seed index within the cell's group.
+    pub seed: u64,
+    /// Algorithm registry key.
+    pub algo: String,
+    /// String-keyed parameter overrides, sorted by key (empty =
+    /// defaults). Kept sorted by the constructors.
+    pub params: Vec<(String, String)>,
+    /// Transcript policy the run executes under (a pure performance
+    /// knob — metrics are policy-independent — but part of the tuple so
+    /// a cache entry records exactly what was asked).
+    pub policy: TranscriptPolicy,
+}
+
+impl CellKey {
+    /// A defaults-identity key: no parameter overrides, `Full` policy.
+    pub fn new(family: impl Into<String>, n: usize, seed: u64, algo: impl Into<String>) -> CellKey {
+        CellKey {
+            family: family.into(),
+            n,
+            seed,
+            algo: algo.into(),
+            params: Vec::new(),
+            policy: TranscriptPolicy::Full,
+        }
+    }
+
+    /// Attaches parameter overrides, sorting them into canonical order.
+    #[must_use]
+    pub fn with_params(mut self, mut params: Vec<(String, String)>) -> CellKey {
+        params.sort();
+        self.params = params;
+        self
+    }
+
+    /// Sets the transcript policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: TranscriptPolicy) -> CellKey {
+        self.policy = policy;
+        self
+    }
+
+    /// The stable string form — the `exp serve` cache key. Params appear
+    /// sorted, the policy by its stable label.
+    pub fn canonical(&self) -> String {
+        let params = self
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "family={};n={};seed={};algo={};params=[{}];policy={}",
+            self.family,
+            self.n,
+            self.seed,
+            self.algo,
+            params,
+            self.policy.label()
+        )
+    }
+
+    /// [`key_tag`] of the canonical string: the content-addressed hash of
+    /// the whole tuple.
+    pub fn hash(&self) -> u64 {
+        key_tag(&self.canonical())
+    }
+
+    /// The instance seed of this cell's `(family, n)` graph.
+    pub fn graph_seed(&self, master: u64) -> u64 {
+        graph_seed(master, &self.family, self.n)
+    }
+
+    /// The run seed of this cell's algorithm execution.
+    pub fn algo_seed(&self, master: u64) -> u64 {
+        algo_seed(master, &self.family, self.n, &self.algo, self.seed)
+    }
+
+    /// The `exp fuzz --exact` flags that replay this cell verbatim —
+    /// the same canonical tuple, rendered as CLI arguments (`threads` is
+    /// an executor knob, not part of the tuple, so it is passed in).
+    pub fn replay_flags(&self, master_seed: u64, threads: usize) -> String {
+        let mut flags = format!(
+            "--master-seed {} --generators {} --algorithms {} --sizes {} --seed {} \
+             --policy {} --threads {}",
+            master_seed,
+            self.family,
+            self.algo,
+            self.n,
+            self.seed,
+            self.policy.label(),
+            threads
+        );
+        for (k, v) in &self.params {
+            flags.push_str(&format!(" --param {}:{}={}", self.algo, k, v));
+        }
+        flags
+    }
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form_is_stable_and_param_order_independent() {
+        // Params arrive in either order, canonicalize identically.
+        let a = CellKey::new("regular/4", 64, 1, "mis/luby")
+            .with_params(vec![("b".into(), "2".into()), ("a".into(), "1".into())]);
+        let b = CellKey::new("regular/4", 64, 1, "mis/luby")
+            .with_params(vec![("a".into(), "1".into()), ("b".into(), "2".into())]);
+        assert_eq!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.hash(), b.hash());
+        assert_eq!(
+            a.canonical(),
+            "family=regular/4;n=64;seed=1;algo=mis/luby;params=[a=1,b=2];policy=full"
+        );
+    }
+
+    #[test]
+    fn distinct_tuples_have_distinct_canonical_forms() {
+        let base = CellKey::new("regular/4", 64, 0, "mis/luby");
+        let by_seed = CellKey::new("regular/4", 64, 1, "mis/luby");
+        let by_policy = base.clone().with_policy(TranscriptPolicy::None);
+        let by_params = base
+            .clone()
+            .with_params(vec![("mark-factor".into(), "0.5".into())]);
+        for other in [&by_seed, &by_policy, &by_params] {
+            assert_ne!(base.canonical(), other.canonical());
+            assert_ne!(base.hash(), other.hash());
+        }
+    }
+
+    #[test]
+    fn seeds_match_the_sweep_discipline() {
+        // cell::graph_seed/algo_seed are the seeding functions the sweep
+        // engine re-exports; the golden bytes pin this indirectly, this
+        // test pins it directly.
+        let key = CellKey::new("regular/4", 64, 2, "mis/luby");
+        assert_eq!(key.graph_seed(7), graph_seed(7, "regular/4", 64));
+        assert_eq!(
+            key.algo_seed(7),
+            algo_seed(7, "regular/4", 64, "mis/luby", 2)
+        );
+        assert_ne!(key.algo_seed(7), key.algo_seed(8));
+    }
+
+    #[test]
+    fn replay_flags_round_trip_the_tuple() {
+        let key = CellKey::new("path", 8, 3, "mis/luby")
+            .with_policy(TranscriptPolicy::None)
+            .with_params(vec![("mark-factor".into(), "0.5".into())]);
+        let flags = key.replay_flags(5, 2);
+        assert_eq!(
+            flags,
+            "--master-seed 5 --generators path --algorithms mis/luby --sizes 8 --seed 3 \
+             --policy none --threads 2 --param mis/luby:mark-factor=0.5"
+        );
+    }
+}

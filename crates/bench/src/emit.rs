@@ -74,6 +74,71 @@ fn json_str_array(items: &[String]) -> String {
     format!("[{}]", quoted.join(", "))
 }
 
+/// One cell row of the `localavg-sweep/v1` schema, borrowed by key.
+///
+/// This is the *wire form* of a measured cell: [`to_json`] renders one
+/// per sweep cell, and `exp serve` streams exactly the same object per
+/// served result — byte identity between the two is structural, not
+/// coincidental, because both go through [`cell_json`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellRow<'a> {
+    /// Algorithm registry key.
+    pub algorithm: &'a str,
+    /// Generator registry key.
+    pub generator: &'a str,
+    /// Target size.
+    pub n: usize,
+    /// Seed index.
+    pub seed: u64,
+    /// Realized node count.
+    pub nodes: usize,
+    /// Realized edge count.
+    pub edges: usize,
+    /// Minimum degree of the instance.
+    pub min_degree: usize,
+    /// Maximum degree of the instance.
+    pub max_degree: usize,
+    /// `AVG_V` (Definition 1).
+    pub node_averaged: f64,
+    /// `AVG_E` (Definition 1).
+    pub edge_averaged: f64,
+    /// Edge average under the one-endpoint convention (fn. 2).
+    pub edge_averaged_one_endpoint: f64,
+    /// Maximum node completion time.
+    pub node_worst: usize,
+    /// Total rounds until global termination.
+    pub rounds: usize,
+    /// Peak CONGEST message size, in bits.
+    pub peak_message_bits: usize,
+}
+
+/// Renders one `localavg-sweep/v1` cell object (no indent, no trailing
+/// comma) — the single code path behind both the sweep JSON document and
+/// the `exp serve` result stream.
+pub fn cell_json(row: &CellRow<'_>) -> String {
+    format!(
+        "{{\"algorithm\": \"{}\", \"generator\": \"{}\", \"n\": {}, \"seed\": {}, \
+         \"graph\": {{\"nodes\": {}, \"edges\": {}, \"min_degree\": {}, \"max_degree\": {}}}, \
+         \"metrics\": {{\"node_averaged\": {}, \"edge_averaged\": {}, \
+         \"edge_averaged_one_endpoint\": {}, \"node_worst\": {}, \"rounds\": {}, \
+         \"peak_message_bits\": {}}}}}",
+        json_escape(row.algorithm),
+        json_escape(row.generator),
+        row.n,
+        row.seed,
+        row.nodes,
+        row.edges,
+        row.min_degree,
+        row.max_degree,
+        json_f64(row.node_averaged),
+        json_f64(row.edge_averaged),
+        json_f64(row.edge_averaged_one_endpoint),
+        row.node_worst,
+        row.rounds,
+        row.peak_message_bits
+    )
+}
+
 /// Serializes a report to the `localavg-sweep/v1` JSON document.
 pub fn to_json(report: &SweepReport) -> String {
     let mut out = String::new();
@@ -96,25 +161,8 @@ pub fn to_json(report: &SweepReport) -> String {
     for (i, c) in report.cells.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"algorithm\": \"{}\", \"generator\": \"{}\", \"n\": {}, \"seed\": {}, \
-             \"graph\": {{\"nodes\": {}, \"edges\": {}, \"min_degree\": {}, \"max_degree\": {}}}, \
-             \"metrics\": {{\"node_averaged\": {}, \"edge_averaged\": {}, \
-             \"edge_averaged_one_endpoint\": {}, \"node_worst\": {}, \"rounds\": {}, \
-             \"peak_message_bits\": {}}}}}{}",
-            json_escape(c.cell.algorithm),
-            json_escape(c.cell.generator),
-            c.cell.n,
-            c.cell.seed,
-            c.nodes,
-            c.edges,
-            c.min_degree,
-            c.max_degree,
-            json_f64(c.node_averaged),
-            json_f64(c.edge_averaged),
-            json_f64(c.edge_averaged_one_endpoint),
-            c.node_worst,
-            c.rounds,
-            c.peak_message_bits,
+            "    {}{}",
+            cell_json(&c.row()),
             if i + 1 < report.cells.len() { "," } else { "" }
         );
     }

@@ -31,6 +31,7 @@
 //! sweep's content-addressed [`sweep::graph_seed`], so a reported tuple
 //! replays exactly.
 
+use crate::cell::CellKey;
 use crate::generators;
 use crate::sweep::{self, SweepError};
 use localavg_core::algo::{
@@ -139,25 +140,20 @@ impl FuzzCell {
             }
         }
     }
+
+    /// The canonical [`CellKey`] of this cell — the identity the failure
+    /// report prints and the `--exact` replay command is built from
+    /// (`threads` is an executor knob, carried separately).
+    pub fn key(&self) -> CellKey {
+        CellKey::new(self.generator, self.n, self.seed, self.algorithm)
+            .with_params(self.params.clone())
+            .with_policy(self.policy)
+    }
 }
 
 impl fmt::Display for FuzzCell {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "(generator={}, n={}, seed={}, algo={}, params=[{}], policy={}, threads={})",
-            self.generator,
-            self.n,
-            self.seed,
-            self.algorithm,
-            self.params
-                .iter()
-                .map(|(k, v)| format!("{k}={v}"))
-                .collect::<Vec<_>>()
-                .join(", "),
-            self.policy.label(),
-            self.threads
-        )
+        write!(f, "({}; threads={})", self.key(), self.threads)
     }
 }
 

@@ -19,16 +19,23 @@
 //! lower-bound hard instances of `localavg_lowerbound::families` — and
 //! the [`fuzz`] module (`exp fuzz`, DESIGN.md §8) differentially
 //! verifies the whole stack against the `localavg_core::check` oracle.
+//!
+//! Every front end names a unit of work by the same canonical
+//! [`cell::CellKey`] tuple, and the [`serve`] subsystem (`exp serve` /
+//! `exp submit`, DESIGN.md §9) exposes the sweep's cells as a
+//! long-running TCP service with a content-addressed result cache.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench_engine;
+pub mod cell;
 pub mod cli;
 pub mod emit;
 pub mod experiments;
 pub mod fuzz;
 pub mod generators;
+pub mod serve;
 pub mod sweep;
 pub mod table;
 

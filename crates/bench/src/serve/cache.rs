@@ -1,0 +1,289 @@
+//! Content-addressed result cache with single-flight coalescing.
+//!
+//! The cache maps a canonical [`CellKey`] to the finished result line
+//! (the exact bytes [`crate::emit::cell_json`] produced for that cell).
+//! Because a cell tuple plus the daemon's master seed fully determines
+//! the output, a cached line can be replayed forever — there is no
+//! invalidation, only a bounded LRU eviction policy.
+//!
+//! Concurrent duplicates are **coalesced**: the first thread to ask for
+//! a missing key becomes the *leader* ([`Acquire::Lead`]) and must later
+//! call [`CellCache::complete`] (or [`CellCache::abandon`] on failure);
+//! every other thread asking for the same key while the leader is in
+//! flight blocks on a condvar and receives the finished value as a
+//! **hit** — the algorithm executes exactly once no matter how many
+//! clients submit the cell simultaneously. This is what lets the serve
+//! goldens assert that resubmitting a batch performs zero executions.
+//!
+//! Eviction is strict LRU over *completed* entries, tracked by a
+//! monotonic use-stamp in a `BTreeMap<u64, CellKey>` side index (stamp
+//! space is `u64`, so wraparound is out of reach). In-flight leaders
+//! hold a reservation that does not count against the capacity bound
+//! and cannot be evicted; capacity is clamped to at least 1.
+
+use crate::cell::CellKey;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Condvar, Mutex};
+
+/// Outcome of [`CellCache::acquire`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Acquire {
+    /// The finished result line (a cache hit, possibly after waiting on
+    /// an in-flight leader).
+    Hit(String),
+    /// The caller is now the leader for this key: execute the cell and
+    /// report back via `complete` or `abandon`.
+    Lead,
+}
+
+#[derive(Debug)]
+enum Slot {
+    /// A leader is computing this key; waiters sleep on the condvar.
+    InFlight,
+    /// Finished value plus its current LRU stamp.
+    Done { line: String, stamp: u64 },
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: HashMap<CellKey, Slot>,
+    /// stamp → key, oldest first; only `Done` slots appear here.
+    order: BTreeMap<u64, CellKey>,
+    next_stamp: u64,
+    done_count: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Cache counter snapshot (see [`CellCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered from a completed entry (including coalesced
+    /// waiters on an in-flight leader).
+    pub hits: u64,
+    /// Requests that became leaders and had to execute.
+    pub misses: u64,
+    /// Completed entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Completed entries currently resident.
+    pub entries: usize,
+    /// Configured capacity bound.
+    pub capacity: usize,
+}
+
+/// Bounded LRU cache over canonical cell keys (see the module docs).
+#[derive(Debug)]
+pub struct CellCache {
+    inner: Mutex<Inner>,
+    settled: Condvar,
+    capacity: usize,
+}
+
+impl CellCache {
+    /// Creates a cache bounded to `capacity` completed entries
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        CellCache {
+            inner: Mutex::new(Inner::default()),
+            settled: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, blocking while another thread is computing it.
+    ///
+    /// Returns [`Acquire::Hit`] with the finished line, or
+    /// [`Acquire::Lead`] if the caller must compute the value itself
+    /// and then call [`Self::complete`] / [`Self::abandon`].
+    pub fn acquire(&self, key: &CellKey) -> Acquire {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        loop {
+            match inner.slots.get(key) {
+                Some(Slot::Done { .. }) => {
+                    inner.hits += 1;
+                    let line = touch(&mut inner, key);
+                    return Acquire::Hit(line);
+                }
+                Some(Slot::InFlight) => {
+                    // Coalesce: sleep until the leader settles the slot
+                    // (complete or abandon), then re-inspect. If the
+                    // entry was completed and already evicted before we
+                    // woke, the loop turns us into the next leader.
+                    inner = self.settled.wait(inner).expect("cache poisoned");
+                }
+                None => {
+                    inner.misses += 1;
+                    inner.slots.insert(key.clone(), Slot::InFlight);
+                    return Acquire::Lead;
+                }
+            }
+        }
+    }
+
+    /// Peeks without blocking or leadership: `Some(line)` on a
+    /// completed entry (counts as a hit), `None` otherwise.
+    pub fn get(&self, key: &CellKey) -> Option<String> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if matches!(inner.slots.get(key), Some(Slot::Done { .. })) {
+            inner.hits += 1;
+            Some(touch(&mut inner, key))
+        } else {
+            None
+        }
+    }
+
+    /// Publishes the leader's finished `line` for `key`, waking every
+    /// coalesced waiter, and evicts the least-recently-used completed
+    /// entry if the capacity bound is now exceeded.
+    pub fn complete(&self, key: &CellKey, line: String) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        let prev = inner.slots.insert(key.clone(), Slot::Done { line, stamp });
+        inner.order.insert(stamp, key.clone());
+        // `prev` is the leader's InFlight reservation; a `Done` here
+        // would mean two leaders for one key, which acquire() excludes.
+        debug_assert!(!matches!(prev, Some(Slot::Done { .. })));
+        inner.done_count += 1;
+        while inner.done_count > self.capacity {
+            let (&oldest, _) = inner
+                .order
+                .iter()
+                .next()
+                .expect("count>0 implies non-empty");
+            let victim = inner.order.remove(&oldest).expect("stamp present");
+            inner.slots.remove(&victim);
+            inner.done_count -= 1;
+            inner.evictions += 1;
+        }
+        drop(inner);
+        self.settled.notify_all();
+    }
+
+    /// Drops the leader's reservation after a failed execution, waking
+    /// waiters so one of them can lead a retry (or fail the same way).
+    pub fn abandon(&self, key: &CellKey) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if matches!(inner.slots.get(key), Some(Slot::InFlight)) {
+            inner.slots.remove(key);
+        }
+        drop(inner);
+        self.settled.notify_all();
+    }
+
+    /// Point-in-time counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.done_count,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// Re-stamps `key` as most recently used and returns its line. Caller
+/// must have verified the slot is `Done`.
+fn touch(inner: &mut Inner, key: &CellKey) -> String {
+    let fresh = inner.next_stamp;
+    inner.next_stamp += 1;
+    let Some(Slot::Done { line, stamp }) = inner.slots.get_mut(key) else {
+        unreachable!("touch() requires a Done slot");
+    };
+    let old = *stamp;
+    *stamp = fresh;
+    let out = line.clone();
+    inner.order.remove(&old);
+    inner.order.insert(fresh, key.clone());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn key(n: usize) -> CellKey {
+        CellKey::new("path", n, 0, "mis/luby")
+    }
+
+    #[test]
+    fn miss_lead_complete_hit() {
+        let cache = CellCache::new(4);
+        assert_eq!(cache.acquire(&key(8)), Acquire::Lead);
+        cache.complete(&key(8), "line-8".to_string());
+        assert_eq!(cache.acquire(&key(8)), Acquire::Hit("line-8".to_string()));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_touch_refreshes() {
+        let cache = CellCache::new(2);
+        for n in [1, 2] {
+            assert_eq!(cache.acquire(&key(n)), Acquire::Lead);
+            cache.complete(&key(n), format!("line-{n}"));
+        }
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(matches!(cache.acquire(&key(1)), Acquire::Hit(_)));
+        assert_eq!(cache.acquire(&key(3)), Acquire::Lead);
+        cache.complete(&key(3), "line-3".to_string());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(matches!(cache.acquire(&key(1)), Acquire::Hit(_)));
+        assert_eq!(cache.acquire(&key(2)), Acquire::Lead); // evicted
+        cache.abandon(&key(2));
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let cache = CellCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        assert_eq!(cache.acquire(&key(1)), Acquire::Lead);
+        cache.complete(&key(1), "a".to_string());
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn abandon_releases_leadership() {
+        let cache = CellCache::new(4);
+        assert_eq!(cache.acquire(&key(1)), Acquire::Lead);
+        cache.abandon(&key(1));
+        assert_eq!(cache.acquire(&key(1)), Acquire::Lead);
+        let s = cache.stats();
+        assert_eq!((s.misses, s.entries), (2, 0));
+    }
+
+    #[test]
+    fn concurrent_duplicates_coalesce_to_one_leader() {
+        let cache = Arc::new(CellCache::new(8));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let leaders = Arc::clone(&leaders);
+                scope.spawn(move || match cache.acquire(&key(7)) {
+                    Acquire::Lead => {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                        // Give waiters time to pile onto the condvar.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        cache.complete(&key(7), "value".to_string());
+                    }
+                    Acquire::Hit(line) => assert_eq!(line, "value"),
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+}

@@ -1,0 +1,41 @@
+//! `exp serve` — a long-running result service with a content-addressed
+//! cell cache (DESIGN.md §9).
+//!
+//! Sweeps recompute every cell on every invocation. But a cell's result
+//! is a pure function of its canonical tuple ([`crate::cell::CellKey`])
+//! plus the master seed — the whole stack is content-addressed — so
+//! results can be served from a cache keyed by the tuple alone. This
+//! subsystem turns that observation into a daemon:
+//!
+//! * [`protocol`] — the std-only JSON-lines wire format: `submit` /
+//!   `stats` / `ping` / `shutdown` requests, cell objects in, raw
+//!   `localavg-sweep/v1` cell lines out (byte-identical to `exp sweep`
+//!   output for the same tuple).
+//! * [`cache`] — bounded LRU over canonical keys with single-flight
+//!   coalescing: concurrent duplicates execute once, repeats execute
+//!   never.
+//! * [`queue`] — the bounded FIFO connecting connection handlers to
+//!   workers; full queues apply backpressure to clients instead of
+//!   buffering without limit.
+//! * [`pool`] — shared daemon state plus the worker loop; each worker
+//!   owns a reusable [`localavg_sim::workspace::Workspace`], and the
+//!   cell executor reproduces the sweep engine's semantics exactly.
+//! * [`server`] — the TCP accept/connection/shutdown machinery and the
+//!   blocking [`server::Client`] used by `exp submit` and the tests.
+//!
+//! The CLI pair: `exp serve --port 0 --port-file p.txt` runs a daemon,
+//! `exp submit --addr $(cat p.txt) --scale quick` streams a batch
+//! through it. See DESIGN.md §9 and the README's "Serving results"
+//! walkthrough.
+
+pub mod cache;
+pub mod pool;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{Acquire, CacheStats, CellCache};
+pub use pool::{execute_cell, GraphStore, Job, JobReply, Pool};
+pub use protocol::{parse_request, Json, Request, ServeStats};
+pub use queue::JobQueue;
+pub use server::{run, Client, ServeConfig, SubmitOutcome};

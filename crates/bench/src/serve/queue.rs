@@ -1,0 +1,198 @@
+//! Bounded blocking FIFO job queue for the serve worker pool.
+//!
+//! `std::sync::mpsc` channels are either unbounded (`channel`) or
+//! rendezvous-bounded but single-consumer; the pool needs a bounded
+//! multi-consumer queue so that a flood of submitted cells exerts
+//! backpressure on connection threads instead of growing without limit.
+//! This is the classic Mutex + two-condvar design: producers block in
+//! [`JobQueue::push`] while the queue is full, consumers block in
+//! [`JobQueue::pop`] while it is empty.
+//!
+//! Shutdown semantics: after [`JobQueue::close`], `push` fails
+//! immediately (`Err` returns the rejected item) and `pop` keeps
+//! draining whatever was already enqueued, returning `None` only once
+//! the queue is empty — so closing never drops accepted work, it only
+//! stops new work from entering.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer multi-consumer FIFO (see the module docs).
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when an item arrives or the queue closes (wakes `pop`).
+    filled: Condvar,
+    /// Signalled when an item leaves or the queue closes (wakes `push`).
+    drained: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue bounded to `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            filled: Condvar::new(),
+            drained: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` if the queue is (or becomes, while waiting)
+    /// closed; the item is handed back untouched.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        while !inner.closed && inner.items.len() >= self.capacity {
+            inner = self.drained.wait(inner).expect("queue poisoned");
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.filled.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.drained.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.filled.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending `push`es fail, `pop` drains then ends.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.filled.notify_all();
+        self.drained.notify_all();
+    }
+
+    /// Items currently enqueued (snapshot; racy by nature).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty (snapshot; racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_len() {
+        let q = JobQueue::new(4);
+        for i in 0..3 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!((q.pop(), q.pop(), q.pop()), (Some(0), Some(1), Some(2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_ends_and_rejects_pushes() {
+        let q = JobQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let q: JobQueue<u8> = JobQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+    }
+
+    #[test]
+    fn full_queue_blocks_producer_until_consumed() {
+        let q = Arc::new(JobQueue::new(1));
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).is_ok())
+        };
+        // The producer is (or will shortly be) blocked on the full
+        // queue; popping must unblock it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything() {
+        let q = Arc::new(JobQueue::new(2));
+        let total = 4 * 50;
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(x) = q.pop() {
+                        got.push(x);
+                    }
+                    got
+                })
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for p in 0..4u32 {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for i in 0..50u32 {
+                        q.push(p * 50 + i).unwrap();
+                    }
+                });
+            }
+        });
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..total).collect::<Vec<_>>());
+    }
+}

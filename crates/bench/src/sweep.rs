@@ -24,11 +24,11 @@
 //! Deterministic algorithms ignore their seed, so the sweep collapses
 //! their seed axis to a single run per group.
 
+use crate::cell::{self, CellKey};
 use crate::generators;
 use localavg_core::algo::{registry, DynAlgorithm, RunSpec};
 use localavg_core::metrics::{CompletionTimes, RunAggregate};
 use localavg_graph::gen::NamedGenerator;
-use localavg_graph::rng::{splitmix64, Rng};
 use localavg_graph::Graph;
 use localavg_sim::workspace::Workspace;
 use std::collections::BTreeMap;
@@ -207,6 +207,16 @@ pub struct SweepCell {
     pub seed: u64,
 }
 
+impl SweepCell {
+    /// The canonical [`CellKey`] of this cell under defaults (no param
+    /// overrides, `Full` policy — what a sweep without `--param` runs).
+    /// Callers expanding a spec with overrides attach them via
+    /// [`CellKey::with_params`].
+    pub fn key(&self) -> CellKey {
+        CellKey::new(self.generator, self.n, self.seed, self.algorithm)
+    }
+}
+
 /// Why a sweep could not run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SweepError {
@@ -310,6 +320,29 @@ pub struct CellResult {
     pub peak_message_bits: usize,
 }
 
+impl CellResult {
+    /// The `localavg-sweep/v1` wire view of this result (see
+    /// [`crate::emit::cell_json`]).
+    pub fn row(&self) -> crate::emit::CellRow<'_> {
+        crate::emit::CellRow {
+            algorithm: self.cell.algorithm,
+            generator: self.cell.generator,
+            n: self.cell.n,
+            seed: self.cell.seed,
+            nodes: self.nodes,
+            edges: self.edges,
+            min_degree: self.min_degree,
+            max_degree: self.max_degree,
+            node_averaged: self.node_averaged,
+            edge_averaged: self.edge_averaged,
+            edge_averaged_one_endpoint: self.edge_averaged_one_endpoint,
+            node_worst: self.node_worst,
+            rounds: self.rounds,
+            peak_message_bits: self.peak_message_bits,
+        }
+    }
+}
+
 /// Per-group aggregate over the seed axis: Appendix A's expected
 /// complexities on the group's fixed graph instance.
 #[derive(Debug, Clone)]
@@ -348,40 +381,21 @@ pub struct SweepReport {
     pub groups: Vec<GroupResult>,
 }
 
-/// Hashes a registry key into a substream tag (iterated SplitMix64 over
-/// the bytes) — part of the content-addressed seeding discipline: cell
-/// seeds depend on *what* runs, never on *where* or *when*.
-pub(crate) fn key_tag(s: &str) -> u64 {
-    let mut acc = 0x5EED0F5EED ^ s.len() as u64;
-    for &b in s.as_bytes() {
-        let mut st = acc ^ u64::from(b);
-        acc = splitmix64(&mut st);
-    }
-    acc
-}
-
 /// The seed a `(generator, n)` instance is built from: forked from the
 /// master seed by generator key and target size only, so every algorithm
 /// and every seed index of a group sees the same topology. Public so
 /// tests and `exp bench-engine` can rebuild the exact instances a sweep
-/// measured.
+/// measured. Delegates to [`crate::cell::graph_seed`] — the one seeding
+/// code path every front end (sweep, bench, fuzz, serve) shares.
 pub fn graph_seed(master: u64, generator: &str, n: usize) -> u64 {
-    Rng::seed_from(master)
-        .fork(key_tag(generator))
-        .fork(n as u64)
-        .next_u64()
+    cell::graph_seed(master, generator, n)
 }
 
 /// The seed a cell's algorithm run draws from: additionally forked by
 /// algorithm key and seed index. Public for the same reason as
 /// [`graph_seed`]: replaying a sweep cell outside the sweep engine.
 pub fn algo_seed(master: u64, cell: &SweepCell) -> u64 {
-    Rng::seed_from(master)
-        .fork(key_tag(cell.generator))
-        .fork(cell.n as u64)
-        .fork(key_tag(cell.algorithm))
-        .fork(cell.seed)
-        .next_u64()
+    cell::algo_seed(master, cell.generator, cell.n, cell.algorithm, cell.seed)
 }
 
 /// Builds the configured algorithm table for a spec: every algorithm
@@ -502,10 +516,7 @@ pub fn run(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> 
                         &mut ws,
                     );
                     run.verify(g).unwrap_or_else(|e| {
-                        panic!(
-                            "{} produced an invalid output on {} n={} seed={}: {e}",
-                            cell.algorithm, cell.generator, cell.n, cell.seed
-                        )
+                        panic!("{} produced an invalid output: {e}", cell.key())
                     });
                     let times = run.completion_times(g);
                     let result = CellResult {

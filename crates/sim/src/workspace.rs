@@ -69,6 +69,28 @@ impl Workspace {
     pub fn arena_count(&self) -> usize {
         self.states.len()
     }
+
+    /// Point-in-time counter snapshot. Long-running drivers that own one
+    /// workspace per worker (the `exp serve` pool) take deltas of this
+    /// around each run to aggregate reuse accounting across the fleet.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            runs: self.runs,
+            reuses: self.reuses,
+            arenas: self.states.len(),
+        }
+    }
+}
+
+/// A snapshot of a [`Workspace`]'s counters (see [`Workspace::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceStats {
+    /// Runs served so far.
+    pub runs: usize,
+    /// Runs that reused an already-allocated arena.
+    pub reuses: usize,
+    /// Distinct process types currently holding arenas.
+    pub arenas: usize,
 }
 
 #[cfg(test)]
@@ -82,6 +104,19 @@ mod tests {
         assert_eq!(ws.reuse_count(), 0);
         assert_eq!(ws.arena_count(), 0);
         assert_eq!(ws.shape, None);
+        assert_eq!(ws.stats(), WorkspaceStats::default());
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_counters() {
+        let mut ws = Workspace::new();
+        ws.runs = 5;
+        ws.reuses = 3;
+        ws.states.insert(TypeId::of::<u32>(), Box::new(1u32));
+        let s = ws.stats();
+        assert_eq!(s.runs, 5);
+        assert_eq!(s.reuses, 3);
+        assert_eq!(s.arenas, 1);
     }
 
     #[test]
