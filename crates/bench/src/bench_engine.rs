@@ -299,7 +299,12 @@ pub fn to_json(report: &BenchReport, baseline: Option<&BenchReport>) -> String {
         let _ = writeln!(out, "    \"label\": \"{}\",", json_escape(&base.spec.label));
         out.push_str("    \"cells\": [\n");
         push_cells(&mut out, &base.cells, "      ");
-        out.push_str("    ]\n  },\n  \"speedups\": [\n");
+        let _ = writeln!(
+            out,
+            "    ],\n    \"unmatched_cells\": {}\n  }},",
+            unmatched_baseline_cells(report, base).len()
+        );
+        out.push_str("  \"speedups\": [\n");
         let pairs: Vec<(&BenchCell, &BenchCell)> = report
             .cells
             .iter()
@@ -361,6 +366,69 @@ pub fn baseline_coverage_gap(current: &BenchReport, baseline: &BenchReport) -> u
         .iter()
         .filter(|c| !baseline.cells.iter().any(|b| b.key() == c.key()))
         .count()
+}
+
+/// Baseline cells with no key-matching counterpart in the current run —
+/// the mirror of [`baseline_coverage_gap`]. These rows used to vanish
+/// from a `--baseline` comparison without a trace (a shrunk grid or a
+/// renamed generator silently compared against nothing); callers should
+/// warn per cell and the JSON document records the count.
+pub fn unmatched_baseline_cells<'a>(
+    current: &BenchReport,
+    baseline: &'a BenchReport,
+) -> Vec<&'a BenchCell> {
+    baseline
+        .cells
+        .iter()
+        .filter(|b| !current.cells.iter().any(|c| c.key() == b.key()))
+        .collect()
+}
+
+/// CI perf-regression tripwire: for every `(algorithm, generator, n)`
+/// group timed on both the sequential executor and a parallel one, the
+/// parallel `best_ms` may exceed the sequential `best_ms` by at most
+/// `pct` percent. A persistent-pool executor that loses more than that
+/// to coordination overhead on a quick-scale cell is a regression, not
+/// noise — `exp bench-engine --tripwire PCT` exits nonzero on it.
+///
+/// Returns one human-readable line per comparison; `Err` carries the
+/// first offending line. Groups without both executors are skipped (a
+/// sequential-only grid trips nothing).
+pub fn tripwire(report: &BenchReport, pct: f64) -> Result<Vec<String>, String> {
+    let mut lines = Vec::new();
+    for c in &report.cells {
+        if c.executor == "sequential" {
+            continue;
+        }
+        let Some(seq) = report.cells.iter().find(|b| {
+            b.executor == "sequential"
+                && b.algorithm == c.algorithm
+                && b.generator == c.generator
+                && b.n == c.n
+        }) else {
+            continue;
+        };
+        let ratio = c.best_ms / seq.best_ms;
+        let line = format!(
+            "tripwire: {} on {} n={} — {} {:.3} ms vs sequential {:.3} ms \
+             (ratio {:.2}, limit {:.2})",
+            c.algorithm,
+            c.generator,
+            c.n,
+            c.executor,
+            c.best_ms,
+            seq.best_ms,
+            ratio,
+            1.0 + pct / 100.0
+        );
+        if ratio > 1.0 + pct / 100.0 {
+            return Err(format!(
+                "{line}: the parallel executor is more than {pct}% slower than sequential"
+            ));
+        }
+        lines.push(line);
+    }
+    Ok(lines)
 }
 
 /// Parses the cells of a previously written `localavg-bench/v1` document.
@@ -583,6 +651,41 @@ mod tests {
         let mut other = report.clone();
         other.cells[1].executor = "parallel/7".into();
         assert_eq!(baseline_coverage_gap(&report, &other), 1);
+    }
+
+    #[test]
+    fn unmatched_baseline_cells_are_counted_and_recorded() {
+        let report = run(&tiny_spec()).unwrap();
+        assert!(unmatched_baseline_cells(&report, &report).is_empty());
+        let mut base = report.clone();
+        base.cells[0].generator = "regular/8".into(); // no counterpart now
+        let dropped = unmatched_baseline_cells(&report, &base);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].generator, "regular/8");
+        // The emitted document carries the nonzero count.
+        let json = to_json(&report, Some(&base));
+        assert!(json.contains("\"unmatched_cells\": 1"));
+        let clean = to_json(&report, Some(&report));
+        assert!(clean.contains("\"unmatched_cells\": 0"));
+    }
+
+    #[test]
+    fn tripwire_trips_only_on_a_real_slowdown() {
+        let mut report = run(&tiny_spec()).unwrap();
+        // Pin the timings: parallel exactly 20% slower than sequential.
+        report.cells[0].best_ms = 10.0;
+        report.cells[1].best_ms = 12.0;
+        let lines = tripwire(&report, 25.0).expect("within the limit");
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("ratio 1.20"));
+        // 35% slower trips a 25% limit with a clear message.
+        report.cells[1].best_ms = 13.5;
+        let err = tripwire(&report, 25.0).expect_err("beyond the limit");
+        assert!(err.contains("more than 25% slower"), "{err}");
+        assert!(err.contains("mis/luby"), "{err}");
+        // A sequential-only report has nothing to compare.
+        report.cells.truncate(1);
+        assert_eq!(tripwire(&report, 25.0).unwrap().len(), 0);
     }
 
     #[test]

@@ -362,7 +362,7 @@ fn run_sweep(args: &[String]) {
 
 /// Rejects unknown or value-less `exp bench-engine` options up front.
 fn validate_bench_args(args: &[String]) {
-    const VALUED: [&str; 10] = [
+    const VALUED: [&str; 11] = [
         "--algorithms",
         "--generators",
         "--sizes",
@@ -373,13 +373,15 @@ fn validate_bench_args(args: &[String]) {
         "--out",
         "--policy",
         "--param",
+        "--tripwire",
     ];
     if let Err(e) = cli::validate_flags(args, &VALUED, &["--reuse-workspace"]) {
         eprintln!("error: {e}");
         eprintln!(
             "known options: --algorithms a,b, --generators g,h, --sizes n,m, --reps R, \
              --threads N, --label S, --baseline FILE, --out FILE, \
-             --policy full|completions|none, --reuse-workspace, --param algo:key=value"
+             --policy full|completions|none, --reuse-workspace, --param algo:key=value, \
+             --tripwire PCT"
         );
         std::process::exit(2);
     }
@@ -445,6 +447,17 @@ fn run_bench_engine(args: &[String]) {
                  or --threads?) and are omitted from the \"speedups\" section"
             );
         }
+        // The mirror image: baseline rows this run never re-measured.
+        // Dropping them silently would let a shrunk grid pass for a
+        // clean comparison, so each one is named and the count lands in
+        // the JSON as "unmatched_cells".
+        for b in bench_engine::unmatched_baseline_cells(&report, base) {
+            eprintln!(
+                "warning: unmatched baseline cell: {} on {} n={} ({}) — \
+                 not re-measured by this run",
+                b.algorithm, b.generator, b.n, b.executor
+            );
+        }
     }
     let json = bench_engine::to_json(&report, baseline.as_ref());
     match flag_value(args, "--out") {
@@ -460,6 +473,26 @@ fn run_bench_engine(args: &[String]) {
                     "{:>14} {:>10} n={:<7} {:>12}  best {:>9.3} ms  mean {:>9.3} ms  ({} rounds)",
                     c.algorithm, c.generator, c.n, c.executor, c.best_ms, c.mean_ms, c.rounds
                 );
+            }
+        }
+    }
+    // Perf-regression tripwire (CI): the parallel executor may lose at
+    // most PCT percent to sequential on any cell timed on both. Runs
+    // after the report is written so a trip still leaves the evidence.
+    if let Some(pct) = flag_value(args, "--tripwire") {
+        let pct: f64 = pct.parse().unwrap_or_else(|_| {
+            eprintln!("error: --tripwire expects a percentage, got `{pct}`");
+            std::process::exit(2);
+        });
+        match bench_engine::tripwire(&report, pct) {
+            Ok(lines) => {
+                for line in lines {
+                    eprintln!("{line}");
+                }
+            }
+            Err(message) => {
+                eprintln!("PERF REGRESSION: {message}");
+                std::process::exit(1);
             }
         }
     }

@@ -19,7 +19,16 @@
 //! 5. a deterministically corrupted copy of the solution must be
 //!    **rejected by both validators** — this is the mutation leg that
 //!    catches a weakened validator on either side (break one locally and
-//!    `exp fuzz` fails within a handful of cases).
+//!    `exp fuzz` fails within a handful of cases);
+//! 6. the canonical run's live-frontier ledger must replay from its
+//!    per-node termination ledger: recomputing "nodes still live after
+//!    round r" from the halt rounds has to reproduce the engine's O(1)
+//!    live counter at every round, monotone non-increasing, reaching
+//!    zero exactly at the final round — the invariant the delta-routed
+//!    executor's per-round cost model stands on;
+//! 7. a re-run of the same cell with the chunk size forced to one node
+//!    per chunk (the most adversarial geometry the chunked executor
+//!    admits) must byte-match the default geometry.
 //!
 //! On failure the harness shrinks the cell — smaller size, default
 //! params, full transcript, sequential executor, smaller seed — and
@@ -357,6 +366,49 @@ impl Session {
         if canon.completion_times(g) != run.completion_times(g) {
             return Err(format!(
                 "completion times differ from the canonical run under policy={} threads={}",
+                cell.policy.label(),
+                cell.threads
+            ));
+        }
+
+        // 6. Frontier decay: the canonical run records the engine's O(1)
+        //    live counter after every round; it must replay exactly from
+        //    the per-node termination ledger.
+        let ledger = &canon.transcript.live_after_round;
+        if ledger.len() != canon.transcript.rounds as usize + 1 {
+            return Err(format!(
+                "live ledger has {} entries for {} rounds",
+                ledger.len(),
+                canon.transcript.rounds
+            ));
+        }
+        for (r, &live) in ledger.iter().enumerate() {
+            let recount = canon
+                .transcript
+                .node_halt_round
+                .iter()
+                .filter(|&&h| h > r)
+                .count();
+            if live != recount {
+                return Err(format!(
+                    "live counter diverges from the termination ledger at round {r}: \
+                     engine says {live}, recount says {recount}"
+                ));
+            }
+            if r + 1 == ledger.len() && live != 0 {
+                return Err(format!("final live count is {live}, not zero"));
+            }
+        }
+        if ledger.windows(2).any(|w| w[0] < w[1]) {
+            return Err("live frontier grew between rounds".to_string());
+        }
+
+        // 7. Chunk-geometry leg: one node per chunk, same cell, same
+        //    arenas — the schedule must be invisible in the bytes.
+        let shredded = algo.execute_in(g, &fast_spec.clone().with_chunk_nodes(Some(1)), workspace);
+        if shredded.solution != run.solution || shredded.transcript != run.transcript {
+            return Err(format!(
+                "chunk-size 1 diverges from the default geometry under policy={} threads={}",
                 cell.policy.label(),
                 cell.threads
             ));

@@ -32,6 +32,7 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Index of a node; nodes are always `0..n`.
 pub type NodeId = usize;
@@ -98,7 +99,7 @@ impl std::error::Error for GraphError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Graph {
     /// CSR offsets: node `v`'s ports occupy `nbrs[offsets[v]..offsets[v+1]]`.
     offsets: Vec<usize>,
@@ -111,7 +112,23 @@ pub struct Graph {
     /// Reverse-port table per arc: the same edge's port at the *other*
     /// endpoint (what a delivered message reports as its receiver port).
     rev_ports: Vec<u32>,
+    /// Lazily-built cache for [`Graph::sorted_port_order`]; `Some(None)`
+    /// once computed on an already-sorted adjacency. Excluded from
+    /// equality: it is a pure function of the fields above.
+    sorted_order: OnceLock<Option<Vec<u32>>>,
 }
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets
+            && self.nbrs == other.nbrs
+            && self.edges == other.edges
+            && self.edge_ports == other.edge_ports
+            && self.rev_ports == other.rev_ports
+    }
+}
+
+impl Eq for Graph {}
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -134,6 +151,7 @@ impl Graph {
             edges: Vec::new(),
             edge_ports: Vec::new(),
             rev_ports: Vec::new(),
+            sorted_order: OnceLock::new(),
         }
     }
 
@@ -330,6 +348,43 @@ impl Graph {
     /// Sum of all degrees (= 2m); used as a cheap sanity invariant.
     pub fn degree_sum(&self) -> usize {
         self.nbrs.len()
+    }
+
+    /// A flat permutation table visiting every node's ports in **ascending
+    /// neighbor id** order, or `None` when every adjacency is already
+    /// sorted (then ports `0..degree` are the sorted order and no table is
+    /// needed).
+    ///
+    /// When present, entry `csr_offset(v) + i` is the port of `v`'s
+    /// `i`-th smallest neighbor. The round engine's gather pass walks a
+    /// receiver's senders in this order so inboxes come out sorted by
+    /// sender id — the ordering the `Process` contract promises —
+    /// regardless of the builder's insertion-order port numbering.
+    ///
+    /// Computed lazily on first use and cached for the (immutable)
+    /// graph's lifetime; the check-only pass on a sorted adjacency costs
+    /// O(Σdeg) once and allocates nothing.
+    pub fn sorted_port_order(&self) -> Option<&[u32]> {
+        self.sorted_order
+            .get_or_init(|| {
+                let sorted =
+                    (0..self.n()).all(|v| self.neighbors(v).windows(2).all(|w| w[0].0 < w[1].0));
+                if sorted {
+                    return None;
+                }
+                let mut order = vec![0u32; self.nbrs.len()];
+                for v in 0..self.n() {
+                    let base = self.offsets[v];
+                    let nbrs = self.neighbors(v);
+                    let slot = &mut order[base..base + nbrs.len()];
+                    for (i, p) in slot.iter_mut().enumerate() {
+                        *p = i as u32;
+                    }
+                    slot.sort_unstable_by_key(|&p| nbrs[p as usize].0);
+                }
+                Some(order)
+            })
+            .as_deref()
     }
 }
 
@@ -550,6 +605,7 @@ impl GraphBuilder {
             edges: self.edges,
             edge_ports,
             rev_ports,
+            sorted_order: OnceLock::new(),
         }
     }
 }
@@ -709,6 +765,49 @@ mod tests {
             assert_eq!(g.neighbors(u)[pu], (v, e));
             assert_eq!(g.neighbors(v)[pv], (u, e));
         }
+    }
+
+    #[test]
+    fn sorted_port_order_on_unsorted_adjacency() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(1, 3).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(0, 4).unwrap();
+        let g = b.build();
+        let order = g.sorted_port_order().expect("insertion order is unsorted");
+        assert_eq!(order.len(), g.degree_sum());
+        for v in g.nodes() {
+            let base = g.csr_offset(v);
+            let ids: Vec<NodeId> = (0..g.degree(v))
+                .map(|i| g.neighbors(v)[order[base + i] as usize].0)
+                .collect();
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "node {v}: {ids:?}");
+        }
+        // Second call hits the cache (same slice).
+        assert_eq!(g.sorted_port_order().unwrap().as_ptr(), order.as_ptr());
+    }
+
+    #[test]
+    fn sorted_port_order_is_none_when_already_sorted() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(1, 3).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.sort_adjacency();
+        let g = b.build();
+        assert_eq!(g.sorted_port_order(), None);
+        assert_eq!(Graph::empty(3).sorted_port_order(), None);
+    }
+
+    #[test]
+    fn equality_ignores_the_port_order_cache() {
+        let make = || Graph::from_edges(4, &[(2, 1), (0, 3), (1, 0)]).unwrap();
+        let (a, b) = (make(), make());
+        let _ = a.sorted_port_order(); // populate only a's cache
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(c, a);
     }
 
     #[test]

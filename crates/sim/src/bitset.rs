@@ -91,6 +91,47 @@ impl Bitset {
         self.words.resize(len.div_ceil(64), 0);
         self.len = len;
     }
+
+    /// Calls `f` for every **zero** bit in `lo..hi`, in ascending order.
+    ///
+    /// This is the engine's live-frontier sweep: with one bit per node in
+    /// the halted bitset, a fully-halted block of 64 nodes costs a single
+    /// word compare, so a chunk pass over a mostly-dead region is O(words)
+    /// rather than O(nodes). Boundary words are masked, so chunk limits
+    /// need not be word-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi > len` (debug builds).
+    #[inline]
+    pub fn for_each_zero_in(&self, lo: usize, hi: usize, mut f: impl FnMut(usize)) {
+        debug_assert!(hi <= self.len, "range {lo}..{hi} out of {}", self.len);
+        if lo >= hi {
+            return;
+        }
+        let (first, last) = (lo / 64, (hi - 1) / 64);
+        for w in first..=last {
+            // Invert: zeros (live nodes) become ones we can count through.
+            let mut word = !self.words[w];
+            if w == first {
+                word &= u64::MAX << (lo % 64);
+            }
+            if w == last {
+                let tail = hi - w * 64;
+                if tail < 64 {
+                    word &= (1u64 << tail) - 1;
+                }
+            }
+            if word == 0 {
+                continue; // 64 halted nodes skipped in one compare
+            }
+            let base = w * 64;
+            while word != 0 {
+                f(base + word.trailing_zeros() as usize);
+                word &= word - 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +176,43 @@ mod tests {
     fn out_of_range_set_panics() {
         let mut b = Bitset::new(64);
         b.set(64);
+    }
+
+    #[test]
+    fn zero_sweep_respects_range_and_order() {
+        let mut b = Bitset::new(200);
+        for i in [0, 5, 63, 64, 128, 199] {
+            b.set(i);
+        }
+        let collect = |lo, hi| {
+            let mut out = Vec::new();
+            b.for_each_zero_in(lo, hi, |i| out.push(i));
+            out
+        };
+        // Full range: every index not set, ascending.
+        let all = collect(0, 200);
+        assert_eq!(all.len(), 200 - 6);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        assert!(!all.contains(&63) && !all.contains(&128));
+        assert!(all.contains(&1) && all.contains(&198));
+        // Unaligned sub-range, entirely inside one word.
+        assert_eq!(collect(3, 8), vec![3, 4, 6, 7]);
+        // Range crossing a word boundary.
+        assert_eq!(collect(62, 66), vec![62, 65]);
+        // Empty and inverted ranges are no-ops.
+        assert_eq!(collect(10, 10), Vec::<usize>::new());
+        assert_eq!(collect(200, 200), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn zero_sweep_skips_saturated_words() {
+        let mut b = Bitset::new(192);
+        for i in 64..128 {
+            b.set(i);
+        }
+        let mut out = Vec::new();
+        b.for_each_zero_in(60, 132, |i| out.push(i));
+        assert_eq!(out, vec![60, 61, 62, 63, 128, 129, 130, 131]);
     }
 
     #[test]

@@ -6,9 +6,39 @@
 //! executor exists to exercise realistic concurrent message passing (and
 //! to speed up big lower-bound instances); the determinism property is
 //! checked by tests.
+//!
+//! # Round anatomy
+//!
+//! Every round is three chunked passes over the node array, each a
+//! word-parallel sweep of the halted bitset so cost tracks the **live
+//! frontier** (the paper's Definition 1 is exactly the observation that
+//! most nodes halt long before the worst-case round):
+//!
+//! 1. **step** — activate every live node (`init` at round 0, `round`
+//!    after); sends land in per-arc outbox slots, commits in per-chunk
+//!    event buffers, halts in per-chunk halt buffers.
+//! 2. **audit** — sweep the nodes that were live *at the start* of the
+//!    round (the only possible senders): count messages for the CONGEST
+//!    audit, clear slots addressed to receivers that halted this round,
+//!    and zero the per-node `sent` counters.
+//! 3. **gather** — sweep the nodes still live *after* this round's halts:
+//!    each receiver pulls its neighbors' slot messages (in ascending
+//!    neighbor id order, via [`Graph::sorted_port_order`]) into its own
+//!    region of the inbox arena. Delta routing falls out for free: a
+//!    halted region of the graph is skipped by the bitset sweep, and
+//!    arcs whose sender went quiet hold `None` and cost one branch.
+//!
+//! The passes are the *same code* on both executors — the sequential
+//! loop is the 1-chunk special case — so executor choice, thread count,
+//! and chunk geometry are pure performance knobs that cannot perturb the
+//! transcript. Parallel runs distribute chunks over a persistent
+//! [`WorkerPool`] (spawned once per run, or once
+//! per [`Workspace`] when runs are batched) instead of respawning scoped
+//! threads every round.
 
 use crate::bitset::Bitset;
 use crate::message::{Envelope, MessageSize};
+use crate::pool::WorkerPool;
 use crate::process::{Ctx, Event, EventBuf, Knowledge, Process};
 use crate::transcript::{Round, Transcript, TranscriptPolicy, UNCOMMITTED};
 pub use crate::workspace::Workspace;
@@ -31,6 +61,13 @@ pub struct SimConfig {
     pub threads: usize,
     /// How much ledger the transcript retains (see [`TranscriptPolicy`]).
     pub transcript: TranscriptPolicy,
+    /// Explicit scheduler chunk size (nodes per chunk) for the chunked
+    /// executor; `None` picks a balanced default. Setting this *forces*
+    /// the chunked code path even below [`PARALLEL_MIN_NODES`] — the
+    /// scheduler-adversarial determinism tests use it to probe chunk
+    /// boundaries on small instances. A pure performance/testing knob:
+    /// transcripts are bit-identical for every value.
+    pub chunk_nodes: Option<usize>,
 }
 
 impl SimConfig {
@@ -44,6 +81,7 @@ impl SimConfig {
             knowledge: Knowledge::default(),
             threads: 0,
             transcript: TranscriptPolicy::Full,
+            chunk_nodes: None,
         }
     }
 
@@ -72,6 +110,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_transcript(mut self, policy: TranscriptPolicy) -> Self {
         self.transcript = policy;
+        self
+    }
+
+    /// Sets an explicit scheduler chunk size (see [`SimConfig::chunk_nodes`]).
+    #[must_use]
+    pub fn with_chunk_nodes(mut self, chunk_nodes: Option<usize>) -> Self {
+        self.chunk_nodes = chunk_nodes;
         self
     }
 }
@@ -107,12 +152,15 @@ pub struct RunSpec {
     pub transcript: TranscriptPolicy,
     /// Initial knowledge configuration.
     pub knowledge: Knowledge,
+    /// Explicit scheduler chunk size (see [`SimConfig::chunk_nodes`]);
+    /// `None` — the default — picks a balanced chunk geometry.
+    pub chunk_nodes: Option<usize>,
 }
 
 impl RunSpec {
     /// Creates a spec with the given seed and defaults: sequential
     /// executor, 1,000,000-round cap, [`TranscriptPolicy::Full`], full
-    /// neighbor knowledge.
+    /// neighbor knowledge, default chunk geometry.
     pub fn new(seed: u64) -> Self {
         RunSpec {
             seed,
@@ -120,6 +168,7 @@ impl RunSpec {
             max_rounds: 1_000_000,
             transcript: TranscriptPolicy::Full,
             knowledge: Knowledge::default(),
+            chunk_nodes: None,
         }
     }
 
@@ -158,6 +207,13 @@ impl RunSpec {
         self
     }
 
+    /// Sets an explicit scheduler chunk size (see [`SimConfig::chunk_nodes`]).
+    #[must_use]
+    pub fn with_chunk_nodes(mut self, chunk_nodes: Option<usize>) -> Self {
+        self.chunk_nodes = chunk_nodes;
+        self
+    }
+
     /// The equivalent [`SimConfig`] (threads resolved from the executor).
     pub fn sim_config(&self) -> SimConfig {
         SimConfig {
@@ -169,6 +225,7 @@ impl RunSpec {
                 Exec::Parallel { threads } => threads,
             },
             transcript: self.transcript,
+            chunk_nodes: self.chunk_nodes,
         }
     }
 
@@ -257,13 +314,14 @@ impl Exec {
 /// * `out_slots` — one message slot per directed arc, addressed by
 ///   `csr_offset(v) + port` (plus a per-node spill vector for the rare
 ///   second message on one port in a round);
-/// * `inbox` — one contiguous envelope arena per run, re-partitioned each
-///   round into per-destination regions by a counting pass (regions are
-///   filled in ascending sender order, which is exactly the inbox order
-///   the old per-node vectors guaranteed);
+/// * `inbox` — one contiguous envelope arena; node `v`'s region is its
+///   own CSR arc range (`csr_offset(v) .. csr_offset(v) + degree`,
+///   `inbox_len[v]` of it filled), so the gather pass needs no counting
+///   or prefix-sum repartition — regions are fixed for the whole run and
+///   only live receivers are touched;
 /// * `halted_bits` / `committed` — columnar bitsets mirroring the
-///   per-node flags, letting the sequential activation loop skip 64
-///   halted nodes per word compare.
+///   per-node flags, letting every pass skip 64 halted nodes per word
+///   compare.
 struct RunState<P: Process> {
     processes: Vec<Option<P>>,
     rngs: Vec<Rng>,
@@ -288,19 +346,43 @@ struct RunState<P: Process> {
     events: Vec<EventBuf<P>>,
     /// Nodes that halted this round, one buffer per executor chunk.
     fresh_halts: Vec<Vec<NodeId>>,
-    /// Inbox arena; node `v`'s messages for the current round are
-    /// `inbox[inbox_start[v]..inbox_start[v + 1]]`, sorted by sender id.
+    /// Nodes whose outbox spilled this round, one buffer per executor
+    /// chunk; the driver clears exactly these spill vectors after gather.
+    spill_nodes: Vec<Vec<NodeId>>,
+    /// Per-chunk assembly buffer for the rare inbox that overflows its
+    /// arc-range region (spills can deliver more messages than `degree`).
+    scratch: Vec<Vec<Envelope<P::Message>>>,
+    /// Per-chunk audit accumulators reported by the audit pass.
+    audit_parts: Vec<AuditPart>,
+    /// Inbox arena: node `v`'s messages for the current round are the
+    /// first `inbox_len[v]` entries of its arc range, sorted by sender
+    /// id. Grown once (to `degree_sum`) on the first round that delivers
+    /// anything.
     inbox: Vec<Envelope<P::Message>>,
-    /// Per-node region starts into `inbox` (`n + 1` entries).
-    inbox_start: Vec<usize>,
-    /// Scratch: per-destination counts, then fill cursors, each round.
-    cursor: Vec<usize>,
+    /// Per-node count of messages delivered this round.
+    inbox_len: Vec<u32>,
+    /// Per-node overflow beyond the arc-range region (spill deliveries
+    /// past `degree` messages; almost always empty).
+    inbox_over: Vec<Vec<Envelope<P::Message>>>,
     /// Whether the CONGEST audit is recorded (policy [`TranscriptPolicy::Full`]).
     audit: bool,
     /// Whether per-node halt rounds are recorded (policies other than
     /// [`TranscriptPolicy::None`]).
     record_halt_rounds: bool,
     transcript: Transcript<P::NodeOutput, P::EdgeOutput>,
+}
+
+/// Accumulators one audit-pass chunk reports back to the driver.
+#[derive(Debug, Clone, Copy, Default)]
+struct AuditPart {
+    /// Messages sent by this chunk's nodes (CONGEST audit; 0 unless the
+    /// policy records the audit).
+    messages: usize,
+    /// Largest message, in bits (0 unless the audit is recorded).
+    max_bits: usize,
+    /// Messages addressed to *live* receivers — the driver grows the
+    /// inbox arena iff any chunk reports a pending delivery.
+    deliveries: usize,
 }
 
 impl<P: Process> RunState<P> {
@@ -318,9 +400,12 @@ impl<P: Process> RunState<P> {
             sent: Vec::new(),
             events: Vec::new(),
             fresh_halts: Vec::new(),
+            spill_nodes: Vec::new(),
+            scratch: Vec::new(),
+            audit_parts: Vec::new(),
             inbox: Vec::new(),
-            inbox_start: Vec::new(),
-            cursor: Vec::new(),
+            inbox_len: Vec::new(),
+            inbox_over: Vec::new(),
             audit: true,
             record_halt_rounds: true,
             transcript: Transcript::empty(P::OUTPUT_KIND, 0, 0),
@@ -345,11 +430,11 @@ impl<P: Process> RunState<P> {
         self.committed.clear_and_resize(n);
         self.live = n;
         // Outbox slots are all `None` at the end of a *completed* run
-        // (routing takes every pending message), but a run aborted by a
-        // caught panic (e.g. a max_rounds probe) can leave messages
-        // behind — refill unconditionally so stale sends can never leak
-        // into the next run. This is an O(Σdeg) overwrite of warm
-        // memory, the same order as the rest of the reset.
+        // (audit + gather consume every pending message), but a run
+        // aborted by a caught panic (e.g. a max_rounds probe) can leave
+        // messages behind — refill unconditionally so stale sends can
+        // never leak into the next run. This is an O(Σdeg) overwrite of
+        // warm memory, the same order as the rest of the reset.
         self.out_slots.clear();
         self.out_slots.resize_with(g.degree_sum(), || None);
         for spill in &mut self.out_spill {
@@ -366,15 +451,27 @@ impl<P: Process> RunState<P> {
             buf.clear();
         }
         self.fresh_halts.resize_with(chunks, Vec::new);
+        for buf in &mut self.spill_nodes {
+            buf.clear();
+        }
+        self.spill_nodes.resize_with(chunks, Vec::new);
+        for buf in &mut self.scratch {
+            buf.clear();
+        }
+        self.scratch.resize_with(chunks, Vec::new);
+        self.audit_parts.clear();
+        self.audit_parts.resize(chunks, AuditPart::default());
         // The inbox arena keeps its previous length as a high-water mark;
-        // stale envelopes are never read because every per-destination
-        // region is rewritten by the routing pass before delivery. The
-        // region table, however, must be zeroed: round 0 reads it before
-        // any routing has happened.
-        self.inbox_start.clear();
-        self.inbox_start.resize(n + 1, 0);
-        self.cursor.clear();
-        self.cursor.resize(n, 0);
+        // stale envelopes are never read because `inbox_len` is zeroed
+        // here and only the gather pass raises it — after rewriting the
+        // region. An aborted run can leave overflow entries behind, so
+        // those are cleared explicitly.
+        self.inbox_len.clear();
+        self.inbox_len.resize(n, 0);
+        for over in &mut self.inbox_over {
+            over.clear();
+        }
+        self.inbox_over.resize_with(n, Vec::new);
         self.audit = policy.records_audit();
         self.record_halt_rounds = policy.records_halts();
         self.transcript = Transcript::empty(P::OUTPUT_KIND, n, g.m());
@@ -412,126 +509,49 @@ impl<P: Process> RunState<P> {
         }
     }
 
-    /// Routes this round's outbox arena into next round's inbox arena;
-    /// returns the maximum message size seen (0 when the CONGEST audit is
-    /// disabled by the transcript policy — sizes are then never computed).
-    ///
-    /// Two passes over the senders (both in ascending id order): the first
-    /// counts deliveries per destination and prefix-sums the counts into
-    /// `inbox_start`; the second moves each message into its destination's
-    /// region. Because senders are visited in id order, every region ends
-    /// up sorted by sender id — the ordering the `Process` contract
-    /// promises.
-    fn route_messages(&mut self, g: &Graph) -> usize {
-        let n = g.n();
-        let audit = self.audit;
-        let mut max_bits = 0usize;
-        let mut total = 0usize;
-        for v in &mut self.cursor {
-            *v = 0;
+    /// Sums the audit pass's per-chunk accumulators:
+    /// `(messages, max_bits, live deliveries)`.
+    fn collect_audit(&self) -> (usize, usize, usize) {
+        let mut messages = 0;
+        let mut max_bits = 0;
+        let mut deliveries = 0;
+        for part in &self.audit_parts {
+            messages += part.messages;
+            max_bits = max_bits.max(part.max_bits);
+            deliveries += part.deliveries;
         }
-        for src in 0..n {
-            if self.sent[src] == 0 {
-                continue;
-            }
-            let nbrs = g.neighbors(src);
-            let base = g.csr_offset(src);
-            for (port, slot) in self.out_slots[base..base + nbrs.len()].iter().enumerate() {
-                if let Some(msg) = slot {
-                    if audit {
-                        max_bits = max_bits.max(msg.size_bits());
-                        self.transcript.messages_sent += 1;
-                    }
-                    let dst = nbrs[port].0;
-                    if !self.halted[dst] {
-                        self.cursor[dst] += 1;
-                        total += 1;
-                    }
-                }
-            }
-            for (port, msg) in &self.out_spill[src] {
-                if audit {
-                    max_bits = max_bits.max(msg.size_bits());
-                    self.transcript.messages_sent += 1;
-                }
-                let dst = nbrs[*port as usize].0;
-                if !self.halted[dst] {
-                    self.cursor[dst] += 1;
-                    total += 1;
-                }
-            }
-        }
-        let mut acc = 0usize;
-        for v in 0..n {
-            let c = self.cursor[v];
-            self.inbox_start[v] = acc;
-            self.cursor[v] = acc;
-            acc += c;
-        }
-        self.inbox_start[n] = acc;
-        debug_assert_eq!(acc, total);
-        if total > self.inbox.len() {
-            // Grow the arena to the new high-water mark. The filler is a
-            // clone of any pending message; every slot `< total` is
-            // overwritten by the scatter pass below before it is read.
-            let filler = self.first_pending_message(g).expect("total > 0");
-            self.inbox.resize(
-                total,
-                Envelope {
-                    src: 0,
-                    port: 0,
-                    msg: filler,
-                },
-            );
-        }
-        for src in 0..n {
-            if self.sent[src] == 0 {
-                continue;
-            }
-            self.sent[src] = 0;
-            let nbrs = g.neighbors(src);
-            let base = g.csr_offset(src);
-            for (port, &(dst, _)) in nbrs.iter().enumerate() {
-                if let Some(msg) = self.out_slots[base + port].take() {
-                    if self.halted[dst] {
-                        continue; // terminated nodes no longer receive
-                    }
-                    let at = self.cursor[dst];
-                    self.cursor[dst] = at + 1;
-                    self.inbox[at] = Envelope {
-                        src,
-                        port: g.rev_port(base + port),
-                        msg,
-                    };
-                }
-            }
-            for (port, msg) in self.out_spill[src].drain(..) {
-                let dst = nbrs[port as usize].0;
-                if self.halted[dst] {
-                    continue;
-                }
-                let at = self.cursor[dst];
-                self.cursor[dst] = at + 1;
-                self.inbox[at] = Envelope {
-                    src,
-                    port: g.rev_port(base + port as usize),
-                    msg,
-                };
-            }
-        }
-        max_bits
+        (messages, max_bits, deliveries)
     }
 
-    /// A clone of any message sitting in the outbox (arena filler).
-    fn first_pending_message(&self, g: &Graph) -> Option<P::Message> {
-        for src in 0..g.n() {
-            if self.sent[src] == 0 {
-                continue;
-            }
-            if let Some(msg) = self.out_slots[g.arc_range(src)].iter().flatten().next() {
-                return Some(msg.clone());
-            }
-            if let Some((_, msg)) = self.out_spill[src].first() {
+    /// Grows the inbox arena to its final size (`Σdeg`) before the first
+    /// gather that delivers anything. The filler is a clone of a pending
+    /// message; a slot is only ever read after the gather pass wrote it
+    /// (`inbox_len` gates every read).
+    fn ensure_inbox_arena(&mut self, g: &Graph) {
+        let cap = g.degree_sum();
+        if self.inbox.len() >= cap {
+            return;
+        }
+        let filler = self
+            .pending_message_filler()
+            .expect("a live delivery implies a pending message");
+        self.inbox.resize(
+            cap,
+            Envelope {
+                src: 0,
+                port: 0,
+                msg: filler,
+            },
+        );
+    }
+
+    /// A clone of any message still pending in the outbox (arena filler).
+    fn pending_message_filler(&self) -> Option<P::Message> {
+        if let Some(msg) = self.out_slots.iter().flatten().next() {
+            return Some(msg.clone());
+        }
+        for spill in &self.out_spill {
+            if let Some((_, msg)) = spill.first() {
                 return Some(msg.clone());
             }
         }
@@ -554,8 +574,322 @@ impl<P: Process> RunState<P> {
         }
     }
 
+    /// Clears exactly the spill vectors that filled this round (the spill
+    /// nodes were recorded by the audit pass; messages toward live
+    /// receivers were already cloned out by the gather pass).
+    fn drain_spills(&mut self) {
+        let spill_nodes = &mut self.spill_nodes;
+        let out_spill = &mut self.out_spill;
+        for chunk in spill_nodes {
+            for u in chunk.drain(..) {
+                out_spill[u].clear();
+            }
+        }
+    }
+
     fn all_halted(&self) -> bool {
         self.live == 0
+    }
+
+    /// Bundles this round's shared state for the chunk passes (see
+    /// [`RoundShared`]).
+    #[allow(clippy::too_many_arguments)]
+    fn round_shared<'a>(
+        &mut self,
+        g: &'a Graph,
+        cfg: &'a SimConfig,
+        params: &'a P::Params,
+        order: Option<&'a [u32]>,
+        round: Round,
+        max_degree: usize,
+        chunk: usize,
+    ) -> RoundShared<'a, P> {
+        RoundShared {
+            g,
+            cfg,
+            params,
+            order,
+            round,
+            max_degree,
+            n: g.n(),
+            chunk,
+            audit: self.audit,
+            processes: self.processes.as_mut_ptr(),
+            rngs: self.rngs.as_mut_ptr(),
+            halted: self.halted.as_mut_ptr(),
+            halted_bits: &self.halted_bits,
+            out_slots: self.out_slots.as_mut_ptr(),
+            out_spill: self.out_spill.as_mut_ptr(),
+            sent: self.sent.as_mut_ptr(),
+            events: self.events.as_mut_ptr(),
+            fresh_halts: self.fresh_halts.as_mut_ptr(),
+            spill_nodes: self.spill_nodes.as_mut_ptr(),
+            scratch: self.scratch.as_mut_ptr(),
+            audit_parts: self.audit_parts.as_mut_ptr(),
+            inbox: self.inbox.as_mut_ptr(),
+            inbox_len: self.inbox_len.as_mut_ptr(),
+            inbox_over: self.inbox_over.as_mut_ptr(),
+        }
+    }
+}
+
+/// One round-pass's view of the run state, shared across chunk workers by
+/// raw pointer.
+///
+/// # Safety
+///
+/// The pointers alias the arenas of one `RunState`, which outlives the
+/// pass (the driver blocks in [`dispatch`] until every chunk finished).
+/// Data races are excluded structurally, chunk by chunk:
+///
+/// * per-**node** columns (`processes`, `rngs`, `halted`, `out_spill`,
+///   `sent`, `inbox_len`, `inbox_over`) and per-**chunk** buffers
+///   (`events`, `fresh_halts`, `spill_nodes`, `scratch`, `audit_parts`)
+///   are written only for indices owned by the running chunk;
+/// * the **step** and **audit** passes touch `out_slots` only inside the
+///   chunk's own arc ranges; the **gather** pass writes only the *other*
+///   direction of each arc — receiver `v` takes from the slot of the arc
+///   `u → v`, an index unique to `v` — and reads `out_spill[u]` (shared,
+///   immutably: spills are cleared later, by the driver);
+/// * `halted_bits` is read-only during every pass (halts recorded by the
+///   driver between passes), and `halted` (bools) is written only by a
+///   node's own activation, read for *other* nodes only in the audit
+///   pass, which runs strictly after the step pass.
+struct RoundShared<'a, P: Process> {
+    g: &'a Graph,
+    cfg: &'a SimConfig,
+    params: &'a P::Params,
+    /// Receiver-side port permutation (ascending neighbor id); `None`
+    /// when adjacency is already sorted.
+    order: Option<&'a [u32]>,
+    round: Round,
+    max_degree: usize,
+    n: usize,
+    /// Nodes per chunk; chunk `ci` owns `[ci * chunk, min(n, (ci+1) * chunk))`.
+    chunk: usize,
+    audit: bool,
+    processes: *mut Option<P>,
+    rngs: *mut Rng,
+    halted: *mut bool,
+    halted_bits: *const Bitset,
+    out_slots: *mut Option<P::Message>,
+    out_spill: *mut Vec<(u32, P::Message)>,
+    sent: *mut u32,
+    events: *mut EventBuf<P>,
+    fresh_halts: *mut Vec<NodeId>,
+    spill_nodes: *mut Vec<NodeId>,
+    scratch: *mut Vec<Envelope<P::Message>>,
+    audit_parts: *mut AuditPart,
+    inbox: *mut Envelope<P::Message>,
+    inbox_len: *mut u32,
+    inbox_over: *mut Vec<Envelope<P::Message>>,
+}
+
+// SAFETY: see the struct-level safety contract — all aliasing is
+// partitioned per chunk / per arc; `P: Process` already bounds the
+// payloads (`Message: Send + Sync`, state `Send`).
+#[allow(unsafe_code)]
+unsafe impl<P: Process> Sync for RoundShared<'_, P> {}
+
+impl<P: Process> RoundShared<'_, P> {
+    /// The node range `[lo, hi)` owned by chunk `ci`.
+    #[inline]
+    fn range(&self, ci: usize) -> (usize, usize) {
+        let lo = ci * self.chunk;
+        (lo.min(self.n), (lo + self.chunk).min(self.n))
+    }
+}
+
+/// **Step pass**: activates every live node of chunk `ci` (`init` at
+/// round 0), reading its inbox region and writing sends / commit events /
+/// halt flags. See [`RoundShared`] for the aliasing contract.
+#[allow(unsafe_code)]
+fn step_chunk<P: Process>(sh: &RoundShared<'_, P>, ci: usize) {
+    let (lo, hi) = sh.range(ci);
+    // SAFETY: chunk `ci` owns nodes `lo..hi` and per-chunk buffer `ci`;
+    // the inbox arena is read-only during the step, and every slice stays
+    // inside the arena bounds (`inbox_len[v] > 0` implies the arena was
+    // grown to Σdeg before the gather that filled it).
+    unsafe {
+        let events = &mut *sh.events.add(ci);
+        let fresh = &mut *sh.fresh_halts.add(ci);
+        let scratch = &mut *sh.scratch.add(ci);
+        (*sh.halted_bits).for_each_zero_in(lo, hi, |v| {
+            let deg = sh.g.degree(v);
+            let arc = sh.g.csr_offset(v);
+            let k = *sh.inbox_len.add(v) as usize;
+            let inbox: &[Envelope<P::Message>] = if k == 0 {
+                &[]
+            } else {
+                let over = &mut *sh.inbox_over.add(v);
+                if over.is_empty() {
+                    std::slice::from_raw_parts(sh.inbox.add(arc), k)
+                } else {
+                    // Overflowed region (> deg deliveries via spills):
+                    // assemble the full inbox in the chunk scratch.
+                    scratch.clear();
+                    scratch.extend_from_slice(std::slice::from_raw_parts(sh.inbox.add(arc), deg));
+                    scratch.append(over);
+                    &scratch[..]
+                }
+            };
+            activate::<P>(
+                sh.g,
+                sh.cfg,
+                sh.params,
+                v,
+                sh.round,
+                sh.max_degree,
+                &mut *sh.processes.add(v),
+                &mut *sh.rngs.add(v),
+                &mut *sh.halted.add(v),
+                std::slice::from_raw_parts_mut(sh.out_slots.add(arc), deg),
+                &mut *sh.out_spill.add(v),
+                &mut *sh.sent.add(v),
+                events,
+                inbox,
+            );
+            *sh.inbox_len.add(v) = 0;
+            if *sh.halted.add(v) {
+                fresh.push(v);
+            }
+        });
+    }
+}
+
+/// **Audit pass**: sweeps the chunk's round-start live nodes (the only
+/// possible senders), accumulating the CONGEST audit, clearing slots
+/// addressed to receivers that halted this round, recording spilling
+/// senders, and zeroing `sent`. Runs on the *pre-halt* bitset (a node
+/// that halted this round still sent this round). See [`RoundShared`]
+/// for the aliasing contract.
+#[allow(unsafe_code)]
+fn audit_chunk<P: Process>(sh: &RoundShared<'_, P>, ci: usize) {
+    let (lo, hi) = sh.range(ci);
+    // SAFETY: chunk `ci` owns senders `lo..hi`, their arc ranges of
+    // `out_slots`, and per-chunk buffers `ci`; `halted` flags of other
+    // nodes are only *read*, and no activation is running.
+    unsafe {
+        let part = &mut *sh.audit_parts.add(ci);
+        *part = AuditPart::default();
+        let spills = &mut *sh.spill_nodes.add(ci);
+        (*sh.halted_bits).for_each_zero_in(lo, hi, |u| {
+            if *sh.sent.add(u) == 0 {
+                return;
+            }
+            *sh.sent.add(u) = 0;
+            let nbrs = sh.g.neighbors(u);
+            let arc = sh.g.csr_offset(u);
+            for (port, &(dst, _)) in nbrs.iter().enumerate() {
+                let slot = &mut *sh.out_slots.add(arc + port);
+                if let Some(msg) = slot {
+                    if sh.audit {
+                        part.max_bits = part.max_bits.max(msg.size_bits());
+                        part.messages += 1;
+                    }
+                    if *sh.halted.add(dst) {
+                        *slot = None; // terminated nodes no longer receive
+                    } else {
+                        part.deliveries += 1;
+                    }
+                }
+            }
+            let spill = &*sh.out_spill.add(u);
+            if !spill.is_empty() {
+                spills.push(u);
+                for (port, msg) in spill {
+                    if sh.audit {
+                        part.max_bits = part.max_bits.max(msg.size_bits());
+                        part.messages += 1;
+                    }
+                    if !*sh.halted.add(nbrs[*port as usize].0) {
+                        part.deliveries += 1;
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// **Gather pass**: every receiver still live after this round's halts
+/// pulls its neighbors' pending messages into its own inbox region, in
+/// ascending sender id order (slot first, then that sender's spills in
+/// send order — the inbox ordering the `Process` contract promises).
+/// Runs on the *post-halt* bitset. See [`RoundShared`] for the aliasing
+/// contract.
+#[allow(unsafe_code)]
+fn gather_chunk<P: Process>(sh: &RoundShared<'_, P>, ci: usize) {
+    let (lo, hi) = sh.range(ci);
+    // SAFETY: receiver `v` writes only its own inbox region /
+    // `inbox_len` / `inbox_over`, and takes each sender's slot through
+    // the arc `u → v` — an index no other receiver touches; sender spill
+    // vectors are read-only here.
+    unsafe {
+        (*sh.halted_bits).for_each_zero_in(lo, hi, |v| {
+            let deg = sh.g.degree(v);
+            let varc = sh.g.csr_offset(v);
+            let nbrs = sh.g.neighbors(v);
+            let over = &mut *sh.inbox_over.add(v);
+            debug_assert!(over.is_empty());
+            let mut k = 0usize;
+            for i in 0..deg {
+                let p = match sh.order {
+                    Some(order) => order[varc + i] as usize,
+                    None => i,
+                };
+                let u = nbrs[p].0;
+                // Port of the shared edge at the sender: names both the
+                // sender-side outbox slot and the spill entries to match.
+                let up = sh.g.rev_port(varc + p);
+                let uarc = sh.g.csr_offset(u) + up;
+                if let Some(msg) = (*sh.out_slots.add(uarc)).take() {
+                    let env = Envelope {
+                        src: u,
+                        port: p,
+                        msg,
+                    };
+                    if k < deg {
+                        *sh.inbox.add(varc + k) = env;
+                    } else {
+                        over.push(env);
+                    }
+                    k += 1;
+                }
+                let spill = &*sh.out_spill.add(u);
+                if !spill.is_empty() {
+                    for (sport, msg) in spill {
+                        if *sport as usize == up {
+                            let env = Envelope {
+                                src: u,
+                                port: p,
+                                msg: msg.clone(),
+                            };
+                            if k < deg {
+                                *sh.inbox.add(varc + k) = env;
+                            } else {
+                                over.push(env);
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+            }
+            *sh.inbox_len.add(v) = k as u32;
+        });
+    }
+}
+
+/// Runs `f` over every chunk index: inline when no pool is engaged
+/// (sequential and single-chunk runs), otherwise fanned out over the
+/// persistent pool (the driving thread participates).
+fn dispatch(pool: Option<&WorkerPool>, limit: usize, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+    match pool {
+        Some(p) if chunks > 1 => p.run(chunks, limit, f),
+        _ => {
+            for ci in 0..chunks {
+                f(ci);
+            }
+        }
     }
 }
 
@@ -612,10 +946,13 @@ pub fn run_sequential<P: Process>(
     params: &P::Params,
     cfg: &SimConfig,
 ) -> Transcript<P::NodeOutput, P::EdgeOutput> {
-    run_with_threads::<P>(g, params, cfg, 1, &mut RunState::empty())
+    run_with_threads::<P>(g, params, cfg, 1, &mut RunState::empty(), None)
 }
 
-/// Runs the algorithm on the chunked `std::thread::scope` executor.
+/// Runs the algorithm on the chunked parallel executor, spawning a
+/// transient [`WorkerPool`] for the run. Batched
+/// callers should prefer [`run_spec_in`], whose [`Workspace`] keeps the
+/// pool (and the arenas) alive across runs.
 ///
 /// Produces a transcript bit-identical to [`run_sequential`]; see the
 /// module docs for why.
@@ -634,6 +971,7 @@ pub fn run_parallel<P: Process>(
         cfg,
         resolve_threads(cfg.threads),
         &mut RunState::empty(),
+        None,
     )
 }
 
@@ -650,16 +988,30 @@ fn resolve_threads(threads: usize) -> usize {
 /// Below this node count [`run_parallel`] falls back to the sequential
 /// loop — chunking overhead would dominate. Exported so tests asserting
 /// that the parallel executor really ran can size their instances
-/// against the actual threshold instead of a copied magic number.
+/// against the actual threshold instead of a copied magic number. An
+/// explicit [`SimConfig::chunk_nodes`] overrides the fallback: the
+/// chunked path then runs at any instance size (the scheduler-adversarial
+/// determinism tests rely on this).
 pub const PARALLEL_MIN_NODES: usize = 256;
+
+/// Chunk geometry when none is forced: about four chunks per thread (the
+/// cursor-race scheduling in the pool then smooths load imbalance),
+/// rounded up to whole 64-bit bitset words so no word of the halted
+/// bitset straddles a chunk boundary.
+fn default_chunk(n: usize, threads: usize) -> usize {
+    let target = n.div_ceil(threads.max(1) * 4).max(64);
+    target.div_ceil(64) * 64
+}
 
 /// Runs `P` under `spec`, reusing the arenas stored in `ws`.
 ///
 /// The first run of a process type (or the first after a CSR shape
 /// change) allocates its arenas inside the workspace; subsequent runs
 /// reuse them, paying only an O(n + m) reset instead of fresh
-/// allocations. Transcripts are bit-identical to workspace-less runs —
-/// the reset path is the only initialization path in the engine.
+/// allocations. The first *parallel* run additionally spawns the
+/// workspace's persistent worker pool; later parallel runs reuse its
+/// threads. Transcripts are bit-identical to workspace-less runs — the
+/// reset path is the only initialization path in the engine.
 ///
 /// # Panics
 ///
@@ -682,20 +1034,27 @@ where
         Exec::Parallel { threads } => resolve_threads(threads),
     };
     let shape = (g.n(), g.m(), g.degree_sum());
-    if ws.shape != Some(shape) {
-        ws.states.clear();
-        ws.shape = Some(shape);
+    let Workspace {
+        shape: ws_shape,
+        states,
+        pool,
+        reuses,
+        runs,
+    } = ws;
+    if *ws_shape != Some(shape) {
+        states.clear();
+        *ws_shape = Some(shape);
     }
-    ws.runs += 1;
-    let slot = ws.states.entry(TypeId::of::<P>());
+    *runs += 1;
+    let slot = states.entry(TypeId::of::<P>());
     if let std::collections::hash_map::Entry::Occupied(_) = &slot {
-        ws.reuses += 1;
+        *reuses += 1;
     }
     let state = slot
         .or_insert_with(|| Box::new(RunState::<P>::empty()))
         .downcast_mut::<RunState<P>>()
         .expect("workspace slot keyed by process type");
-    run_with_threads::<P>(g, params, &cfg, threads, state)
+    run_with_threads::<P>(g, params, &cfg, threads, state, Some(pool))
 }
 
 fn run_with_threads<P: Process>(
@@ -704,36 +1063,82 @@ fn run_with_threads<P: Process>(
     cfg: &SimConfig,
     threads: usize,
     state: &mut RunState<P>,
+    ws_pool: Option<&mut Option<WorkerPool>>,
 ) -> Transcript<P::NodeOutput, P::EdgeOutput> {
     let n = g.n();
-    // The chunking decision is fixed for the whole run: small instances
-    // and one-thread configs use the sequential loop (chunk buffers: 1).
-    let sequential = threads <= 1 || n < PARALLEL_MIN_NODES;
-    let chunk = if sequential {
-        n.max(1)
-    } else {
-        n.div_ceil(threads)
+    // The chunk geometry is fixed for the whole run: small instances and
+    // one-thread configs run as a single chunk unless an explicit chunk
+    // size forces the chunked path.
+    let chunked = match cfg.chunk_nodes {
+        Some(_) => true,
+        None => threads > 1 && n >= PARALLEL_MIN_NODES,
     };
-    let chunks = if sequential { 1 } else { n.div_ceil(chunk) };
+    let chunk = match cfg.chunk_nodes {
+        Some(c) => c.max(1),
+        None if chunked => default_chunk(n, threads),
+        None => n.max(1),
+    };
+    let chunks = if chunked { n.div_ceil(chunk).max(1) } else { 1 };
+    // Acquire worker threads: the workspace's resident pool when running
+    // through one (grown if this run wants more workers than it has), a
+    // transient pool otherwise. `threads` counts the driver, so a
+    // `threads = t` run keeps `t - 1` workers grabbing chunks.
+    let workers = if chunks > 1 {
+        threads.saturating_sub(1)
+    } else {
+        0
+    };
+    let mut transient = None;
+    let pool: Option<&WorkerPool> = if workers > 0 {
+        match ws_pool {
+            Some(slot) => {
+                if slot.as_ref().is_none_or(|p| p.workers() < workers) {
+                    *slot = Some(WorkerPool::new(workers));
+                }
+                slot.as_ref()
+            }
+            None => Some(transient.insert(WorkerPool::new(workers))),
+        }
+    } else {
+        None
+    };
     state.reset(g, cfg.seed, chunks, cfg.transcript);
     let max_degree = g.max_degree();
+    // Receiver-side gather walks senders in ascending id order; for
+    // insertion-ordered adjacencies that is a cached permutation.
+    let order = g.sorted_port_order();
 
     let mut round: Round = 0;
     loop {
-        if sequential {
-            step_sequential::<P>(g, cfg, params, round, max_degree, state);
-        } else {
-            step_parallel::<P>(g, cfg, params, round, max_degree, state, chunk);
+        {
+            let sh = state.round_shared(g, cfg, params, order, round, max_degree, chunk);
+            dispatch(pool, workers, chunks, &|ci| step_chunk::<P>(&sh, ci));
         }
         state.apply_events(round);
+        {
+            let sh = state.round_shared(g, cfg, params, order, round, max_degree, chunk);
+            dispatch(pool, workers, chunks, &|ci| audit_chunk::<P>(&sh, ci));
+        }
+        let (messages, round_max_bits, deliveries) = state.collect_audit();
         state.record_halts(round);
-        let max_bits = state.route_messages(g);
         if state.audit {
-            state.transcript.max_message_bits.push(max_bits);
+            state.transcript.messages_sent += messages;
+            state.transcript.max_message_bits.push(round_max_bits);
+        }
+        if state.record_halt_rounds {
+            state.transcript.live_after_round.push(state.live);
         }
         if state.all_halted() {
             break;
         }
+        if deliveries > 0 {
+            state.ensure_inbox_arena(g);
+        }
+        {
+            let sh = state.round_shared(g, cfg, params, order, round, max_degree, chunk);
+            dispatch(pool, workers, chunks, &|ci| gather_chunk::<P>(&sh, ci));
+        }
+        state.drain_spills();
         round += 1;
         assert!(
             round <= cfg.max_rounds,
@@ -747,167 +1152,6 @@ fn run_with_threads<P: Process>(
         &mut state.transcript,
         Transcript::empty(P::OUTPUT_KIND, 0, 0),
     )
-}
-
-/// One round of activations on the sequential executor.
-///
-/// Skips halted nodes a 64-bit word at a time using the columnar halted
-/// bitset (in sync with `halted` at round boundaries, which is when it is
-/// read — a node only ever sets its *own* flag mid-round).
-fn step_sequential<P: Process>(
-    g: &Graph,
-    cfg: &SimConfig,
-    params: &P::Params,
-    round: Round,
-    max_degree: usize,
-    state: &mut RunState<P>,
-) {
-    let n = g.n();
-    let RunState {
-        processes,
-        rngs,
-        halted,
-        halted_bits,
-        out_slots,
-        out_spill,
-        sent,
-        events,
-        fresh_halts,
-        inbox,
-        inbox_start,
-        ..
-    } = state;
-    let events = &mut events[0];
-    let fresh = &mut fresh_halts[0];
-    let mut activate_one = |v: NodeId| {
-        activate::<P>(
-            g,
-            cfg,
-            params,
-            v,
-            round,
-            max_degree,
-            &mut processes[v],
-            &mut rngs[v],
-            &mut halted[v],
-            &mut out_slots[g.arc_range(v)],
-            &mut out_spill[v],
-            &mut sent[v],
-            events,
-            &inbox[inbox_start[v]..inbox_start[v + 1]],
-        );
-        if halted[v] {
-            fresh.push(v);
-        }
-    };
-    if round == 0 {
-        for v in 0..n {
-            activate_one(v);
-        }
-        return;
-    }
-    for w in 0..halted_bits.word_count() {
-        let word = halted_bits.word(w);
-        if word == u64::MAX {
-            continue; // 64 halted nodes skipped in one compare
-        }
-        let base = w * 64;
-        let mut alive = !word;
-        while alive != 0 {
-            let v = base + alive.trailing_zeros() as usize;
-            alive &= alive - 1;
-            if v >= n {
-                break;
-            }
-            activate_one(v);
-        }
-    }
-}
-
-/// One round of activations on the chunked parallel executor.
-///
-/// Contiguous node chunks get disjoint mutable windows of every arena
-/// (the outbox window is split at CSR offsets, which align with node
-/// boundaries); the shared inbox arena is read-only during the step.
-/// Per-chunk event/halt buffers are filled in ascending node order, so
-/// draining chunks in order reproduces the sequential event order.
-#[allow(clippy::too_many_arguments)]
-fn step_parallel<P: Process>(
-    g: &Graph,
-    cfg: &SimConfig,
-    params: &P::Params,
-    round: Round,
-    max_degree: usize,
-    state: &mut RunState<P>,
-    chunk: usize,
-) {
-    let n = g.n();
-    let inbox = &state.inbox;
-    let inbox_start = &state.inbox_start;
-    let mut procs_rest = &mut state.processes[..];
-    let mut rngs_rest = &mut state.rngs[..];
-    let mut halted_rest = &mut state.halted[..];
-    let mut slots_rest = &mut state.out_slots[..];
-    let mut spill_rest = &mut state.out_spill[..];
-    let mut sent_rest = &mut state.sent[..];
-    let mut events_rest = &mut state.events[..];
-    let mut fresh_rest = &mut state.fresh_halts[..];
-    std::thread::scope(|scope| {
-        let mut base = 0usize;
-        while base < n {
-            let len = chunk.min(n - base);
-            let arc_lo = g.csr_offset(base);
-            let arc_hi = g.csr_offset(base + len);
-            let (p, pr) = procs_rest.split_at_mut(len);
-            procs_rest = pr;
-            let (r, rr) = rngs_rest.split_at_mut(len);
-            rngs_rest = rr;
-            let (h, hr) = halted_rest.split_at_mut(len);
-            halted_rest = hr;
-            let (sl, slr) = slots_rest.split_at_mut(arc_hi - arc_lo);
-            slots_rest = slr;
-            let (sp, spr) = spill_rest.split_at_mut(len);
-            spill_rest = spr;
-            let (se, ser) = sent_rest.split_at_mut(len);
-            sent_rest = ser;
-            let (ev, evr) = events_rest.split_at_mut(1);
-            events_rest = evr;
-            let (fh, fhr) = fresh_rest.split_at_mut(1);
-            fresh_rest = fhr;
-            let events = &mut ev[0];
-            let fresh = &mut fh[0];
-            scope.spawn(move || {
-                for i in 0..len {
-                    let v = base + i;
-                    if round > 0 && h[i] {
-                        continue;
-                    }
-                    let lo = g.csr_offset(v) - arc_lo;
-                    let hi = g.csr_offset(v + 1) - arc_lo;
-                    activate::<P>(
-                        g,
-                        cfg,
-                        params,
-                        v,
-                        round,
-                        max_degree,
-                        &mut p[i],
-                        &mut r[i],
-                        &mut h[i],
-                        &mut sl[lo..hi],
-                        &mut sp[i],
-                        &mut se[i],
-                        events,
-                        &inbox[inbox_start[v]..inbox_start[v + 1]],
-                    );
-                    if h[i] {
-                        fresh.push(v);
-                    }
-                }
-            });
-            base += len;
-        }
-    });
 }
 
 #[cfg(test)]
@@ -1222,9 +1466,13 @@ mod tests {
         }
         assert!(full.messages_sent > 0);
         assert!(!full.max_message_bits.is_empty());
-        // Halt clocks survive CompletionsOnly but not None.
+        // Halt clocks survive CompletionsOnly but not None, and the
+        // live-frontier ledger travels with them.
         assert_eq!(completions.node_halt_round, full.node_halt_round);
+        assert_eq!(completions.live_after_round, full.live_after_round);
+        assert_eq!(full.live_after_round.len(), full.rounds as usize + 1);
         assert!(none.node_halt_round.iter().all(|&r| r == UNCOMMITTED));
+        assert!(none.live_after_round.is_empty());
     }
 
     #[test]
@@ -1350,5 +1598,94 @@ mod tests {
             }
         }
         assert_eq!(ws.reuse_count(), 5);
+    }
+
+    /// Nodes halt in waves (round `id % 5`), never sending — a pure
+    /// frontier-decay workload for the live ledger.
+    struct Staircase;
+
+    impl Process for Staircase {
+        type Message = ();
+        type NodeOutput = u64;
+        type EdgeOutput = ();
+        type Params = ();
+        const OUTPUT_KIND: OutputKind = OutputKind::NodeLabels;
+
+        fn init(_: &(), ctx: &mut Ctx<'_, Self>) -> Self {
+            ctx.commit_node(ctx.id() as u64);
+            if ctx.id().is_multiple_of(5) {
+                ctx.halt();
+            }
+            Staircase
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, Self>, _: &[Envelope<()>]) {
+            if ctx.round() >= (ctx.id() % 5) as Round {
+                ctx.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn live_ledger_matches_a_recount_from_halt_rounds() {
+        let g = gen::grid(6, 7);
+        let t = RunSpec::new(3).run::<Staircase>(&g, &());
+        assert_eq!(t.rounds, 4);
+        assert_eq!(t.live_after_round.len(), 5);
+        // Monotone non-increasing, ending at zero.
+        assert!(t.live_after_round.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(*t.live_after_round.last().unwrap(), 0);
+        // Every entry recomputes from the per-node termination ledger.
+        for (r, &live) in t.live_after_round.iter().enumerate() {
+            let recount = t
+                .node_halt_round
+                .iter()
+                .filter(|&&h| h > r as Round)
+                .count();
+            assert_eq!(live, recount, "live count at round {r}");
+        }
+    }
+
+    #[test]
+    fn chunk_geometry_never_changes_the_transcript() {
+        // Small enough that the default geometry is a single chunk: the
+        // explicit override is what forces the chunked path here.
+        let g = gen::grid(6, 6);
+        let baseline = RunSpec::new(5).run::<MaxFlood>(&g, &RADIUS);
+        assert!(g.n() < PARALLEL_MIN_NODES);
+        for chunk in [1, 3, 7, 36, 1000] {
+            for threads in [1, 2, 8] {
+                let spec = RunSpec::new(5)
+                    .with_exec(Exec::Parallel { threads })
+                    .with_chunk_nodes(Some(chunk));
+                let t = spec.run::<MaxFlood>(&g, &RADIUS);
+                assert_eq!(
+                    t, baseline,
+                    "transcript drift at chunk={chunk} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_keeps_a_resident_pool_across_runs() {
+        let g = gen::grid(17, 17);
+        assert!(g.n() >= PARALLEL_MIN_NODES);
+        let mut ws = Workspace::new();
+        let seq = RunSpec::new(2).run_in::<MaxFlood>(&g, &RADIUS, &mut ws);
+        assert_eq!(ws.pool_workers(), 0, "sequential runs never spawn the pool");
+        let spec = RunSpec::new(2).with_exec(Exec::Parallel { threads: 3 });
+        let par = spec.run_in::<MaxFlood>(&g, &RADIUS, &mut ws);
+        assert_eq!(par, seq);
+        assert_eq!(ws.pool_workers(), 2, "threads = 3 keeps 2 pool workers");
+        // Re-running with fewer threads reuses the bigger pool as-is …
+        let spec2 = RunSpec::new(2).with_exec(Exec::Parallel { threads: 2 });
+        assert_eq!(spec2.run_in::<MaxFlood>(&g, &RADIUS, &mut ws), seq);
+        assert_eq!(ws.pool_workers(), 2);
+        // … a wider run grows it, and clear() keeps it.
+        let spec3 = RunSpec::new(2).with_exec(Exec::Parallel { threads: 4 });
+        assert_eq!(spec3.run_in::<MaxFlood>(&g, &RADIUS, &mut ws), seq);
+        assert_eq!(ws.pool_workers(), 3);
+        ws.clear();
+        assert_eq!(ws.pool_workers(), 3);
     }
 }

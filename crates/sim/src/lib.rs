@@ -56,12 +56,17 @@
 //! assert_eq!(t.node_output[0], Some(false));
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed back in only where the
+// parallel executor needs it: the worker pool's lifetime-erased job
+// pointer (`pool`) and the engine's per-chunk round passes, each with
+// a written aliasing contract.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitset;
 pub mod engine;
 pub mod message;
+pub mod pool;
 pub mod process;
 pub mod transcript;
 pub mod workspace;

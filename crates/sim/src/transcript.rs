@@ -93,7 +93,7 @@ pub enum OutputKind {
 /// Produced by the [`engine`](crate::engine); can also be assembled by
 /// hand for algorithms whose complexity accounting is done structurally
 /// (Theorem 6's contraction levels build transcripts directly).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transcript<NO, EO> {
     /// What kind of outputs this problem commits.
     pub kind: OutputKind,
@@ -110,6 +110,14 @@ pub struct Transcript<NO, EO> {
     pub edge_commit_round: Vec<Round>,
     /// Round at which each node halted (stopped participating).
     pub node_halt_round: Vec<Round>,
+    /// Number of live (not yet halted) nodes *after* each executed round's
+    /// halts were recorded — the engine's O(1) live-frontier counter,
+    /// exported so oracles can cross-check it against a recomputation from
+    /// `node_halt_round`. Recorded whenever halt rounds are (policies
+    /// [`TranscriptPolicy::Full`] and [`TranscriptPolicy::CompletionsOnly`]);
+    /// monotone non-increasing, and the final entry of a completed run
+    /// is 0.
+    pub live_after_round: Vec<usize>,
     /// Per-round maximum message size in bits (CONGEST audit); index 0 is
     /// the init phase.
     pub max_message_bits: Vec<usize>,
@@ -133,6 +141,7 @@ impl<NO, EO> Transcript<NO, EO> {
             node_commit_round: vec![UNCOMMITTED; n],
             edge_commit_round: vec![UNCOMMITTED; m],
             node_halt_round: vec![UNCOMMITTED; n],
+            live_after_round: Vec::with_capacity(64),
             max_message_bits: Vec::with_capacity(64),
             messages_sent: 0,
         }
@@ -241,6 +250,7 @@ impl<NO, EO> Transcript<NO, EO> {
             node_commit_round: self.node_commit_round.clone(),
             edge_commit_round: self.edge_commit_round.clone(),
             node_halt_round: self.node_halt_round.clone(),
+            live_after_round: self.live_after_round.clone(),
             max_message_bits: self.max_message_bits.clone(),
             messages_sent: self.messages_sent,
         }
@@ -268,6 +278,7 @@ impl<NO, EO> Transcript<NO, EO> {
             node_commit_round: self.node_commit_round,
             edge_commit_round: self.edge_commit_round,
             node_halt_round: self.node_halt_round,
+            live_after_round: self.live_after_round,
             max_message_bits: self.max_message_bits,
             messages_sent: self.messages_sent,
         }
@@ -395,6 +406,7 @@ mod tests {
         t.edge_commit_round = vec![3];
         t.edge_output = vec![Some(9)];
         t.node_halt_round = vec![4, 5];
+        t.live_after_round = vec![2, 1, 0];
         t.max_message_bits = vec![8, 16];
         t.messages_sent = 6;
         t.rounds = 5;
@@ -403,6 +415,8 @@ mod tests {
         assert_eq!(by_move.node_commit_round, by_ref.node_commit_round);
         assert_eq!(by_move.edge_commit_round, by_ref.edge_commit_round);
         assert_eq!(by_move.node_halt_round, by_ref.node_halt_round);
+        assert_eq!(by_move.live_after_round, by_ref.live_after_round);
+        assert_eq!(by_move.live_after_round, vec![2, 1, 0]);
         assert_eq!(by_move.max_message_bits, by_ref.max_message_bits);
         assert_eq!(by_move.messages_sent, by_ref.messages_sent);
         assert_eq!(by_move.node_output, vec![Some(()), None]);

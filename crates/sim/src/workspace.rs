@@ -20,6 +20,7 @@
 //! with and without a workspace (the sweep golden files pin this — the
 //! sweep engine always runs through per-worker workspaces).
 
+use crate::pool::WorkerPool;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
 
@@ -28,12 +29,22 @@ use std::collections::HashMap;
 /// Construction is free (no allocation until the first run), so the
 /// ergonomic default for one-off runs is a fresh `Workspace::new()`; keep
 /// one alive across runs only when the run count makes reuse pay.
+///
+/// Besides the arenas, a workspace owns the engine's persistent
+/// [`WorkerPool`]: the first parallel run spawns the worker threads and
+/// later parallel runs reuse them, so a long-lived workspace (the `exp
+/// serve` pool workers, `exp bench-engine` repetitions) pays thread-spawn
+/// cost once rather than once per run. The pool is independent of the
+/// CSR shape and survives both shape changes and [`Workspace::clear`].
 #[derive(Debug, Default)]
 pub struct Workspace {
     /// CSR shape `(n, m, degree_sum)` the stored arenas are sized for.
     pub(crate) shape: Option<(usize, usize, usize)>,
     /// One type-erased `RunState<P>` per process type seen on this shape.
     pub(crate) states: HashMap<TypeId, Box<dyn Any + Send>>,
+    /// Resident worker threads for parallel runs (spawned lazily by the
+    /// first parallel run, grown when a run asks for more threads).
+    pub(crate) pool: Option<WorkerPool>,
     /// Runs that found a matching arena to reuse.
     pub(crate) reuses: usize,
     /// Total runs served.
@@ -47,10 +58,18 @@ impl Workspace {
     }
 
     /// Drops every stored arena (e.g. before moving to a much smaller
-    /// instance, to release the high-water memory).
+    /// instance, to release the high-water memory). The worker pool is
+    /// kept: its threads hold no per-shape memory and respawning them is
+    /// exactly the cost the pool exists to avoid.
     pub fn clear(&mut self) {
         self.states.clear();
         self.shape = None;
+    }
+
+    /// Number of resident pool worker threads (0 until the first parallel
+    /// run engages the pool; the driving thread is not counted).
+    pub fn pool_workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::workers)
     }
 
     /// Number of runs served by this workspace.
@@ -104,6 +123,7 @@ mod tests {
         assert_eq!(ws.reuse_count(), 0);
         assert_eq!(ws.arena_count(), 0);
         assert_eq!(ws.shape, None);
+        assert_eq!(ws.pool_workers(), 0);
         assert_eq!(ws.stats(), WorkspaceStats::default());
     }
 

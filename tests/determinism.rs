@@ -103,6 +103,41 @@ fn parallel_and_sequential_executors_are_bit_identical() {
 }
 
 #[test]
+fn chunk_geometry_is_invisible_in_every_transcript() {
+    // Scheduler-adversarial matrix: every registry algorithm, with the
+    // chunk size forced to degenerate extremes — one node per chunk (every
+    // pass crosses a chunk boundary between any two nodes), a tiny prime
+    // (chunks straddle bitset words), one chunk per thread, and a single
+    // chunk covering the instance — at 1/2/8 worker threads. The explicit
+    // override forces the chunked executor even below its size cutoff, and
+    // any scheduling sensitivity (event order, halt order, audit sums)
+    // shows up as a transcript diff against the sequential baseline.
+    let mut rng = Rng::seed_from(12);
+    let g = gen::random_regular(90, 4, &mut rng).unwrap();
+    let n = g.n();
+    for algo in registry().iter() {
+        if algo.problem().min_degree() > g.min_degree() {
+            continue;
+        }
+        let baseline = algo.execute(&g, &RunSpec::new(7));
+        for threads in [1usize, 2, 8] {
+            for chunk in [1, 3, n.div_ceil(threads), n] {
+                let spec = RunSpec::new(7)
+                    .with_exec(Exec::Parallel { threads })
+                    .with_chunk_nodes(Some(chunk));
+                let run = algo.execute(&g, &spec);
+                let label = format!("{} at chunk={chunk} threads={threads}", algo.name());
+                assert_eq!(baseline.solution, run.solution, "{label}: outputs differ");
+                assert_eq!(
+                    baseline.transcript, run.transcript,
+                    "{label}: transcript differs"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn deterministic_algorithms_ignore_the_seed() {
     let mut rng = Rng::seed_from(6);
     let g = gen::gnp(120, 0.07, &mut rng);

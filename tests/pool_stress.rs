@@ -1,0 +1,127 @@
+//! Pool-lifecycle stress: one long-lived [`Workspace`] — the shape a
+//! resident `exp serve` pool worker holds for hours — driven through
+//! hundreds of alternating executes across CSR shapes, algorithms,
+//! transcript policies, and executors, interleaved with cells whose
+//! corrupted parameters panic mid-round *inside* the worker pool. The
+//! workspace (and the persistent pool it owns) must shrug all of it off:
+//! every follow-up cell has to byte-match a cold start, and a worker-side
+//! panic must neither deadlock the pool nor poison later runs.
+
+use localavg::core::algo::{registry, Exec, RunSpec, TranscriptPolicy, Workspace};
+use localavg::graph::{gen, rng::Rng, Graph};
+use localavg::sim::prelude::{Ctx, Envelope, OutputKind, Process};
+
+/// Broadcasts for two rounds, then commits the sum of its round-1 inbox.
+/// With `poison = true` ("corrupted params"), node 7 panics in round 1 —
+/// after lower-id nodes already wrote sends into the shared outbox arena,
+/// and inside whatever pool worker owns its chunk.
+struct FaultyBroadcast {
+    poison: bool,
+}
+
+impl Process for FaultyBroadcast {
+    type Message = u64;
+    type NodeOutput = u64;
+    type EdgeOutput = ();
+    type Params = bool;
+    const OUTPUT_KIND: OutputKind = OutputKind::NodeLabels;
+
+    fn init(poison: &bool, ctx: &mut Ctx<'_, Self>) -> Self {
+        ctx.broadcast(1);
+        FaultyBroadcast { poison: *poison }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Self>, inbox: &[Envelope<u64>]) {
+        if ctx.round() == 1 {
+            assert!(!(self.poison && ctx.id() == 7), "corrupted cell params");
+            ctx.broadcast(2);
+        } else {
+            ctx.commit_node(inbox.iter().map(|e| e.msg).sum());
+            ctx.halt();
+        }
+    }
+}
+
+fn shapes() -> Vec<Graph> {
+    let mut rng = Rng::seed_from(99);
+    vec![
+        gen::grid(16, 20),
+        gen::random_regular(320, 4, &mut rng).expect("regular instance"),
+        gen::cycle(300),
+    ]
+}
+
+#[test]
+fn one_workspace_survives_hundreds_of_mixed_cells_and_panics() {
+    let shapes = shapes();
+    let algos = ["mis/luby", "mis/greedy", "matching/luby"];
+    let policies = [
+        TranscriptPolicy::Full,
+        TranscriptPolicy::CompletionsOnly,
+        TranscriptPolicy::None,
+    ];
+    let mut ws = Workspace::new();
+    let mut executes = 0usize;
+    let mut panics = 0usize;
+    for i in 0..216u64 {
+        // Shapes change in blocks of seven so arena reuse actually
+        // happens between flushes; everything else rotates per cell.
+        let g = &shapes[(i as usize / 7) % shapes.len()];
+        let algo = registry().get(algos[i as usize % algos.len()]).unwrap();
+        let policy = policies[i as usize % policies.len()];
+        let exec = match i % 4 {
+            0 => Exec::Sequential,
+            r => Exec::Parallel {
+                threads: 1 + r as usize,
+            },
+        };
+        let mut spec = RunSpec::new(i).with_exec(exec).with_transcript(policy);
+        if i % 5 == 0 {
+            // Degenerate chunk geometry: forces the chunked path (and the
+            // pool) even where the size cutoff would skip it.
+            spec = spec.with_chunk_nodes(Some(48));
+        }
+
+        if i % 31 == 30 {
+            // A corrupted cell: must panic, and must not take the
+            // workspace, its arenas, or its resident pool down with it.
+            let workers_before = ws.pool_workers();
+            let aborted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = spec.run_in::<FaultyBroadcast>(g, &true, &mut ws);
+            }));
+            assert!(aborted.is_err(), "poisoned cell #{i} must panic");
+            panics += 1;
+            assert_eq!(
+                ws.pool_workers(),
+                workers_before,
+                "panic #{panics} changed the pool"
+            );
+            // The very same process type through the abandoned arena.
+            let healed = spec.run_in::<FaultyBroadcast>(g, &false, &mut ws);
+            let cold = spec.run::<FaultyBroadcast>(g, &false);
+            assert_eq!(healed, cold, "cell after panic #{panics} drifted");
+            executes += 2;
+            continue;
+        }
+
+        let warm = algo.execute_in(g, &spec, &mut ws);
+        let cold = algo.execute(g, &spec);
+        let label = format!("cell #{i} ({} on shape {})", algo.name(), g.n());
+        assert_eq!(warm.solution, cold.solution, "{label}: outputs drifted");
+        assert_eq!(
+            warm.transcript, cold.transcript,
+            "{label}: transcript drifted"
+        );
+        executes += 1;
+    }
+    assert!(executes >= 200, "stress ran only {executes} cells");
+    assert!(panics >= 6, "stress injected only {panics} panics");
+    assert_eq!(executes, ws.run_count());
+    // threads maxed at 4 → the resident pool settled at 3 workers.
+    assert_eq!(ws.pool_workers(), 3);
+    assert!(
+        ws.reuse_count() > executes / 2,
+        "arena reuse collapsed: {} of {executes}",
+        ws.reuse_count()
+    );
+}
