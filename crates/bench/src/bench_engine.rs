@@ -91,6 +91,15 @@ pub struct BenchCell {
     pub nodes: usize,
     /// Realized edge count.
     pub edges: usize,
+    /// Wall-clock to build the cell's instance — or to load it, for a
+    /// `--graph-file` pseudo-family — in milliseconds. Shared by every
+    /// cell of one `(generator, n)` pair; tracked separately from the
+    /// run timings so a regression in graph construction is visible on
+    /// its own.
+    pub graph_build_ms: f64,
+    /// In-memory CSR footprint of the instance, in bytes
+    /// ([`Graph::memory_bytes`]).
+    pub graph_bytes: usize,
     /// Executor label: `"sequential"` or `"parallel/<threads>"`.
     pub executor: String,
     /// Timed repetitions.
@@ -148,6 +157,21 @@ fn exec_label(exec: Exec) -> String {
 /// Fails on unknown registry keys or graph-construction failures, with
 /// the same error type as the sweep engine.
 pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
+    run_with_file(spec, None)
+}
+
+/// [`run`] with an optional file-backed pseudo-family (`--graph-file`):
+/// a generator key equal to `file.family` resolves to the loaded
+/// instance (its `load_ms` reported as the cell's `graph_build_ms`)
+/// instead of a timed registry build.
+///
+/// # Errors
+///
+/// Same conditions as [`run`].
+pub fn run_with_file(
+    spec: &BenchSpec,
+    file: Option<&sweep::FileGraph>,
+) -> Result<BenchReport, SweepError> {
     for name in &spec.algorithms {
         if registry().get(name).is_none() {
             return Err(SweepError::UnknownAlgorithm {
@@ -157,6 +181,9 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
         }
     }
     for name in &spec.generators {
+        if file.is_some_and(|f| f.family == name.as_str()) {
+            continue;
+        }
         if generators::registry().get(name).is_none() {
             return Err(SweepError::UnknownGenerator {
                 name: name.clone(),
@@ -168,15 +195,24 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
     let algos = sweep::configure(&spec.algorithms, &spec.params)?;
     let mut cells = Vec::new();
     for gname in &spec.generators {
-        let family = generators::registry().get(gname).expect("validated key");
         for &n in &spec.sizes {
-            let g: Graph = family
-                .build(n, sweep::graph_seed(spec.master_seed, gname, n))
-                .map_err(|e| SweepError::GraphBuild {
-                    generator: gname.clone(),
-                    n,
-                    message: format!("{e:?}"),
-                })?;
+            let mut owned: Option<Graph> = None;
+            let (g, graph_build_ms): (&Graph, f64) = match file {
+                Some(f) if f.family == gname.as_str() => (&f.graph, f.load_ms),
+                _ => {
+                    let family = generators::registry().get(gname).expect("validated key");
+                    let build_start = Instant::now();
+                    let built = family
+                        .build(n, sweep::graph_seed(spec.master_seed, gname, n))
+                        .map_err(|e| SweepError::GraphBuild {
+                            generator: gname.clone(),
+                            n,
+                            message: format!("{e:?}"),
+                        })?;
+                    let ms = build_start.elapsed().as_secs_f64() * 1e3;
+                    (&*owned.insert(built), ms)
+                }
+            };
             for aname in &spec.algorithms {
                 let algo = algos.get(aname).expect("validated key");
                 if algo.problem().min_degree() > g.min_degree() {
@@ -188,7 +224,7 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
                         .with_exec(exec)
                         .with_transcript(spec.policy);
                     let mut ws = Workspace::new();
-                    let warm = algo.execute_in(&g, &run_spec, &mut ws);
+                    let warm = algo.execute_in(g, &run_spec, &mut ws);
                     let rounds = warm.worst_case();
                     let mut best = f64::INFINITY;
                     let mut total = 0.0;
@@ -199,7 +235,7 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
                             ws = Workspace::new();
                         }
                         let t0 = Instant::now();
-                        let run = algo.execute_in(&g, &run_spec, &mut ws);
+                        let run = algo.execute_in(g, &run_spec, &mut ws);
                         let ms = t0.elapsed().as_secs_f64() * 1e3;
                         assert_eq!(
                             run.worst_case(),
@@ -216,6 +252,8 @@ pub fn run(spec: &BenchSpec) -> Result<BenchReport, SweepError> {
                         n,
                         nodes: g.n(),
                         edges: g.m(),
+                        graph_build_ms,
+                        graph_bytes: g.memory_bytes(),
                         executor: exec_label(exec),
                         reps: spec.reps.max(1),
                         best_ms: best,
@@ -245,13 +283,15 @@ fn fmt_ms(x: f64) -> String {
 fn cell_json(c: &BenchCell) -> String {
     format!(
         "{{\"algorithm\": \"{}\", \"generator\": \"{}\", \"n\": {}, \"nodes\": {}, \
-         \"edges\": {}, \"executor\": \"{}\", \"reps\": {}, \"best_ms\": {}, \
-         \"mean_ms\": {}, \"total_ms\": {}, \"rounds\": {}}}",
+         \"edges\": {}, \"graph_build_ms\": {}, \"graph_bytes\": {}, \"executor\": \"{}\", \
+         \"reps\": {}, \"best_ms\": {}, \"mean_ms\": {}, \"total_ms\": {}, \"rounds\": {}}}",
         json_escape(&c.algorithm),
         json_escape(&c.generator),
         c.n,
         c.nodes,
         c.edges,
+        fmt_ms(c.graph_build_ms),
+        c.graph_bytes,
         json_escape(&c.executor),
         c.reps,
         fmt_ms(c.best_ms),
@@ -442,9 +482,11 @@ pub fn tripwire(report: &BenchReport, pct: f64) -> Result<Vec<String>, String> {
 /// an error, not an empty comparison.
 ///
 /// Fields that predate the `v1` additions of this release (`total_ms`,
-/// `wall_ms`, the spec's `policy`/`reuse_workspace`) are optional, so
-/// older committed artifacts (e.g. `BENCH_3.json`) still load as
-/// baselines: a missing `total_ms` is reconstructed as `mean_ms * reps`.
+/// `wall_ms`, the spec's `policy`/`reuse_workspace`, and the
+/// `graph_build_ms`/`graph_bytes` columns) are optional, so older
+/// committed artifacts (e.g. `BENCH_3.json`) still load as baselines: a
+/// missing `total_ms` is reconstructed as `mean_ms * reps`, missing
+/// build-cost columns load as zero.
 pub fn parse_report(text: &str) -> Option<BenchReport> {
     if !text.contains("\"schema\": \"localavg-bench/v1\"") {
         return None;
@@ -498,6 +540,14 @@ pub fn parse_report(text: &str) -> Option<BenchReport> {
             n: field_raw(line, "n")?.parse().ok()?,
             nodes: field_raw(line, "nodes")?.parse().ok()?,
             edges: field_raw(line, "edges")?.parse().ok()?,
+            // Pre-v1-addition documents (BENCH_5 and earlier) carry no
+            // build-cost columns; they load with zeros.
+            graph_build_ms: field_raw(line, "graph_build_ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0),
+            graph_bytes: field_raw(line, "graph_bytes")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
             executor: field_str(line, "executor")?,
             reps,
             best_ms: field_raw(line, "best_ms")?.parse().ok()?,
@@ -554,8 +604,17 @@ mod tests {
             assert!((c.total_ms - c.mean_ms * c.reps as f64).abs() < 1e-6);
             assert!(c.rounds > 0);
             assert_eq!(c.nodes, 64);
+            assert!(c.graph_build_ms >= 0.0);
+            assert!(c.graph_bytes > 0);
             cell_total += c.total_ms;
         }
+        // Both cells time the same (generator, n) instance, so the build
+        // cost and footprint are shared.
+        assert_eq!(report.cells[0].graph_bytes, report.cells[1].graph_bytes);
+        assert_eq!(
+            report.cells[0].graph_build_ms.to_bits(),
+            report.cells[1].graph_build_ms.to_bits()
+        );
         // The grid wall-clock covers at least the timed repetitions.
         assert!(report.wall_ms >= cell_total);
     }
@@ -614,7 +673,37 @@ mod tests {
             assert_eq!(a.rounds, b.rounds);
             assert!((a.best_ms - b.best_ms).abs() < 1e-3);
             assert!((a.total_ms - b.total_ms).abs() < 1e-3);
+            assert!((a.graph_build_ms - b.graph_build_ms).abs() < 1e-3);
+            assert_eq!(a.graph_bytes, b.graph_bytes);
         }
+    }
+
+    #[test]
+    fn file_backed_cells_use_the_loaded_instance() {
+        use localavg_graph::{gen, io, rng::Rng};
+        let g = gen::random_regular(64, 4, &mut Rng::seed_from(2)).unwrap();
+        let file = sweep::FileGraph {
+            family: Box::leak(cell::file_family(io::content_hash(&g)).into_boxed_str()),
+            graph: g,
+            load_ms: 1.5,
+        };
+        let mut spec = tiny_spec();
+        spec.generators = vec![file.family.to_string()];
+        let report = run_with_file(&spec, Some(&file)).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        for c in &report.cells {
+            assert_eq!(c.generator, file.family);
+            assert_eq!(c.nodes, 64);
+            assert_eq!(c.edges, 128);
+            // The load time stands in for the build time.
+            assert_eq!(c.graph_build_ms, 1.5);
+            assert_eq!(c.graph_bytes, file.graph.memory_bytes());
+        }
+        // Without the file, the pseudo-family is unknown.
+        assert!(matches!(
+            run(&spec),
+            Err(SweepError::UnknownGenerator { .. })
+        ));
     }
 
     #[test]

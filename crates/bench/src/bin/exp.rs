@@ -10,7 +10,10 @@
 //! cargo run --release -p localavg-bench --bin exp -- --algo mis/luby --param mis/luby:mark-factor=0.25
 //! cargo run --release -p localavg-bench --bin exp -- sweep --scale quick --threads 8 --out out.json
 //! cargo run --release -p localavg-bench --bin exp -- sweep --problem coloring --param coloring/trial:extra-colors=4
+//! cargo run --release -p localavg-bench --bin exp -- gen --generator powerlaw/2.1 --n 1e7 --seed 0 --out big.csr
+//! cargo run --release -p localavg-bench --bin exp -- sweep --graph-file big.csr --algorithms mis/luby
 //! cargo run --release -p localavg-bench --bin exp -- bench-engine --out BENCH.json
+//! cargo run --release -p localavg-bench --bin exp -- bench-engine --graph-file big.csr
 //! cargo run --release -p localavg-bench --bin exp -- bench-engine --policy none --reuse-workspace
 //! cargo run --release -p localavg-bench --bin exp -- fuzz --cases 500 --master-seed 5
 //! cargo run --release -p localavg-bench --bin exp -- fuzz --generators lb/lift/1,tree/spider
@@ -31,6 +34,13 @@
 //! grid of registry algorithms × named graph families × sizes × seeds and
 //! emits machine-readable JSON or CSV; output bytes are independent of
 //! `--threads` (`0` = all available cores, like `SimConfig::threads`).
+//!
+//! `gen` builds one named instance with the sweep's content-addressed
+//! seed and persists it as a `localavg-csr/v1` file (DESIGN.md §10);
+//! `--graph-file FILE` on `sweep`/`bench-engine` loads such a file as a
+//! `file/<content-hash>` pseudo-family, so 1e7-node instances are built
+//! once and measured many times. Sizes everywhere accept `4096`,
+//! `10_000_000`, and `1e7` forms.
 //!
 //! `bench-engine` times the round engine itself (sequential + parallel
 //! executors) and emits `localavg-bench/v1` JSON; `--baseline FILE`
@@ -139,6 +149,46 @@ fn parse_usize(args: &[String], flag: &str, default: usize) -> usize {
     })
 }
 
+/// [`cli::parse_size_list`] for `--sizes` (accepting `4096`,
+/// `10_000_000`, and `1e7` forms) with the binary's exit-on-error
+/// behaviour.
+fn parse_sizes(args: &[String]) -> Option<Vec<usize>> {
+    cli::parse_size_list(args, "--sizes").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Loads the `--graph-file` instance, if the flag is present.
+fn parse_graph_file(args: &[String]) -> Option<sweep::FileGraph> {
+    flag_value(args, "--graph-file").map(|path| {
+        sweep::FileGraph::load(&path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })
+    })
+}
+
+/// Splices a loaded `--graph-file` pseudo-family into a grid: it joins
+/// an explicit `--generators` list (or replaces the default one), and
+/// with no explicit `--sizes` the size axis collapses to the instance's
+/// realized node count.
+fn splice_graph_file(
+    args: &[String],
+    file: &sweep::FileGraph,
+    generators: &mut Vec<String>,
+    sizes: &mut Vec<usize>,
+) {
+    if flag_value(args, "--generators").is_some() {
+        generators.push(file.family.to_string());
+    } else {
+        *generators = vec![file.family.to_string()];
+    }
+    if flag_value(args, "--sizes").is_none() {
+        *sizes = vec![file.graph.n()];
+    }
+}
+
 fn run_single_algo(args: &[String], name: &str) {
     let Some(algo) = registry().get(name) else {
         eprint!("error: unknown algorithm `{name}`");
@@ -233,7 +283,7 @@ fn parse_scale(args: &[String]) -> Scale {
 /// Rejects unknown or value-less `exp sweep` options up front (see
 /// `cli::validate_flags` for why).
 fn validate_sweep_args(args: &[String]) {
-    const VALUED: [&str; 11] = [
+    const VALUED: [&str; 12] = [
         "--scale",
         "--threads",
         "--out",
@@ -245,13 +295,14 @@ fn validate_sweep_args(args: &[String]) {
         "--master-seed",
         "--problem",
         "--param",
+        "--graph-file",
     ];
     if let Err(e) = cli::validate_flags(args, &VALUED, &["--list-generators"]) {
         eprintln!("error: {e}");
         eprintln!(
             "known options: --scale quick|full, --threads N, --out FILE, --format json|csv, \
              --algorithms a,b, --generators g,h, --sizes n,m, --seeds K, --master-seed S, \
-             --problem P, --param algo:key=value, --list-generators"
+             --problem P, --param algo:key=value, --graph-file FILE, --list-generators"
         );
         std::process::exit(2);
     }
@@ -291,16 +342,12 @@ fn run_sweep(args: &[String]) {
     if let Some(gens) = flag_list(args, "--generators") {
         spec.generators = gens;
     }
-    if let Some(sizes) = flag_list(args, "--sizes") {
-        spec.sizes = sizes
-            .iter()
-            .map(|s| {
-                s.parse().unwrap_or_else(|_| {
-                    eprintln!("error: --sizes expects integers, got `{s}`");
-                    std::process::exit(2);
-                })
-            })
-            .collect();
+    if let Some(sizes) = parse_sizes(args) {
+        spec.sizes = sizes;
+    }
+    let graph_file = parse_graph_file(args);
+    if let Some(f) = &graph_file {
+        splice_graph_file(args, f, &mut spec.generators, &mut spec.sizes);
     }
     spec.seeds = parse_usize(args, "--seeds", spec.seeds as usize) as u64;
     spec.master_seed = parse_usize(args, "--master-seed", spec.master_seed as usize) as u64;
@@ -317,7 +364,7 @@ fn run_sweep(args: &[String]) {
         std::process::exit(2);
     }
 
-    let report = sweep::run(&spec, threads).unwrap_or_else(|e| {
+    let report = sweep::run_with_file(&spec, threads, graph_file.as_ref()).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         eprintln!("hint: `exp sweep --list-generators` and `exp --list` print the registries");
         std::process::exit(2);
@@ -360,9 +407,106 @@ fn run_sweep(args: &[String]) {
     }
 }
 
+/// Peak resident set size of this process in bytes, from Linux's
+/// `/proc/self/status` `VmHWM` line; `None` where that proc file does
+/// not exist. Used by `exp gen` to report the streaming build's actual
+/// memory high-water mark next to the on-disk size.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Rejects unknown or value-less `exp gen` options up front.
+fn validate_gen_args(args: &[String]) {
+    const VALUED: [&str; 4] = ["--generator", "--n", "--seed", "--out"];
+    if let Err(e) = cli::validate_flags(args, &VALUED, &[]) {
+        eprintln!("error: {e}");
+        eprintln!(
+            "known options: --generator F, --n N (accepts 1e7/10_000_000 forms), \
+             --seed S (master seed, default 0), --out FILE"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// The `exp gen` subcommand: build one named instance with the sweep's
+/// content-addressed seed and persist it as a `localavg-csr/v1` file.
+/// `--seed` is the *master* seed: `gen --generator F --n N --seed S`
+/// writes exactly the instance `exp sweep --generators F --sizes N
+/// --master-seed S` would build in memory, so file-backed and in-memory
+/// measurements of the same cell agree.
+fn run_gen(args: &[String]) {
+    validate_gen_args(args);
+    let Some(gname) = flag_value(args, "--generator") else {
+        eprintln!("error: --generator F is required (see `exp sweep --list-generators`)");
+        std::process::exit(2);
+    };
+    let Some(n_text) = flag_value(args, "--n") else {
+        eprintln!("error: --n N is required");
+        std::process::exit(2);
+    };
+    let n = cli::parse_size(&n_text).unwrap_or_else(|e| {
+        eprintln!("error: --n: {e}");
+        std::process::exit(2);
+    });
+    let master_seed = parse_usize(args, "--seed", 0) as u64;
+    let Some(out) = flag_value(args, "--out") else {
+        eprintln!("error: --out FILE is required");
+        std::process::exit(2);
+    };
+    let Some(family) = generators::registry().get(&gname) else {
+        eprint!("error: unknown generator `{gname}`");
+        match generators::registry().suggest(&gname) {
+            Some(close) => eprintln!(" — did you mean `{close}`?"),
+            None => eprintln!(),
+        }
+        std::process::exit(2);
+    };
+    let build_start = Instant::now();
+    let g = family
+        .build(n, localavg_bench::cell::graph_seed(master_seed, &gname, n))
+        .unwrap_or_else(|e| {
+            eprintln!("error: generator `{gname}` failed at n={n}: {e:?}");
+            std::process::exit(1);
+        });
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let write_start = Instant::now();
+    let written = localavg_graph::io::write_graph_to_path(&out, &g).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    let write_ms = write_start.elapsed().as_secs_f64() * 1e3;
+    let hash = localavg_graph::io::content_hash(&g);
+    println!("gen: {gname} n={n} master-seed={master_seed} -> {out}");
+    println!(
+        "  instance   nodes {} edges {} min_degree {} max_degree {}",
+        g.n(),
+        g.m(),
+        g.min_degree(),
+        g.degrees().max().unwrap_or(0)
+    );
+    println!(
+        "  cost       build {build_ms:.1} ms, write {write_ms:.1} ms, \
+         {written} bytes on disk, {} bytes in memory",
+        g.memory_bytes()
+    );
+    println!(
+        "  family     {}   (use: exp sweep --graph-file {out})",
+        localavg_bench::cell::file_family(hash)
+    );
+    if let Some(rss) = peak_rss_bytes() {
+        println!(
+            "  peak RSS   {rss} bytes ({:.2}x of on-disk size)",
+            rss as f64 / written as f64
+        );
+    }
+}
+
 /// Rejects unknown or value-less `exp bench-engine` options up front.
 fn validate_bench_args(args: &[String]) {
-    const VALUED: [&str; 11] = [
+    const VALUED: [&str; 12] = [
         "--algorithms",
         "--generators",
         "--sizes",
@@ -374,6 +518,7 @@ fn validate_bench_args(args: &[String]) {
         "--policy",
         "--param",
         "--tripwire",
+        "--graph-file",
     ];
     if let Err(e) = cli::validate_flags(args, &VALUED, &["--reuse-workspace"]) {
         eprintln!("error: {e}");
@@ -381,7 +526,7 @@ fn validate_bench_args(args: &[String]) {
             "known options: --algorithms a,b, --generators g,h, --sizes n,m, --reps R, \
              --threads N, --label S, --baseline FILE, --out FILE, \
              --policy full|completions|none, --reuse-workspace, --param algo:key=value, \
-             --tripwire PCT"
+             --tripwire PCT, --graph-file FILE"
         );
         std::process::exit(2);
     }
@@ -403,16 +548,12 @@ fn run_bench_engine(args: &[String]) {
     if let Some(gens) = flag_list(args, "--generators") {
         spec.generators = gens;
     }
-    if let Some(sizes) = flag_list(args, "--sizes") {
-        spec.sizes = sizes
-            .iter()
-            .map(|s| {
-                s.parse().unwrap_or_else(|_| {
-                    eprintln!("error: --sizes expects integers, got `{s}`");
-                    std::process::exit(2);
-                })
-            })
-            .collect();
+    if let Some(sizes) = parse_sizes(args) {
+        spec.sizes = sizes;
+    }
+    let graph_file = parse_graph_file(args);
+    if let Some(f) = &graph_file {
+        splice_graph_file(args, f, &mut spec.generators, &mut spec.sizes);
     }
     spec.reps = parse_usize(args, "--reps", spec.reps);
     // `--threads` sets the parallel executor's worker count (0 = auto).
@@ -435,7 +576,7 @@ fn run_bench_engine(args: &[String]) {
         })
     });
 
-    let report = bench_engine::run(&spec).unwrap_or_else(|e| {
+    let report = bench_engine::run_with_file(&spec, graph_file.as_ref()).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
@@ -535,16 +676,8 @@ fn run_fuzz(args: &[String]) {
     if let Some(gens) = flag_list(args, "--generators") {
         spec.generators = gens;
     }
-    if let Some(sizes) = flag_list(args, "--sizes") {
-        spec.sizes = sizes
-            .iter()
-            .map(|s| {
-                s.parse().unwrap_or_else(|_| {
-                    eprintln!("error: --sizes expects integers, got `{s}`");
-                    std::process::exit(2);
-                })
-            })
-            .collect();
+    if let Some(sizes) = parse_sizes(args) {
+        spec.sizes = sizes;
     }
     // The pinned-cell flags only make sense under --exact: a sampled run
     // silently ignoring them would report cells the user did not ask for.
@@ -816,7 +949,7 @@ fn run_submit(args: &[String]) {
 /// (`exp serv` → "did you mean `serve`?") instead of silently falling
 /// through to the run-every-experiment default.
 fn reject_unknown_subcommand(args: &[String]) {
-    const SUBCOMMANDS: [&str; 5] = ["sweep", "bench-engine", "fuzz", "serve", "submit"];
+    const SUBCOMMANDS: [&str; 6] = ["sweep", "gen", "bench-engine", "fuzz", "serve", "submit"];
     let Some(first) = args.first() else { return };
     // Flags, the `quick` scale word, and experiment ids (`e1`..`e17`,
     // matched loosely as e-words, validated later) keep the historical
@@ -841,6 +974,10 @@ fn main() {
 
     if args.first().map(String::as_str) == Some("sweep") {
         run_sweep(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("gen") {
+        run_gen(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("bench-engine") {

@@ -60,6 +60,29 @@ pub fn algo_seed(master: u64, family: &str, n: usize, algo: &str, seed: u64) -> 
         .next_u64()
 }
 
+/// The pseudo-family key of a file-backed instance: `file/<hash>`, where
+/// `<hash>` is the 16-hex-digit `localavg_graph::io::content_hash` of
+/// the loaded graph (identical to the `localavg-csr/v1` checksum
+/// footer). `--graph-file` cells use this as their `family` component,
+/// so the canonical cell string — and therefore goldens and the serve
+/// cache — stays content-addressed: two files holding the same graph
+/// name the same cells, a different graph names different ones, and no
+/// registry-family canonical form changes (registry keys never start
+/// with `file/`).
+pub fn file_family(content_hash: u64) -> String {
+    format!("file/{content_hash:016x}")
+}
+
+/// Recovers the content hash from a [`file_family`] key, or `None` for
+/// registry families.
+pub fn parse_file_family(family: &str) -> Option<u64> {
+    let hex = family.strip_prefix("file/")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
 /// The canonical `(family, n, seed, algo, params, policy)` cell tuple
 /// (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -219,6 +242,22 @@ mod tests {
             algo_seed(7, "regular/4", 64, "mis/luby", 2)
         );
         assert_ne!(key.algo_seed(7), key.algo_seed(8));
+    }
+
+    #[test]
+    fn file_family_round_trips_and_stays_out_of_the_registry_namespace() {
+        let fam = file_family(0x0123_4567_89ab_cdef);
+        assert_eq!(fam, "file/0123456789abcdef");
+        assert_eq!(parse_file_family(&fam), Some(0x0123_4567_89ab_cdef));
+        assert_eq!(parse_file_family("file/abc"), None);
+        assert_eq!(parse_file_family("regular/4"), None);
+        // A file-backed cell canonicalizes like any other — the hash is
+        // simply part of the family string.
+        let key = CellKey::new(file_family(7), 64, 0, "mis/luby");
+        assert_eq!(
+            key.canonical(),
+            "family=file/0000000000000007;n=64;seed=0;algo=mis/luby;params=[];policy=full"
+        );
     }
 
     #[test]

@@ -31,6 +31,66 @@ pub fn flag_list(args: &[String], flag: &str) -> Option<Vec<String>> {
     flag_value(args, flag).map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
 }
 
+/// Parses one graph-size token. Large instances make plain digit strings
+/// unreadable, so three equivalent forms are accepted:
+///
+/// * plain integers — `4096`
+/// * underscore digit grouping — `10_000_000`
+/// * scientific notation — `1e7`, `2.5e6` — as long as the value is an
+///   exact nonnegative integer (`2.5e0` is rejected, not rounded)
+///
+/// # Errors
+///
+/// Returns a human-readable message for anything else, including values
+/// that overflow `usize`.
+pub fn parse_size(s: &str) -> Result<usize, String> {
+    let err = || format!("`{s}` is not a size (try `4096`, `10_000_000`, or `1e7`)");
+    if s.starts_with('_') || s.ends_with('_') {
+        return Err(err());
+    }
+    let t: String = s.chars().filter(|&c| c != '_').collect();
+    let (mant, exp) = match t.split_once(['e', 'E']) {
+        Some((m, x)) => (m, x.parse::<u32>().map_err(|_| err())?),
+        None => (t.as_str(), 0),
+    };
+    // A fractional mantissa (`2.5e6`) just shifts digits into the
+    // exponent; the exponent must cover every fractional digit.
+    let (digits, scale) = match mant.split_once('.') {
+        Some((i, f)) => {
+            let shift = u32::try_from(f.len()).map_err(|_| err())?;
+            if shift > exp {
+                return Err(err());
+            }
+            (format!("{i}{f}"), exp - shift)
+        }
+        None => (mant.to_string(), exp),
+    };
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(err());
+    }
+    let base: usize = digits.parse().map_err(|_| err())?;
+    let pow = 10usize.checked_pow(scale).ok_or_else(err)?;
+    base.checked_mul(pow).ok_or_else(err)
+}
+
+/// Parses a comma-separated `--sizes 1000,1e6,10_000_000` list through
+/// [`parse_size`], if the flag is present.
+///
+/// # Errors
+///
+/// Returns the first offending token's [`parse_size`] message, prefixed
+/// with the flag name.
+pub fn parse_size_list(args: &[String], flag: &str) -> Result<Option<Vec<usize>>, String> {
+    match flag_list(args, flag) {
+        None => Ok(None),
+        Some(items) => items
+            .iter()
+            .map(|s| parse_size(s).map_err(|e| format!("{flag}: {e}")))
+            .collect::<Result<Vec<usize>, String>>()
+            .map(Some),
+    }
+}
+
 /// Returns the values of *every* occurrence of a repeatable `--flag`
 /// (e.g. `--param a:k=v --param b:k=w`), in argument order.
 pub fn flag_values(args: &[String], flag: &str) -> Vec<String> {
@@ -121,6 +181,46 @@ mod tests {
         assert_eq!(flag_value(&a, "--missing"), None);
         assert_eq!(flag_list(&a, "--sizes").unwrap(), vec!["8", "16", "32"]);
         assert_eq!(flag_list(&a, "--missing"), None);
+    }
+
+    #[test]
+    fn parse_size_accepts_plain_underscore_and_scientific_forms() {
+        assert_eq!(parse_size("4096"), Ok(4096));
+        assert_eq!(parse_size("10_000_000"), Ok(10_000_000));
+        assert_eq!(parse_size("1_000"), Ok(1000));
+        assert_eq!(parse_size("1e6"), Ok(1_000_000));
+        assert_eq!(parse_size("1E7"), Ok(10_000_000));
+        assert_eq!(parse_size("2.5e6"), Ok(2_500_000));
+        assert_eq!(parse_size("1.25e4"), Ok(12_500));
+        assert_eq!(parse_size("2.50e2"), Ok(250));
+        assert_eq!(parse_size("0"), Ok(0));
+        assert_eq!(parse_size("0e9"), Ok(0));
+    }
+
+    #[test]
+    fn parse_size_rejects_non_integers_and_garbage() {
+        for bad in [
+            "", "x", "-5", "1.5", "2.5e0", "1.25e1", "e6", "1e", "1e1.5", "_100", "100_", "1e-3",
+            "0x10", "ten",
+        ] {
+            assert!(parse_size(bad).is_err(), "`{bad}` should be rejected");
+        }
+        // usize overflow is an error, not a wrap.
+        assert!(parse_size("1e30").is_err());
+        assert!(parse_size("99999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn parse_size_list_maps_every_token() {
+        let a = args(&["--sizes", "1000, 1e6 ,10_000_000"]);
+        assert_eq!(
+            parse_size_list(&a, "--sizes"),
+            Ok(Some(vec![1000, 1_000_000, 10_000_000]))
+        );
+        assert_eq!(parse_size_list(&a, "--missing"), Ok(None));
+        let bad = args(&["--sizes", "1000,huge"]);
+        let e = parse_size_list(&bad, "--sizes").unwrap_err();
+        assert!(e.contains("--sizes") && e.contains("huge"), "{e}");
     }
 
     #[test]

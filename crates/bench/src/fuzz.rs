@@ -28,7 +28,13 @@
 //!    executor's per-round cost model stands on;
 //! 7. a re-run of the same cell with the chunk size forced to one node
 //!    per chunk (the most adversarial geometry the chunked executor
-//!    admits) must byte-match the default geometry.
+//!    admits) must byte-match the default geometry;
+//! 8. the instance must survive a `localavg-csr/v1` serialization round
+//!    trip bit-for-bit with a footer equal to its content hash, and a
+//!    copy whose header counts are byte-swapped to big-endian must be
+//!    rejected as [`localavg_graph::io::ReadError::HeaderOutOfRange`] —
+//!    the reader must never misread a foreign-endian file as a small
+//!    valid graph.
 //!
 //! On failure the harness shrinks the cell — smaller size, default
 //! params, full transcript, sequential executor, smaller seed — and
@@ -48,6 +54,7 @@ use localavg_core::algo::{
 };
 use localavg_core::check;
 use localavg_graph::analysis::Orientation;
+use localavg_graph::io;
 use localavg_graph::rng::Rng;
 use localavg_graph::Graph;
 use std::collections::BTreeMap;
@@ -285,6 +292,60 @@ fn corrupt(g: &Graph, sol: &Solution, seed: u64) -> Option<Solution> {
     }
 }
 
+/// Leg 8 of [`Session::check_cell`]: the `localavg-csr/v1` differential.
+///
+/// Serializes `g` to an in-memory buffer, requires the read-back graph
+/// to be bit-identical with a footer equal to [`io::content_hash`], and
+/// then byte-swaps each header count (`n` at bytes 16..24, `m` at
+/// 24..32) to big-endian: any nonzero count stored big-endian decodes as
+/// an astronomically large little-endian value, so the reader must
+/// reject it as [`io::ReadError::HeaderOutOfRange`] for *that field* —
+/// before the checksum, before any allocation sized by the lie.
+fn check_csr_round_trip(g: &Graph) -> Result<(), String> {
+    let mut bytes = Vec::new();
+    io::write_graph(&mut bytes, g).map_err(|e| format!("csr write failed: {e}"))?;
+    let (twin, footer) = io::read_graph_with_hash(&bytes[..])
+        .map_err(|e| format!("csr round trip rejected a freshly written graph: {e}"))?;
+    if &twin != g {
+        return Err("csr round trip changed the graph".to_string());
+    }
+    if footer != io::content_hash(g) {
+        return Err(format!(
+            "csr footer {footer:#018x} disagrees with content_hash {:#018x}",
+            io::content_hash(g)
+        ));
+    }
+    for (field, at) in [("n", 16usize), ("m", 24usize)] {
+        let word: [u8; 8] = bytes[at..at + 8].try_into().expect("8-byte header field");
+        let swapped = u64::from_le_bytes(word).swap_bytes();
+        if swapped == u64::from_le_bytes(word) {
+            continue; // an all-zero count (edgeless graph) swaps to itself
+        }
+        let mut bad = bytes.clone();
+        bad[at..at + 8].copy_from_slice(&swapped.to_le_bytes());
+        match io::read_graph(&bad[..]) {
+            Err(io::ReadError::HeaderOutOfRange { field: f, value }) if f == field => {
+                if value != swapped {
+                    return Err(format!(
+                        "big-endian `{field}` rejected with the wrong value {value}"
+                    ));
+                }
+            }
+            Ok(_) => {
+                return Err(format!(
+                    "big-endian `{field}` header was accepted as a valid graph"
+                ));
+            }
+            Err(e) => {
+                return Err(format!(
+                    "big-endian `{field}` header rejected for the wrong reason: {e}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 struct Session {
     /// One fixed instance per (generator, n), exactly like the sweep.
     graphs: BTreeMap<(&'static str, usize), Graph>,
@@ -413,6 +474,13 @@ impl Session {
                 cell.threads
             ));
         }
+
+        // 8. Serialization leg: the fuzz sizes are small enough to
+        //    round-trip the instance through localavg-csr/v1 on every
+        //    case. The read-back graph must be bit-identical, the footer
+        //    must equal the content hash, and big-endian header counts
+        //    must be rejected as out-of-range, never misread.
+        check_csr_round_trip(g)?;
 
         // 4. Brute-force optimality bounds on tiny instances.
         let brute = g.n() <= check::BRUTE_MAX_NODES;
@@ -861,6 +929,17 @@ mod tests {
         assert_eq!(failure.shrunk.threads, 0);
         assert_eq!(failure.shrunk.seed, 0);
         assert!(failure.message.contains("param rejection"));
+    }
+
+    #[test]
+    fn csr_leg_accepts_valid_instances_including_edgeless() {
+        // The serialization leg must pass on any graph the sampler can
+        // build — including the m = 0 corner where the big-endian swap
+        // of the edge count is a no-op and the sub-check is skipped.
+        let mut rng = Rng::seed_from(4);
+        let g = localavg_graph::gen::gnp(32, 0.2, &mut rng);
+        check_csr_round_trip(&g).expect("valid instance");
+        check_csr_round_trip(&Graph::empty(5)).expect("edgeless instance");
     }
 
     #[test]

@@ -35,8 +35,46 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::experiments::Scale;
+
+/// A pre-built instance loaded from a `localavg-csr/v1` file
+/// (`--graph-file`), presented to the engines as a pseudo-family named
+/// `file/<content-hash>` (see [`crate::cell::file_family`]). The hash
+/// comes from the file's verified checksum footer, so cell keys — and
+/// through them goldens, seeds, and the serve cache — stay
+/// content-addressed: the *graph*, not the path, names the cells.
+#[derive(Debug)]
+pub struct FileGraph {
+    /// The `file/<hash>` pseudo-family key. Leaked to `&'static str` so
+    /// [`SweepCell`] stays `Copy` — one short string per loaded file.
+    pub family: &'static str,
+    /// The loaded, fully validated instance.
+    pub graph: Graph,
+    /// Wall-clock of the load, in milliseconds (reported by
+    /// `exp bench-engine` as the instance's `graph_build_ms`).
+    pub load_ms: f64,
+}
+
+impl FileGraph {
+    /// Loads and validates a `localavg-csr/v1` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rendered [`localavg_graph::io::ReadError`], prefixed
+    /// with the path.
+    pub fn load(path: &str) -> Result<FileGraph, String> {
+        let t0 = Instant::now();
+        let (graph, hash) = localavg_graph::io::read_graph_from_path_with_hash(path)
+            .map_err(|e| format!("cannot load graph file {path}: {e}"))?;
+        Ok(FileGraph {
+            family: Box::leak(cell::file_family(hash).into_boxed_str()),
+            graph,
+            load_ms: t0.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+}
 
 /// One string-keyed parameter override, applied to every cell of the
 /// named algorithm (the `--param family/name:key=value` CLI flag).
@@ -140,6 +178,18 @@ impl SweepSpec {
     /// Fails on unknown algorithm or generator keys (with a closest-match
     /// suggestion for algorithms) and on empty grid axes.
     pub fn cells(&self) -> Result<Vec<SweepCell>, SweepError> {
+        self.cells_with(None)
+    }
+
+    /// [`SweepSpec::cells`] with an optional file-backed pseudo-family:
+    /// a generator key equal to `file.family` resolves to the loaded
+    /// instance (its realized minimum degree drives the domain filter)
+    /// instead of the registry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepSpec::cells`].
+    pub fn cells_with(&self, file: Option<&FileGraph>) -> Result<Vec<SweepCell>, SweepError> {
         if self.algorithms.is_empty()
             || self.generators.is_empty()
             || self.sizes.is_empty()
@@ -159,10 +209,18 @@ impl SweepSpec {
                 }
             }
         }
-        let mut gens: Vec<&'static NamedGenerator> = Vec::new();
+        enum Gen<'a> {
+            Registry(&'static NamedGenerator),
+            File(&'a FileGraph),
+        }
+        let mut gens: Vec<Gen<'_>> = Vec::new();
         for name in &self.generators {
+            if let Some(f) = file.filter(|f| f.family == name.as_str()) {
+                gens.push(Gen::File(f));
+                continue;
+            }
             match generators::registry().get(name) {
-                Some(g) => gens.push(g),
+                Some(g) => gens.push(Gen::Registry(g)),
                 None => {
                     return Err(SweepError::UnknownGenerator {
                         name: name.clone(),
@@ -174,15 +232,19 @@ impl SweepSpec {
         let mut cells = Vec::new();
         for g in &gens {
             for &n in &self.sizes {
+                let (gname, min_degree) = match g {
+                    Gen::Registry(g) => (g.name(), g.min_degree(n)),
+                    Gen::File(f) => (f.family, f.graph.min_degree()),
+                };
                 for a in &algos {
-                    if a.problem().min_degree() > g.min_degree(n) {
+                    if a.problem().min_degree() > min_degree {
                         continue;
                     }
                     let seeds = if a.deterministic() { 1 } else { self.seeds };
                     for seed in 0..seeds {
                         cells.push(SweepCell {
                             algorithm: a.name(),
-                            generator: g.name(),
+                            generator: gname,
                             n,
                             seed,
                         });
@@ -467,13 +529,34 @@ pub(crate) fn configure(
 /// Panics if a registered algorithm produces an output that fails
 /// verification — that is a bug in the algorithm, not in the caller.
 pub fn run(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> {
-    let cells = spec.cells()?;
+    run_with_file(spec, threads, None)
+}
+
+/// [`run`] with an optional file-backed pseudo-family (`--graph-file`):
+/// cells whose generator key equals `file.family` execute on the loaded
+/// instance; everything else — seeding, sharding, aggregation, and the
+/// byte-identical-across-threads guarantee — is unchanged.
+///
+/// # Errors
+///
+/// Same conditions as [`run`].
+///
+/// # Panics
+///
+/// Same conditions as [`run`].
+pub fn run_with_file(
+    spec: &SweepSpec,
+    threads: usize,
+    file: Option<&FileGraph>,
+) -> Result<SweepReport, SweepError> {
+    let cells = spec.cells_with(file)?;
     let algos = configured_algorithms(spec)?;
     // Build every (generator, n) instance once, up front and sequentially
     // — deterministic, and workers then share read-only graphs.
     let mut graphs: BTreeMap<(&'static str, usize), Graph> = BTreeMap::new();
     for c in &cells {
-        if graphs.contains_key(&(c.generator, c.n)) {
+        if file.is_some_and(|f| f.family == c.generator) || graphs.contains_key(&(c.generator, c.n))
+        {
             continue;
         }
         let g = generators::registry()
@@ -487,6 +570,13 @@ pub fn run(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> 
             })?;
         graphs.insert((c.generator, c.n), g);
     }
+    // The file-backed instance never clones: cells borrow it directly.
+    let instance = |generator: &'static str, n: usize| -> &Graph {
+        match file {
+            Some(f) if f.family == generator => &f.graph,
+            _ => &graphs[&(generator, n)],
+        }
+    };
 
     struct Outcome {
         result: CellResult,
@@ -508,7 +598,7 @@ pub fn run(spec: &SweepSpec, threads: usize) -> Result<SweepReport, SweepError> 
                         break;
                     }
                     let cell = cells[i];
-                    let g = &graphs[&(cell.generator, cell.n)];
+                    let g = instance(cell.generator, cell.n);
                     let algo = algos.get(cell.algorithm).expect("validated key");
                     let run = algo.execute_in(
                         g,
@@ -823,6 +913,64 @@ mod tests {
             }
             other => panic!("expected Param error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn file_backed_cells_run_from_the_loaded_instance() {
+        use localavg_graph::{gen, io};
+        // A path has realized minimum degree 1, so the file's *actual*
+        // degree (not a registry formula) must filter the min-degree-3
+        // orientation algorithm off the file cells while it still runs
+        // on the 4-regular registry family.
+        let g = gen::path(64);
+        let file = FileGraph {
+            family: Box::leak(cell::file_family(io::content_hash(&g)).into_boxed_str()),
+            graph: g,
+            load_ms: 0.0,
+        };
+        let spec = SweepSpec {
+            algorithms: vec!["mis/luby".into(), "orientation/rand".into()],
+            generators: vec![file.family.to_string(), "regular/4".into()],
+            sizes: vec![64],
+            seeds: 2,
+            master_seed: 5,
+            params: Vec::new(),
+        };
+        let a = run_with_file(&spec, 1, Some(&file)).unwrap();
+        let b = run_with_file(&spec, 8, Some(&file)).unwrap();
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.cell, y.cell);
+            assert_eq!(x.node_averaged.to_bits(), y.node_averaged.to_bits());
+            assert_eq!(x.rounds, y.rounds);
+        }
+        // File cells ran on the loaded instance (a 64-path → 63 edges,
+        // min degree 1) and the realized degree filtered orientation off
+        // the file family but not off the 4-regular registry family.
+        let file_cells: Vec<_> = a
+            .cells
+            .iter()
+            .filter(|c| c.cell.generator == file.family)
+            .collect();
+        assert!(!file_cells.is_empty());
+        for c in &file_cells {
+            assert_eq!(c.edges, 63);
+            assert_eq!(c.min_degree, 1);
+        }
+        assert!(!file_cells
+            .iter()
+            .any(|c| c.cell.algorithm == "orientation/rand"));
+        assert!(a
+            .cells
+            .iter()
+            .any(|c| c.cell.algorithm == "orientation/rand" && c.cell.generator == "regular/4"));
+        // An unknown family is still rejected when it is not the file's.
+        let mut bad = spec.clone();
+        bad.generators = vec!["file/doesnotexist00".into()];
+        assert!(matches!(
+            run_with_file(&bad, 1, Some(&file)),
+            Err(SweepError::UnknownGenerator { .. })
+        ));
     }
 
     #[test]

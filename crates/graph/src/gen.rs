@@ -421,6 +421,182 @@ pub fn random_geometric(n: usize, radius: f64, rng: &mut Rng) -> Graph {
     b.build()
 }
 
+/// Chung–Lu weight sequence for a power-law degree distribution with
+/// exponent `beta`, scaled so the weights average `avg_degree`.
+///
+/// Node `v` gets weight proportional to `(v + 1)^(-1/(beta - 1))` — the
+/// standard Chung–Lu parameterization whose expected degree sequence
+/// follows a power law with exponent `beta`.
+fn chung_lu_weights(n: usize, beta: f64, avg_degree: f64) -> Vec<f64> {
+    assert!(beta > 2.0, "chung-lu exponent must be > 2, got {beta}");
+    let exp = -1.0 / (beta - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exp)).collect();
+    let sum: f64 = w.iter().sum();
+    if sum > 0.0 {
+        let scale = avg_degree * n as f64 / sum;
+        for x in &mut w {
+            *x *= scale;
+        }
+    }
+    w
+}
+
+/// Emits the Chung–Lu edge stream for `weights` into `edge`, consuming
+/// `rng`. Each unordered pair `{u, v}` is an edge independently with
+/// probability `min(1, w_u · w_v / Σw)`; pairs are visited once, so the
+/// stream is duplicate-free by construction.
+///
+/// Uses the Miller–Hagberg skipping algorithm: weights are decreasing in
+/// the node id, so for fixed `u` the acceptance probability only shrinks
+/// as `v` grows and a geometric jump skips the expected run of rejected
+/// candidates — O(n + m) expected work instead of O(n²).
+fn chung_lu_emit(weights: &[f64], rng: &mut Rng, mut edge: impl FnMut(NodeId, NodeId)) {
+    let n = weights.len();
+    let s: f64 = weights.iter().sum();
+    if s <= 0.0 {
+        return;
+    }
+    for u in 0..n.saturating_sub(1) {
+        let mut v = u + 1;
+        let mut p = (weights[u] * weights[v] / s).min(1.0);
+        while v < n && p > 0.0 {
+            if p < 1.0 {
+                let r = rng.f64_unit().max(f64::MIN_POSITIVE);
+                // Geometric skip: number of consecutive rejections at
+                // probability p. `as usize` saturates, and saturating_add
+                // keeps the huge-skip case a clean loop exit.
+                v = v.saturating_add((r.ln() / (1.0 - p).ln()) as usize);
+            }
+            if v < n {
+                let q = (weights[u] * weights[v] / s).min(1.0);
+                if q >= p || rng.f64_unit() < q / p {
+                    edge(u, v);
+                }
+                p = q;
+                v += 1;
+            }
+        }
+    }
+}
+
+/// Chung–Lu power-law graph: `n` nodes whose expected degree sequence
+/// follows a power law with exponent `beta` (> 2) and mean `avg_degree`.
+///
+/// The heavy-tailed regime of the paper's averaged-complexity story: a
+/// few hub nodes of very high degree, a long tail of low-degree nodes.
+/// Built through [`GraphBuilder::stream_edges`], so peak memory is ~1×
+/// the final CSR even at 10⁷+ nodes.
+pub fn powerlaw(n: usize, beta: f64, avg_degree: f64, rng: &mut Rng) -> Graph {
+    let weights = chung_lu_weights(n, beta, avg_degree);
+    let pass_seed = rng.next_u64();
+    GraphBuilder::stream_edges(n, |sink| {
+        let mut pass_rng = Rng::seed_from(pass_seed);
+        chung_lu_emit(&weights, &mut pass_rng, |u, v| sink.edge(u, v));
+    })
+    .expect("chung-lu edges are valid and replay identically")
+}
+
+/// Barabási–Albert preferential attachment: starts from a complete graph
+/// on `attach + 1` nodes, then every new node connects to `attach`
+/// distinct existing nodes chosen with probability proportional to their
+/// current degree (via the repeated-endpoints list).
+///
+/// Minimum degree is `attach` whenever `n > attach`; the oldest nodes
+/// become hubs of degree Θ(√(n/i)) — the classic scale-free topology.
+/// Built through [`GraphBuilder::stream_edges`].
+///
+/// # Panics
+///
+/// Panics if `attach == 0` or `n > u32::MAX as usize`.
+pub fn pref_attach(n: usize, attach: usize, rng: &mut Rng) -> Graph {
+    assert!(attach >= 1, "pref_attach requires attach >= 1");
+    assert!(
+        n <= u32::MAX as usize,
+        "pref_attach node ids must fit in u32"
+    );
+    let pass_seed = rng.next_u64();
+    GraphBuilder::stream_edges(n, |sink| {
+        let mut pass_rng = Rng::seed_from(pass_seed);
+        let n0 = n.min(attach + 1);
+        let clique_edges = n0 * n0.saturating_sub(1) / 2;
+        let mut reps: Vec<u32> = Vec::with_capacity(2 * (clique_edges + attach * (n - n0)));
+        for u in 0..n0 {
+            for v in (u + 1)..n0 {
+                sink.edge(u, v);
+                reps.push(u as u32);
+                reps.push(v as u32);
+            }
+        }
+        let mut targets: Vec<u32> = Vec::with_capacity(attach);
+        for v in n0..n {
+            targets.clear();
+            while targets.len() < attach {
+                let t = reps[pass_rng.index(reps.len())];
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            for &t in &targets {
+                sink.edge(t as usize, v);
+                reps.push(t);
+                reps.push(v as u32);
+            }
+        }
+    })
+    .expect("pref-attach edges are valid and replay identically")
+}
+
+/// R-MAT graph on `2^scale` nodes from `edges_target` recursive-quadrant
+/// samples with the classic Graph500 split (a, b, c, d) =
+/// (0.57, 0.19, 0.19, 0.05).
+///
+/// Self-loops are dropped and duplicate samples collapsed (sort + dedup),
+/// so the realized edge count is somewhat below `edges_target` — the
+/// usual R-MAT behaviour. Node ids are assigned by the bit-recursive
+/// quadrant descent, which concentrates edges on low-id nodes.
+///
+/// # Panics
+///
+/// Panics if `scale > 31` (ids must fit in u32).
+pub fn rmat(scale: u32, edges_target: usize, rng: &mut Rng) -> Graph {
+    assert!(scale <= 31, "rmat scale must be <= 31, got {scale}");
+    const A: f64 = 0.57;
+    const B: f64 = 0.19;
+    const C: f64 = 0.19;
+    let n = 1usize << scale;
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges_target);
+    for _ in 0..edges_target {
+        let mut u = 0u32;
+        let mut v = 0u32;
+        for bit in (0..scale).rev() {
+            let r = rng.f64_unit();
+            let (bu, bv) = if r < A {
+                (0, 0)
+            } else if r < A + B {
+                (0, 1)
+            } else if r < A + B + C {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= bu << bit;
+            v |= bv << bit;
+        }
+        if u == v {
+            continue;
+        }
+        pairs.push(if u < v { (u, v) } else { (v, u) });
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    GraphBuilder::stream_edges(n, |sink| {
+        for &(u, v) in &pairs {
+            sink.edge(u as usize, v as usize);
+        }
+    })
+    .expect("deduplicated rmat edges are valid")
+}
+
 /// The Petersen graph (3-regular, girth 5) — a handy fixed test instance
 /// with minimum degree 3 for sinkless-orientation tests.
 pub fn petersen() -> Graph {
@@ -660,6 +836,33 @@ fn build_gnp_deg8(n: usize, seed: u64) -> Result<Graph, GraphError> {
     Ok(gnp(n, p, &mut Rng::seed_from(seed)))
 }
 
+fn md_pref_attach(n: usize) -> usize {
+    // Builds round the target up to 5 nodes, so every node has at least
+    // the 4 attachment edges (the seed clique K_5 is 4-regular).
+    let _ = n;
+    4
+}
+
+/// `B10` is the power-law exponent × 10 (const generics take no floats).
+fn build_powerlaw<const B10: usize>(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    Ok(powerlaw(
+        n,
+        B10 as f64 / 10.0,
+        8.0,
+        &mut Rng::seed_from(seed),
+    ))
+}
+
+fn build_pref_attach(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    Ok(pref_attach(n.max(5), 4, &mut Rng::seed_from(seed)))
+}
+
+fn build_rmat(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    let scale = n.max(2).ilog2();
+    // Average degree ~16 before dedup: m_target = 8 · 2^scale.
+    Ok(rmat(scale, 8usize << scale, &mut Rng::seed_from(seed)))
+}
+
 /// The global registry of named graph families.
 ///
 /// Keys follow `family[/variant]`:
@@ -678,6 +881,9 @@ fn build_gnp_deg8(n: usize, seed: u64) -> Result<Graph, GraphError> {
 /// | `regular/3` `regular/4` `regular/8` `regular/16` | random d-regular | parity-adjusted |
 /// | `gnp/0.01` `gnp/0.05` | Erdős–Rényi `G(n, p)` | exact |
 /// | `gnp/deg8` | `G(n, 8/n)` — constant average degree | exact |
+/// | `powerlaw/2.1` `powerlaw/2.5` | Chung–Lu power law, mean degree ~8 | exact |
+/// | `pref-attach/4` | Barabási–Albert, 4 edges per new node | `max(n, 5)` |
+/// | `rmat/16` | R-MAT (0.57/0.19/0.19/0.05), ~16 avg degree | largest `2^d <= n` |
 pub fn registry() -> &'static GenRegistry {
     static REGISTRY: std::sync::OnceLock<GenRegistry> = std::sync::OnceLock::new();
     REGISTRY.get_or_init(|| GenRegistry {
@@ -783,6 +989,30 @@ pub fn registry() -> &'static GenRegistry {
                 description: "Erdős–Rényi G(n, 8/n), constant average degree",
                 min_degree_of: md_zero,
                 build_fn: build_gnp_deg8,
+            },
+            NamedGenerator {
+                name: "powerlaw/2.1",
+                description: "Chung–Lu power law, exponent 2.1, mean degree ~8",
+                min_degree_of: md_zero,
+                build_fn: build_powerlaw::<21>,
+            },
+            NamedGenerator {
+                name: "powerlaw/2.5",
+                description: "Chung–Lu power law, exponent 2.5, mean degree ~8",
+                min_degree_of: md_zero,
+                build_fn: build_powerlaw::<25>,
+            },
+            NamedGenerator {
+                name: "pref-attach/4",
+                description: "Barabási–Albert preferential attachment, 4 edges per node",
+                min_degree_of: md_pref_attach,
+                build_fn: build_pref_attach,
+            },
+            NamedGenerator {
+                name: "rmat/16",
+                description: "R-MAT 0.57/0.19/0.19/0.05 on 2^d <= n nodes, ~16 avg degree",
+                min_degree_of: md_zero,
+                build_fn: build_rmat,
             },
         ],
     })
@@ -1090,6 +1320,89 @@ mod tests {
         // Grid lands near the target on a near-square shape.
         let g = r.get("grid").unwrap().build(128, 0).unwrap();
         assert!(g.n() >= 128 && g.n() <= 140, "grid n={}", g.n());
+    }
+
+    #[test]
+    fn powerlaw_degree_sequence_is_heavy_tailed() {
+        let mut rng = Rng::seed_from(8);
+        let g = powerlaw(2000, 2.1, 8.0, &mut rng);
+        assert_eq!(g.n(), 2000);
+        // Mean degree lands near the target (capping pulls it below 8).
+        let mean = g.degree_sum() as f64 / g.n() as f64;
+        assert!((2.0..=9.0).contains(&mean), "mean degree {mean}");
+        // Hubs exist: max degree far above the mean.
+        assert!(
+            g.max_degree() as f64 > 4.0 * mean,
+            "max {} vs mean {mean}",
+            g.max_degree()
+        );
+        // Early (high-weight) nodes dominate late ones on average.
+        let head: usize = (0..20).map(|v| g.degree(v)).sum();
+        let tail: usize = (1980..2000).map(|v| g.degree(v)).sum();
+        assert!(head > 4 * tail.max(1), "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn powerlaw_steeper_exponent_thins_the_tail() {
+        let flat = powerlaw(1500, 2.1, 8.0, &mut Rng::seed_from(3));
+        let steep = powerlaw(1500, 2.5, 8.0, &mut Rng::seed_from(3));
+        // A steeper exponent concentrates less weight in the hubs.
+        assert!(steep.max_degree() < flat.max_degree());
+    }
+
+    #[test]
+    fn pref_attach_min_degree_and_hubs() {
+        let mut rng = Rng::seed_from(9);
+        let g = pref_attach(500, 4, &mut rng);
+        assert_eq!(g.n(), 500);
+        assert_eq!(g.m(), 10 + 4 * 495); // K_5 + 4 per later node
+        assert!(g.min_degree() >= 4);
+        assert!(g.max_degree() >= 20, "max {}", g.max_degree());
+        assert!(analysis::is_connected(&g));
+    }
+
+    #[test]
+    fn pref_attach_tiny_sizes() {
+        let mut rng = Rng::seed_from(1);
+        let g = pref_attach(1, 4, &mut rng);
+        assert_eq!((g.n(), g.m()), (1, 0));
+        let g = pref_attach(3, 4, &mut rng);
+        assert_eq!((g.n(), g.m()), (3, 3)); // clamped seed clique K_3
+        let g = pref_attach(5, 4, &mut rng);
+        assert_eq!((g.n(), g.m()), (5, 10)); // exactly the K_5 seed
+    }
+
+    #[test]
+    fn rmat_shape_and_determinism() {
+        let g = rmat(10, 4096, &mut Rng::seed_from(6));
+        assert_eq!(g.n(), 1024);
+        // Dedup and self-loop drops shrink the target somewhat.
+        assert!(g.m() > 2048 && g.m() <= 4096, "m={}", g.m());
+        // Quadrant skew concentrates edges on low ids.
+        let low: usize = (0..128).map(|v| g.degree(v)).sum();
+        assert!(low * 2 > g.degree_sum() / 2, "low-id mass {low}");
+        let h = rmat(10, 4096, &mut Rng::seed_from(6));
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn heavy_tailed_registry_families_present() {
+        for key in ["powerlaw/2.1", "powerlaw/2.5", "pref-attach/4", "rmat/16"] {
+            let fam = registry()
+                .get(key)
+                .unwrap_or_else(|| panic!("missing {key}"));
+            let g = fam.build(256, 2).unwrap();
+            assert!(
+                g.min_degree() >= fam.min_degree(256),
+                "{key}: min degree {} below declared {}",
+                g.min_degree(),
+                fam.min_degree(256)
+            );
+        }
+        // rmat rounds down to a power of two; pref-attach rounds up to 5.
+        let r = registry();
+        assert_eq!(r.get("rmat/16").unwrap().build(100, 0).unwrap().n(), 64);
+        assert_eq!(r.get("pref-attach/4").unwrap().build(2, 0).unwrap().n(), 5);
     }
 
     #[test]

@@ -350,6 +350,62 @@ impl Graph {
         self.nbrs.len()
     }
 
+    /// Heap footprint of the CSR arrays in bytes — the resident cost of
+    /// keeping this instance loaded (offsets, arcs, edge endpoints, and
+    /// both port tables; the lazily-built sort cache is excluded, like in
+    /// equality).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.offsets.len() * size_of::<usize>()
+            + self.nbrs.len() * size_of::<(NodeId, EdgeId)>()
+            + self.edges.len() * size_of::<(NodeId, NodeId)>()
+            + self.edge_ports.len() * size_of::<(u32, u32)>()
+            + self.rev_ports.len() * size_of::<u32>()
+    }
+
+    /// Borrows the five frozen CSR arrays, in declaration order — what the
+    /// `localavg-csr/v1` writer serializes (see [`crate::io`]).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_parts(
+        &self,
+    ) -> (
+        &[usize],
+        &[(NodeId, EdgeId)],
+        &[(NodeId, NodeId)],
+        &[(u32, u32)],
+        &[u32],
+    ) {
+        (
+            &self.offsets,
+            &self.nbrs,
+            &self.edges,
+            &self.edge_ports,
+            &self.rev_ports,
+        )
+    }
+
+    /// Reassembles a graph from its raw CSR arrays. The caller (the
+    /// `localavg-csr/v1` reader) is responsible for having validated the
+    /// invariants the accessors rely on; see `crate::io::read_graph`.
+    pub(crate) fn from_raw_parts(
+        offsets: Vec<usize>,
+        nbrs: Vec<(NodeId, EdgeId)>,
+        edges: Vec<(NodeId, NodeId)>,
+        edge_ports: Vec<(u32, u32)>,
+        rev_ports: Vec<u32>,
+    ) -> Graph {
+        debug_assert_eq!(offsets.last(), Some(&nbrs.len()));
+        debug_assert_eq!(nbrs.len(), 2 * edges.len());
+        Graph {
+            offsets,
+            nbrs,
+            edges,
+            edge_ports,
+            rev_ports,
+            sorted_order: OnceLock::new(),
+        }
+    }
+
     /// A flat permutation table visiting every node's ports in **ascending
     /// neighbor id** order, or `None` when every adjacency is already
     /// sorted (then ports `0..degree` are the sorted order and no table is
@@ -568,37 +624,7 @@ impl GraphBuilder {
                 nbrs[offsets[v]..offsets[v + 1]].sort_unstable();
             }
         }
-        // Flat port tables for message routing (ports fit in u32: a port
-        // index is bounded by the degree, and 2m entries already cap the
-        // usable range far below u32::MAX at any realistic scale).
-        assert!(
-            m < u32::MAX as usize / 2,
-            "graph too large for u32 port tables"
-        );
-        let mut edge_ports = vec![(u32::MAX, u32::MAX); m];
-        for v in 0..n {
-            let base = offsets[v];
-            for (port, &(_, e)) in nbrs[base..offsets[v + 1]].iter().enumerate() {
-                let (a, _) = self.edges[e];
-                if v == a {
-                    edge_ports[e].0 = port as u32;
-                } else {
-                    edge_ports[e].1 = port as u32;
-                }
-            }
-        }
-        let mut rev_ports = vec![0u32; 2 * m];
-        for v in 0..n {
-            let base = offsets[v];
-            for (i, &(_, e)) in nbrs[base..offsets[v + 1]].iter().enumerate() {
-                let (a, _) = self.edges[e];
-                rev_ports[base + i] = if v == a {
-                    edge_ports[e].1
-                } else {
-                    edge_ports[e].0
-                };
-            }
-        }
+        let (edge_ports, rev_ports) = port_tables(&offsets, &nbrs, &self.edges);
         Graph {
             offsets,
             nbrs,
@@ -606,6 +632,240 @@ impl GraphBuilder {
             edge_ports,
             rev_ports,
             sorted_order: OnceLock::new(),
+        }
+    }
+
+    /// Builds a graph in **two streaming passes** over an edge source,
+    /// without materializing the intermediate edge list or a dedup
+    /// seen-set — peak memory is ~1× the final CSR (plus an 8-byte-per-
+    /// node cursor), versus ~3× for the buffer-then-[`build`] path. This
+    /// is what makes 10⁷⁺-node instances fit in RAM (DESIGN.md §10).
+    ///
+    /// `emit` is called exactly twice with an [`EdgeSink`]; it must feed
+    /// **the identical duplicate-free edge stream** both times (pass 1
+    /// counts degrees, pass 2 fills the CSR arrays). Generators replay a
+    /// seeded [`crate::rng::Rng`] to satisfy this for free. A stream that
+    /// changes between passes is detected and reported; **duplicate
+    /// edges are not detected in release builds** (that is the memory
+    /// trade), so callers must guarantee a duplicate-free stream — every
+    /// debug build re-checks it after the fact.
+    ///
+    /// [`build`]: GraphBuilder::build
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error from the stream (out-of-range
+    /// endpoint, self-loop), or [`GraphError::InvalidParameters`] when
+    /// the two passes disagree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use localavg_graph::GraphBuilder;
+    ///
+    /// let g = GraphBuilder::stream_edges(4, |sink| {
+    ///     for v in 1..4 {
+    ///         sink.edge(v - 1, v);
+    ///     }
+    /// })?;
+    /// assert_eq!((g.n(), g.m()), (4, 3));
+    /// # Ok::<(), localavg_graph::GraphError>(())
+    /// ```
+    pub fn stream_edges<F>(n: usize, mut emit: F) -> Result<Graph, GraphError>
+    where
+        F: FnMut(&mut EdgeSink<'_>),
+    {
+        // Pass 1: count each endpoint's degree into offsets[v + 1].
+        let mut offsets = vec![0usize; n + 1];
+        let mut m = 0usize;
+        let mut error = None;
+        emit(&mut EdgeSink {
+            n,
+            error: &mut error,
+            mode: SinkMode::Count {
+                counts: &mut offsets,
+                m: &mut m,
+            },
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        assert!(
+            m < u32::MAX as usize / 2,
+            "graph too large for u32 port tables"
+        );
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        // Pass 2: fill the CSR arrays in edge-id (= stream) order.
+        let mut nbrs = vec![(0 as NodeId, 0 as EdgeId); 2 * m];
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(m);
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        emit(&mut EdgeSink {
+            n,
+            error: &mut error,
+            mode: SinkMode::Fill {
+                offsets: &offsets,
+                cursor: &mut cursor,
+                nbrs: &mut nbrs,
+                edges: &mut edges,
+            },
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        if edges.len() != m {
+            return Err(GraphError::InvalidParameters(format!(
+                "stream_edges pass 2 emitted {} edges, pass 1 counted {m}",
+                edges.len()
+            )));
+        }
+        #[cfg(debug_assertions)]
+        for v in 0..n {
+            let mut ids: Vec<NodeId> = nbrs[offsets[v]..offsets[v + 1]]
+                .iter()
+                .map(|&(u, _)| u)
+                .collect();
+            ids.sort_unstable();
+            debug_assert!(
+                ids.windows(2).all(|w| w[0] != w[1]),
+                "duplicate edge in stream at node {v}"
+            );
+        }
+        let (edge_ports, rev_ports) = port_tables(&offsets, &nbrs, &edges);
+        Ok(Graph {
+            offsets,
+            nbrs,
+            edges,
+            edge_ports,
+            rev_ports,
+            sorted_order: OnceLock::new(),
+        })
+    }
+}
+
+/// Builds the edge-port and reverse-port tables from finished CSR
+/// adjacency — the shared tail of [`GraphBuilder::build`] and
+/// [`GraphBuilder::stream_edges`]. Ports fit in u32: a port index is
+/// bounded by the degree, and 2m entries already cap the usable range
+/// far below `u32::MAX` at any realistic scale.
+fn port_tables(
+    offsets: &[usize],
+    nbrs: &[(NodeId, EdgeId)],
+    edges: &[(NodeId, NodeId)],
+) -> (Vec<(u32, u32)>, Vec<u32>) {
+    let n = offsets.len() - 1;
+    let m = edges.len();
+    assert!(
+        m < u32::MAX as usize / 2,
+        "graph too large for u32 port tables"
+    );
+    let mut edge_ports = vec![(u32::MAX, u32::MAX); m];
+    for v in 0..n {
+        let base = offsets[v];
+        for (port, &(_, e)) in nbrs[base..offsets[v + 1]].iter().enumerate() {
+            let (a, _) = edges[e];
+            if v == a {
+                edge_ports[e].0 = port as u32;
+            } else {
+                edge_ports[e].1 = port as u32;
+            }
+        }
+    }
+    let mut rev_ports = vec![0u32; 2 * m];
+    for v in 0..n {
+        let base = offsets[v];
+        for (i, &(_, e)) in nbrs[base..offsets[v + 1]].iter().enumerate() {
+            let (a, _) = edges[e];
+            rev_ports[base + i] = if v == a {
+                edge_ports[e].1
+            } else {
+                edge_ports[e].0
+            };
+        }
+    }
+    (edge_ports, rev_ports)
+}
+
+/// The per-pass edge receiver of [`GraphBuilder::stream_edges`].
+///
+/// The sink validates every edge (range, self-loops) and either counts
+/// degrees (pass 1) or fills the CSR arrays (pass 2); the first error is
+/// latched and subsequent edges are ignored, so generator loops don't
+/// need per-edge error plumbing.
+pub struct EdgeSink<'a> {
+    n: usize,
+    error: &'a mut Option<GraphError>,
+    mode: SinkMode<'a>,
+}
+
+enum SinkMode<'a> {
+    Count {
+        /// `counts[v + 1]` accumulates node `v`'s degree (the layout
+        /// prefix-summed into CSR offsets between the passes).
+        counts: &'a mut [usize],
+        m: &'a mut usize,
+    },
+    Fill {
+        offsets: &'a [usize],
+        cursor: &'a mut [usize],
+        nbrs: &'a mut [(NodeId, EdgeId)],
+        edges: &'a mut Vec<(NodeId, NodeId)>,
+    },
+}
+
+impl EdgeSink<'_> {
+    /// Feeds one undirected edge `{u, v}` to the current pass.
+    ///
+    /// Invalid edges latch an error into the enclosing
+    /// [`GraphBuilder::stream_edges`] call instead of panicking; once an
+    /// error is latched the remaining stream is drained without effect.
+    pub fn edge(&mut self, u: NodeId, v: NodeId) {
+        if self.error.is_some() {
+            return;
+        }
+        if u >= self.n {
+            *self.error = Some(GraphError::NodeOutOfRange { node: u, n: self.n });
+            return;
+        }
+        if v >= self.n {
+            *self.error = Some(GraphError::NodeOutOfRange { node: v, n: self.n });
+            return;
+        }
+        if u == v {
+            *self.error = Some(GraphError::SelfLoop(u));
+            return;
+        }
+        match &mut self.mode {
+            SinkMode::Count { counts, m } => {
+                counts[u + 1] += 1;
+                counts[v + 1] += 1;
+                **m += 1;
+            }
+            SinkMode::Fill {
+                offsets,
+                cursor,
+                nbrs,
+                edges,
+            } => {
+                // A stream that grew between passes would overrun a
+                // node's CSR region (or the edge table) — catch both.
+                if edges.len() == edges.capacity()
+                    || cursor[u] >= offsets[u + 1]
+                    || cursor[v] >= offsets[v + 1]
+                {
+                    *self.error = Some(GraphError::InvalidParameters(
+                        "stream_edges: edge stream changed between passes".into(),
+                    ));
+                    return;
+                }
+                let e = edges.len();
+                edges.push(if u < v { (u, v) } else { (v, u) });
+                nbrs[cursor[u]] = (v, e);
+                cursor[u] += 1;
+                nbrs[cursor[v]] = (u, e);
+                cursor[v] += 1;
+            }
         }
     }
 }

@@ -45,6 +45,7 @@ pub mod analysis;
 pub mod dot;
 pub mod gen;
 pub mod graph;
+pub mod io;
 pub mod lift;
 pub mod rng;
 pub mod suggest;
