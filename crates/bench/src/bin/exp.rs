@@ -11,6 +11,7 @@
 //! cargo run --release -p localavg-bench --bin exp -- sweep --scale quick --threads 8 --out out.json
 //! cargo run --release -p localavg-bench --bin exp -- sweep --problem coloring --param coloring/trial:extra-colors=4
 //! cargo run --release -p localavg-bench --bin exp -- gen --generator powerlaw/2.1 --n 1e7 --seed 0 --out big.csr
+//! cargo run --release -p localavg-bench --bin exp -- import --in edges.txt --out imported.csr
 //! cargo run --release -p localavg-bench --bin exp -- sweep --graph-file big.csr --algorithms mis/luby
 //! cargo run --release -p localavg-bench --bin exp -- bench-engine --out BENCH.json
 //! cargo run --release -p localavg-bench --bin exp -- bench-engine --graph-file big.csr
@@ -112,31 +113,39 @@ fn print_algo_list(problem: Option<Problem>) {
         "Registered algorithms (`--algo <name>` runs one)",
         &["name", "problem", "deterministic", "domain", "params"],
     );
-    for a in registry().iter() {
-        if problem.is_some_and(|p| a.problem() != p) {
+    // Grouped by problem (not raw registration order) so late additions
+    // like the `*/tree-rc` family sit under their problem headings.
+    for p in Problem::ALL {
+        if problem.is_some_and(|want| p != want) {
             continue;
         }
-        let domain = match a.problem().min_degree() {
-            0 => "any graph".to_string(),
-            d => format!("min degree ≥ {d}"),
-        };
-        let params = a
-            .param_specs()
-            .iter()
-            .map(|s| format!("{}={}", s.key, s.default))
-            .collect::<Vec<_>>()
-            .join(" ");
-        t.row(vec![
-            a.name().to_string(),
-            a.problem().label().to_string(),
-            a.deterministic().to_string(),
-            domain,
-            if params.is_empty() {
-                "—".to_string()
+        for a in registry().by_problem(p) {
+            let domain = if a.requires_tree() {
+                "trees only".to_string()
             } else {
-                params
-            },
-        ]);
+                match a.problem().min_degree() {
+                    0 => "any graph".to_string(),
+                    d => format!("min degree ≥ {d}"),
+                }
+            };
+            let params = a
+                .param_specs()
+                .iter()
+                .map(|s| format!("{}={}", s.key, s.default))
+                .collect::<Vec<_>>()
+                .join(" ");
+            t.row(vec![
+                a.name().to_string(),
+                a.problem().label().to_string(),
+                a.deterministic().to_string(),
+                domain,
+                if params.is_empty() {
+                    "—".to_string()
+                } else {
+                    params
+                },
+            ]);
+        }
     }
     println!("{t}");
 }
@@ -227,15 +236,29 @@ fn run_single_algo(args: &[String], name: &str) {
         std::process::exit(2);
     }
     let mut rng = Rng::seed_from(seed ^ 0xD15EA5E);
-    let g = gen::random_regular(n, d, &mut rng).unwrap_or_else(|e| {
-        eprintln!("error: cannot build a {d}-regular graph on {n} nodes: {e:?}");
-        std::process::exit(2);
-    });
-    println!(
-        "{} ({}) on a random {d}-regular graph, n={n}, seed={seed}",
-        algo.name(),
-        algo.problem()
-    );
+    let g = if algo.requires_tree() {
+        // `*/tree-rc` only runs on forests: a regular graph would be
+        // rejected with a typed NotATree, so drive it on a random tree
+        // (--d is meaningless there and ignored).
+        let g = gen::random_tree(n, &mut rng);
+        println!(
+            "{} ({}) on a random tree, n={n}, seed={seed} (tree-only domain; --d ignored)",
+            algo.name(),
+            algo.problem()
+        );
+        g
+    } else {
+        let g = gen::random_regular(n, d, &mut rng).unwrap_or_else(|e| {
+            eprintln!("error: cannot build a {d}-regular graph on {n} nodes: {e:?}");
+            std::process::exit(2);
+        });
+        println!(
+            "{} ({}) on a random {d}-regular graph, n={n}, seed={seed}",
+            algo.name(),
+            algo.problem()
+        );
+        g
+    };
     let run = algo.execute(&g, &RunSpec::new(seed));
     match run.verify(&g) {
         Ok(()) => println!("output verified: valid {}", algo.problem()),
@@ -948,8 +971,79 @@ fn run_submit(args: &[String]) {
 /// Rejects an unrecognized leading word with a closest-match suggestion
 /// (`exp serv` → "did you mean `serve`?") instead of silently falling
 /// through to the run-every-experiment default.
+fn validate_import_args(args: &[String]) {
+    const VALUED: [&str; 2] = ["--in", "--out"];
+    if let Err(e) = cli::validate_flags(args, &VALUED, &[]) {
+        eprintln!("error: {e}");
+        eprintln!("known options: --in EDGELIST.txt, --out FILE.csr");
+        std::process::exit(2);
+    }
+}
+
+/// The `exp import` subcommand: read a SNAP-style whitespace edge-list
+/// text file, normalize it (dense sorted-id remap, self-loops dropped,
+/// duplicate orientations collapsed), and persist the result as a
+/// `localavg-csr/v1` file ready for `--graph-file`.
+fn run_import(args: &[String]) {
+    validate_import_args(args);
+    let Some(input) = flag_value(args, "--in") else {
+        eprintln!("error: --in EDGELIST.txt is required");
+        std::process::exit(2);
+    };
+    let Some(out) = flag_value(args, "--out") else {
+        eprintln!("error: --out FILE is required");
+        std::process::exit(2);
+    };
+    let parse_start = Instant::now();
+    let imported = localavg_graph::io::import_edge_list_from_path(&input).unwrap_or_else(|e| {
+        eprintln!("error: cannot import {input}: {e}");
+        std::process::exit(1);
+    });
+    let parse_ms = parse_start.elapsed().as_secs_f64() * 1e3;
+    let g = &imported.graph;
+    let write_start = Instant::now();
+    let written = localavg_graph::io::write_graph_to_path(&out, g).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    let write_ms = write_start.elapsed().as_secs_f64() * 1e3;
+    let hash = localavg_graph::io::content_hash(g);
+    println!("import: {input} -> {out}");
+    println!(
+        "  instance   nodes {} edges {} min_degree {} max_degree {}{}",
+        g.n(),
+        g.m(),
+        g.min_degree(),
+        g.degrees().max().unwrap_or(0),
+        if localavg_graph::analysis::is_forest(g) {
+            "   (forest: `*/tree-rc` in domain)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "  dropped    {} self-loop(s), {} duplicate edge line(s), {} comment/blank line(s)",
+        imported.self_loops, imported.duplicates, imported.comments
+    );
+    println!(
+        "  cost       parse {parse_ms:.1} ms, write {write_ms:.1} ms, {written} bytes on disk"
+    );
+    println!(
+        "  family     {}   (use: exp sweep --graph-file {out})",
+        localavg_bench::cell::file_family(hash)
+    );
+}
+
 fn reject_unknown_subcommand(args: &[String]) {
-    const SUBCOMMANDS: [&str; 6] = ["sweep", "gen", "bench-engine", "fuzz", "serve", "submit"];
+    const SUBCOMMANDS: [&str; 7] = [
+        "sweep",
+        "gen",
+        "import",
+        "bench-engine",
+        "fuzz",
+        "serve",
+        "submit",
+    ];
     let Some(first) = args.first() else { return };
     // Flags, the `quick` scale word, and experiment ids (`e1`..`e17`,
     // matched loosely as e-words, validated later) keep the historical
@@ -978,6 +1072,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("gen") {
         run_gen(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("import") {
+        run_import(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("bench-engine") {

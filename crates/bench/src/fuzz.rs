@@ -401,6 +401,12 @@ impl Session {
                 algo.problem().min_degree()
             ));
         }
+        if algo.requires_tree() && !localavg_graph::analysis::is_forest(g) {
+            return Err(format!(
+                "domain filter breach: {} only runs on forests but {} built a cyclic graph",
+                cell.algorithm, cell.generator
+            ));
+        }
         let fast_spec = RunSpec::new(cell.seed)
             .with_exec(cell.exec())
             .with_transcript(cell.policy);
@@ -523,7 +529,10 @@ fn sample_domain(
             let eligible: Vec<&'static dyn DynAlgorithm> = algos
                 .iter()
                 .copied()
-                .filter(|a| a.problem().min_degree() <= fam.min_degree(n))
+                .filter(|a| {
+                    a.problem().min_degree() <= fam.min_degree(n)
+                        && (!a.requires_tree() || fam.is_tree())
+                })
                 .collect();
             if !eligible.is_empty() {
                 domain.push((generator, n, eligible));
@@ -815,6 +824,57 @@ mod tests {
     }
 
     #[test]
+    fn tree_rc_samples_only_on_tree_families() {
+        // Mixed axes: `*/tree-rc` must never land on the cyclic families,
+        // and must still be reachable on the tree families.
+        let spec = FuzzSpec {
+            cases: 96,
+            generators: vec!["gnp/deg8".into(), "tree/random".into(), "cycle".into()],
+            ..quick_spec()
+        };
+        let (gens, algos) = resolve(&spec);
+        let domain = sample_domain(&spec, &gens, &algos);
+        let mut seen_on_tree = false;
+        for case in 0..512 {
+            let cell = sample_cell(&spec, &domain, case);
+            if cell.algorithm.ends_with("/tree-rc") {
+                let fam = generators::registry().get(cell.generator).unwrap();
+                assert!(
+                    fam.is_tree(),
+                    "{} sampled on {}",
+                    cell.algorithm,
+                    cell.generator
+                );
+                seen_on_tree = true;
+            }
+        }
+        assert!(seen_on_tree, "tree-rc never sampled on the tree family");
+    }
+
+    #[test]
+    fn forcing_tree_rc_onto_a_cyclic_family_is_a_clean_check_error() {
+        let mut session = Session {
+            graphs: BTreeMap::new(),
+            master_seed: 1,
+            workspace: Workspace::new(),
+        };
+        let cell = FuzzCell {
+            generator: "cycle",
+            n: 16,
+            algorithm: "mis/tree-rc",
+            params: Vec::new(),
+            policy: TranscriptPolicy::Full,
+            threads: 0,
+            seed: 0,
+        };
+        let err = session.check_cell(&cell).unwrap_err();
+        assert!(
+            err.contains("only runs on forests"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
     fn incompatible_axes_error_instead_of_panicking() {
         // Every selected algorithm's domain exceeds every selected
         // family's guarantee: a clean error, not an index-out-of-bounds
@@ -879,18 +939,20 @@ mod tests {
         let spec = RunSpec::new(3);
         let mut rng = Rng::seed_from(9);
         let g = localavg_graph::gen::random_regular(24, 4, &mut rng).unwrap();
+        let tree = localavg_graph::gen::random_tree(24, &mut rng);
         for algo in registry().iter() {
-            let run = algo.execute(&g, &spec);
-            let bad = corrupt(&g, &run.solution, 3).expect("graph has edges");
+            let g = if algo.requires_tree() { &tree } else { &g };
+            let run = algo.execute(g, &spec);
+            let bad = corrupt(g, &run.solution, 3).expect("graph has edges");
             assert!(
-                check::verify_solution(&g, &bad).is_err(),
+                check::verify_solution(g, &bad).is_err(),
                 "{}: oracle accepted a corrupted solution",
                 algo.name()
             );
             let mut twin = run.clone();
             twin.solution = bad;
             assert!(
-                twin.verify(&g).is_err(),
+                twin.verify(g).is_err(),
                 "{}: fast validator accepted a corrupted solution",
                 algo.name()
             );

@@ -230,14 +230,23 @@ impl SweepSpec {
             }
         }
         let mut cells = Vec::new();
+        let mut tree_skip: Option<(&'static str, String)> = None;
         for g in &gens {
             for &n in &self.sizes {
-                let (gname, min_degree) = match g {
-                    Gen::Registry(g) => (g.name(), g.min_degree(n)),
-                    Gen::File(f) => (f.family, f.graph.min_degree()),
+                let (gname, min_degree, is_tree) = match g {
+                    Gen::Registry(g) => (g.name(), g.min_degree(n), g.is_tree()),
+                    Gen::File(f) => (
+                        f.family,
+                        f.graph.min_degree(),
+                        localavg_graph::analysis::is_forest(&f.graph),
+                    ),
                 };
                 for a in &algos {
                     if a.problem().min_degree() > min_degree {
+                        continue;
+                    }
+                    if a.requires_tree() && !is_tree {
+                        tree_skip.get_or_insert_with(|| (a.name(), gname.to_string()));
                         continue;
                     }
                     let seeds = if a.deterministic() { 1 } else { self.seeds };
@@ -250,6 +259,14 @@ impl SweepSpec {
                         });
                     }
                 }
+            }
+        }
+        if cells.is_empty() {
+            if let Some((algorithm, generator)) = tree_skip {
+                return Err(SweepError::NotATree {
+                    algorithm,
+                    generator,
+                });
             }
         }
         Ok(cells)
@@ -318,6 +335,14 @@ pub enum SweepError {
     /// algorithm's domain requirement exceeds every chosen family's
     /// minimum-degree guarantee (`exp fuzz` sampling).
     NoCompatibleCells,
+    /// A `*/tree-rc` algorithm was paired only with non-tree families
+    /// (its domain is restricted to forests), leaving the grid empty.
+    NotATree {
+        /// The tree-restricted algorithm.
+        algorithm: &'static str,
+        /// A non-tree family it was paired with.
+        generator: String,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -349,6 +374,22 @@ impl fmt::Display for SweepError {
                 "no compatible (generator, algorithm) cells: every selected algorithm's \
                  domain requirement (min degree) exceeds every selected family's guarantee",
             ),
+            SweepError::NotATree {
+                algorithm,
+                generator,
+            } => {
+                let trees: Vec<&str> = generators::registry()
+                    .iter()
+                    .filter(|g| g.is_tree())
+                    .map(|g| g.name())
+                    .collect();
+                write!(
+                    f,
+                    "`{algorithm}` only runs on forests but `{generator}` is not a tree \
+                     family — did you mean one of: {}?",
+                    trees.join(", ")
+                )
+            }
         }
     }
 }
@@ -715,6 +756,53 @@ mod tests {
         assert!(cells
             .iter()
             .any(|c| c.algorithm == "mis/luby" && c.generator == "tree/random"));
+    }
+
+    #[test]
+    fn tree_rc_cells_expand_only_on_tree_families() {
+        let spec = SweepSpec {
+            algorithms: vec!["mis/tree-rc".into(), "mis/luby".into()],
+            generators: vec!["regular/4".into(), "tree/spider".into()],
+            sizes: vec![32],
+            seeds: 2,
+            master_seed: 0,
+            params: Vec::new(),
+        };
+        let cells = spec.cells().unwrap();
+        assert!(cells
+            .iter()
+            .any(|c| c.algorithm == "mis/tree-rc" && c.generator == "tree/spider"));
+        assert!(!cells
+            .iter()
+            .any(|c| c.algorithm == "mis/tree-rc" && c.generator == "regular/4"));
+        assert!(cells
+            .iter()
+            .any(|c| c.algorithm == "mis/luby" && c.generator == "regular/4"));
+    }
+
+    #[test]
+    fn forcing_tree_rc_onto_cyclic_families_errors_with_tree_suggestions() {
+        let spec = SweepSpec {
+            algorithms: vec!["coloring/tree-rc".into()],
+            generators: vec!["regular/4".into(), "gnp/deg8".into()],
+            sizes: vec![32],
+            seeds: 1,
+            master_seed: 0,
+            params: Vec::new(),
+        };
+        let err = spec.cells().unwrap_err();
+        let SweepError::NotATree {
+            algorithm,
+            ref generator,
+        } = err
+        else {
+            panic!("expected NotATree, got {err}");
+        };
+        assert_eq!(algorithm, "coloring/tree-rc");
+        assert_eq!(generator, "regular/4");
+        let msg = err.to_string();
+        assert!(msg.contains("only runs on forests"), "{msg}");
+        assert!(msg.contains("tree/caterpillar"), "{msg}");
     }
 
     #[test]

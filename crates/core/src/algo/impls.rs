@@ -18,7 +18,8 @@ use crate::matching::LubyMatchParams;
 use crate::mis::{DegreeGuidedParams, LubyMisParams};
 use crate::orientation::{DetOrientParams, RandOrientParams};
 use crate::ruling::DetRulingParams;
-use crate::{coloring, matching, mis, orientation, ruling};
+use crate::{coloring, matching, mis, orientation, ruling, treerc};
+use localavg_graph::decomp::NotATree;
 use localavg_graph::Graph;
 
 /// Parses a float parameter in `(0, hi]`.
@@ -684,6 +685,108 @@ impl Algorithm for ColoringLinial {
         ws: &mut Workspace,
     ) -> AlgoRun {
         AlgoRun::from(coloring::linial_spec(g, spec, ws)).named(self.name())
+    }
+}
+
+/// Panic message shared by the `*/tree-rc` wrappers when the tree-domain
+/// filters were bypassed and a cyclic graph reached a tree algorithm.
+fn expect_tree(name: &'static str, result: Result<AlgoRun, NotATree>) -> AlgoRun {
+    result.unwrap_or_else(|e| {
+        panic!(
+            "{name} is restricted to forests but was handed a cyclic graph ({e}); \
+             sweep/fuzz domain filters only pair `*/tree-rc` with tree generators — \
+             pick a `tree/*` (or `path`) family when forcing this algorithm by hand"
+        )
+    })
+}
+
+/// Rake-and-compress greedy MIS on forests (`"mis/tree-rc"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MisTreeRc;
+
+impl Algorithm for MisTreeRc {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "mis/tree-rc"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Mis
+    }
+
+    fn requires_tree(&self) -> bool {
+        true
+    }
+
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        _params: &(),
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        expect_tree(self.name(), treerc::mis_spec(g, spec, ws))
+    }
+}
+
+/// Rake-and-compress (2,2)-ruling set on forests (`"ruling/tree-rc"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RulingTreeRc;
+
+impl Algorithm for RulingTreeRc {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "ruling/tree-rc"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::RulingSet
+    }
+
+    fn requires_tree(&self) -> bool {
+        true
+    }
+
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        _params: &(),
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        expect_tree(self.name(), treerc::ruling_spec(g, spec, ws))
+    }
+}
+
+/// Rake-and-compress 3-coloring on forests (`"coloring/tree-rc"`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ColoringTreeRc;
+
+impl Algorithm for ColoringTreeRc {
+    type Params = ();
+
+    fn name(&self) -> &'static str {
+        "coloring/tree-rc"
+    }
+
+    fn problem(&self) -> Problem {
+        Problem::Coloring
+    }
+
+    fn requires_tree(&self) -> bool {
+        true
+    }
+
+    fn execute_with_in(
+        &self,
+        g: &Graph,
+        spec: &RunSpec,
+        _params: &(),
+        ws: &mut Workspace,
+    ) -> AlgoRun {
+        expect_tree(self.name(), treerc::coloring_spec(g, spec, ws))
     }
 }
 

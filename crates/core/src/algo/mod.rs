@@ -48,9 +48,10 @@
 //! run.verify(&g).expect("valid MIS");
 //! assert!(run.report(&g).node_averaged < 32.0);
 //!
-//! // …or sweep everything that solves a node problem.
+//! // …or sweep everything whose domain fits the graph (degree floor,
+//! // and the `*/tree-rc` family only runs on forests).
 //! for algo in registry().iter() {
-//!     if algo.problem().min_degree() <= g.min_degree() {
+//!     if algo.problem().min_degree() <= g.min_degree() && !algo.requires_tree() {
 //!         let run = algo.execute(&g, &RunSpec::new(7));
 //!         run.verify(&g).expect("every algorithm is valid");
 //!     }
@@ -82,8 +83,9 @@
 mod impls;
 
 pub use impls::{
-    ColoringLinial, ColoringTrial, DetRulingSpec, MatchingDet, MatchingGreedy, MatchingLuby,
-    MisDegreeGuided, MisGreedy, MisLuby, OrientationDet, OrientationRand, RulingDet, RulingTwoTwo,
+    ColoringLinial, ColoringTreeRc, ColoringTrial, DetRulingSpec, MatchingDet, MatchingGreedy,
+    MatchingLuby, MisDegreeGuided, MisGreedy, MisLuby, MisTreeRc, OrientationDet, OrientationRand,
+    RulingDet, RulingTreeRc, RulingTwoTwo,
 };
 
 use crate::coloring::ColoringRun;
@@ -621,6 +623,16 @@ pub trait Algorithm {
         false
     }
 
+    /// Whether the algorithm's domain is restricted to forests. Sweep and
+    /// fuzz sampling only pair `true` algorithms with generators flagged
+    /// [`localavg_graph::gen::NamedGenerator::is_tree`]; forcing such a
+    /// pairing by hand yields a
+    /// [`localavg_graph::decomp::NotATree`]-carrying panic from
+    /// [`Algorithm::execute_with_in`].
+    fn requires_tree(&self) -> bool {
+        false
+    }
+
     /// Runs under `spec` with explicit parameters, reusing the arenas in
     /// `ws` — the primary entry point every implementation provides.
     ///
@@ -722,6 +734,9 @@ pub trait DynAlgorithm: Send + Sync {
     fn problem(&self) -> Problem;
     /// Whether the seed is ignored.
     fn deterministic(&self) -> bool;
+    /// Whether the algorithm's domain is restricted to forests (see
+    /// [`Algorithm::requires_tree`]).
+    fn requires_tree(&self) -> bool;
     /// Runs under `spec` with this instance's parameters (defaults for
     /// registry entries; overridden values for configured instances).
     fn execute(&self, g: &Graph, spec: &RunSpec) -> AlgoRun;
@@ -766,6 +781,10 @@ where
 
     fn deterministic(&self) -> bool {
         Algorithm::deterministic(self)
+    }
+
+    fn requires_tree(&self) -> bool {
+        Algorithm::requires_tree(self)
     }
 
     fn execute(&self, g: &Graph, spec: &RunSpec) -> AlgoRun {
@@ -815,6 +834,10 @@ where
 
     fn deterministic(&self) -> bool {
         Algorithm::deterministic(&self.algo)
+    }
+
+    fn requires_tree(&self) -> bool {
+        Algorithm::requires_tree(&self.algo)
     }
 
     fn execute(&self, g: &Graph, spec: &RunSpec) -> AlgoRun {
@@ -912,6 +935,9 @@ impl Registry {
 /// | `orientation/det` | sinkless orientation | Theorem 6 |
 /// | `coloring/trial` | coloring | §1.2, random (Δ+1) trials |
 /// | `coloring/linial` | coloring | Linial's O(log* n) |
+/// | `mis/tree-rc` | MIS | rake-and-compress, trees only |
+/// | `ruling/tree-rc` | ruling set | rake-and-compress (2,2), trees only |
+/// | `coloring/tree-rc` | coloring | rake-and-compress 3-coloring, trees only |
 pub fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
@@ -928,6 +954,9 @@ pub fn registry() -> &'static Registry {
             &OrientationDet,
             &ColoringTrial,
             &ColoringLinial,
+            &MisTreeRc,
+            &RulingTreeRc,
+            &ColoringTreeRc,
         ],
     })
 }
@@ -954,7 +983,7 @@ mod tests {
         ] {
             assert!(registry().get(key).is_some(), "missing {key}");
         }
-        assert_eq!(registry().len(), 12);
+        assert_eq!(registry().len(), 15);
     }
 
     #[test]
@@ -1035,7 +1064,7 @@ mod tests {
         let mut rng = Rng::seed_from(9);
         let g = gen::random_regular(32, 4, &mut rng).unwrap();
         for algo in registry().iter() {
-            if algo.problem().min_degree() > g.min_degree() {
+            if algo.problem().min_degree() > g.min_degree() || algo.requires_tree() {
                 continue;
             }
             let run = algo.execute(&g, &RunSpec::new(3));
@@ -1060,7 +1089,7 @@ mod tests {
             total += names.len();
         }
         assert_eq!(total, r.len(), "every algorithm belongs to one problem");
-        assert_eq!(r.by_problem(Problem::Mis).count(), 3);
+        assert_eq!(r.by_problem(Problem::Mis).count(), 4);
     }
 
     #[test]
@@ -1081,7 +1110,7 @@ mod tests {
         let mut ws = Workspace::new();
         let spec = RunSpec::new(9);
         for algo in registry().iter() {
-            if algo.problem().min_degree() > g.min_degree() {
+            if algo.problem().min_degree() > g.min_degree() || algo.requires_tree() {
                 continue;
             }
             // Twice through the same workspace (second run reuses arenas),
@@ -1112,7 +1141,7 @@ mod tests {
         let mut rng = Rng::seed_from(13);
         let g = gen::random_regular(48, 4, &mut rng).unwrap();
         for algo in registry().iter() {
-            if algo.problem().min_degree() > g.min_degree() {
+            if algo.problem().min_degree() > g.min_degree() || algo.requires_tree() {
                 continue;
             }
             let full = algo.execute(&g, &RunSpec::new(4));

@@ -50,6 +50,7 @@ pub mod mis;
 pub mod orientation;
 pub mod ruling;
 pub mod subroutines;
+pub mod treerc;
 
 /// Re-exported validators (they live with the graph substrate).
 pub mod verify {

@@ -114,19 +114,8 @@ impl Ledger {
         }
         t.rounds = max_clock;
         // Hand-built transcripts carry the same live-frontier ledger the
-        // engine records: entry r counts the nodes still live after
-        // round r (halt round > r), via a halt-round histogram and a
-        // suffix sum — O(n + rounds).
-        let mut halts_at = vec![0usize; max_clock + 1];
-        for v in g.nodes() {
-            halts_at[t.node_halt_round[v]] += 1;
-        }
-        t.live_after_round = vec![0; max_clock + 1];
-        let mut live = 0;
-        for r in (0..max_clock).rev() {
-            live += halts_at[r + 1];
-            t.live_after_round[r] = live;
-        }
+        // engine records — rebuilt from the halt rounds in O(n + rounds).
+        t.rebuild_live_ledger();
         t
     }
 }

@@ -1,0 +1,361 @@
+//! Rake-and-compress decompositions of trees and forests (DESIGN.md §11).
+//!
+//! The follow-up papers to the source paper — arXiv 2308.04251 and
+//! 2405.01366, which complete the node-averaged complexity landscape of
+//! LCLs on trees — build every algorithm on the same substrate: a
+//! *rake-and-compress decomposition* in the style of Miller–Reif, peeled
+//! in O(log n) phases where each phase
+//!
+//! 1. **rakes** every node whose remaining degree is ≤ 1 (leaves and
+//!    isolated nodes), and then
+//! 2. **compresses** every remaining degree-2 node whose seeded priority
+//!    is a strict local minimum among its still-alive neighbors.
+//!
+//! Both sub-steps are *O(1)-locally computable*: a node decides from its
+//! own alive-degree and its neighbors' alive-degrees and priorities, so
+//! one phase costs O(1) rounds of the LOCAL model and a node removed in
+//! phase `k` knows its layer by round `O(k)`. Compressed nodes form an
+//! independent set (two adjacent degree-2 nodes cannot both be strict
+//! local minima), so simultaneous removal is consistent. On any forest
+//! the alive set shrinks by a constant factor per phase in expectation —
+//! leaves rake away and ~1/3 of every surviving chain compresses — which
+//! gives the O(log n) depth the [`RcDecomposition`] invariant tests
+//! verify across every tree family in the registry.
+//!
+//! The decomposition is a **pure function of `(graph, seed)`**: priorities
+//! are [`crate::rng::splitmix64`] hashes of `(seed, node id)` with ids
+//! breaking ties, the peeling loop is sequential and index-ordered, and
+//! no thread count or scheduling enters anywhere. The same `(graph,
+//! seed)` pair yields byte-identical layers on every platform — the
+//! property the content-addressed cell cache of the bench layer relies
+//! on.
+//!
+//! Non-forest inputs are rejected up front with a typed [`NotATree`]
+//! (counting nodes, edges, and components), never a panic: the `*/tree-rc`
+//! algorithms built on this module surface that error through the sweep
+//! and fuzz domain filters.
+
+use crate::analysis;
+use crate::rng::splitmix64;
+use crate::Graph;
+use std::fmt;
+
+/// How a node left the peeling process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RcLabel {
+    /// Removed in the rake sub-step (alive degree ≤ 1).
+    Rake,
+    /// Removed in the compress sub-step (alive degree 2, strict local
+    /// priority minimum).
+    Compress,
+}
+
+/// The input was not a forest, so no rake-and-compress decomposition
+/// exists (a cycle never rakes and never fully compresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotATree {
+    /// Node count of the offending graph.
+    pub nodes: usize,
+    /// Edge count of the offending graph (`edges ≥ nodes - components`
+    /// witnesses the cycle).
+    pub edges: usize,
+    /// Connected components of the offending graph.
+    pub components: usize,
+}
+
+impl fmt::Display for NotATree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "not a tree: {} nodes, {} edges, {} component(s) — a forest has \
+             exactly nodes - components edges ({})",
+            self.nodes,
+            self.edges,
+            self.components,
+            self.nodes - self.components.min(self.nodes),
+        )
+    }
+}
+
+impl std::error::Error for NotATree {}
+
+/// A rake-and-compress decomposition: one `(layer, label)` pair per node,
+/// plus the seeded priorities the compress sub-step (and the `*/tree-rc`
+/// algorithms' tie-breaks) used.
+///
+/// Layers are 1-based phase indices; every node belongs to exactly one
+/// layer and [`RcDecomposition::depth`] is their maximum — O(log n) with
+/// high probability on any forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RcDecomposition {
+    layer: Vec<u32>,
+    label: Vec<RcLabel>,
+    priority: Vec<u64>,
+    depth: u32,
+}
+
+/// The seeded priority of node `v` — a [`splitmix64`] hash of `(seed,
+/// v)`. Strictly totally ordered together with the id tie-break of
+/// [`RcDecomposition::before`].
+fn node_priority(seed: u64, v: usize) -> u64 {
+    let mut s = seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s)
+}
+
+impl RcDecomposition {
+    /// Peels `g` into rake/compress layers, deterministically from
+    /// `(g, seed)`.
+    ///
+    /// Total work is O(n + m) amortized: each phase scans only the
+    /// still-alive nodes, and the alive set shrinks geometrically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotATree`] when `g` contains a cycle (any graph that is
+    /// not a forest).
+    pub fn compute(g: &Graph, seed: u64) -> Result<RcDecomposition, NotATree> {
+        if !analysis::is_forest(g) {
+            let (_, components) = analysis::components(g);
+            return Err(NotATree {
+                nodes: g.n(),
+                edges: g.m(),
+                components,
+            });
+        }
+        let n = g.n();
+        let priority: Vec<u64> = (0..n).map(|v| node_priority(seed, v)).collect();
+        let mut layer = vec![0u32; n];
+        let mut label = vec![RcLabel::Rake; n];
+        let mut alive_deg: Vec<usize> = g.degrees().collect();
+        let mut alive: Vec<bool> = vec![true; n];
+        // The shrinking worklist: scanning only survivors makes the whole
+        // peel O(n) amortized under geometric decay.
+        let mut frontier: Vec<usize> = (0..n).collect();
+        let mut phase = 0u32;
+        while !frontier.is_empty() {
+            phase += 1;
+            // Rake: decisions are taken against the degree snapshot at
+            // the start of the phase (collect first, remove after), so
+            // the outcome is order-independent — adjacent degree-1 nodes
+            // of a 2-node component rake together.
+            let raked: Vec<usize> = frontier
+                .iter()
+                .copied()
+                .filter(|&v| alive_deg[v] <= 1)
+                .collect();
+            for &v in &raked {
+                alive[v] = false;
+                layer[v] = phase;
+                label[v] = RcLabel::Rake;
+            }
+            for &v in &raked {
+                for u in g.neighbor_ids(v) {
+                    if alive[u] {
+                        alive_deg[u] -= 1;
+                    }
+                }
+            }
+            // Compress: against the post-rake snapshot, a degree-2 node
+            // with a strictly locally minimal (priority, id) goes. Two
+            // adjacent candidates cannot both be local minima, so the
+            // compressed set is independent and simultaneous removal is
+            // consistent.
+            let compressed: Vec<usize> = frontier
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    alive[v]
+                        && alive_deg[v] == 2
+                        && g.neighbor_ids(v)
+                            .filter(|&u| alive[u])
+                            .all(|u| (priority[v], v) < (priority[u], u))
+                })
+                .collect();
+            for &v in &compressed {
+                alive[v] = false;
+                layer[v] = phase;
+                label[v] = RcLabel::Compress;
+            }
+            for &v in &compressed {
+                for u in g.neighbor_ids(v) {
+                    if alive[u] {
+                        alive_deg[u] -= 1;
+                    }
+                }
+            }
+            frontier.retain(|&v| alive[v]);
+            debug_assert!(
+                phase as usize <= n.max(1),
+                "rake-and-compress failed to terminate on a forest"
+            );
+        }
+        Ok(RcDecomposition {
+            layer,
+            label,
+            priority,
+            depth: phase,
+        })
+    }
+
+    /// The 1-based peeling phase that removed node `v`.
+    pub fn layer(&self, v: usize) -> u32 {
+        self.layer[v]
+    }
+
+    /// Whether node `v` was raked or compressed.
+    pub fn label(&self, v: usize) -> RcLabel {
+        self.label[v]
+    }
+
+    /// The seeded priority of node `v` (the compress tie-break; also the
+    /// deterministic tie-break the `*/tree-rc` algorithms reuse).
+    pub fn priority(&self, v: usize) -> u64 {
+        self.priority[v]
+    }
+
+    /// Number of peeling phases — the decomposition's depth, O(log n)
+    /// with high probability.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.layer.len()
+    }
+
+    /// The strict total *removal order* of the peel: phases ascend, the
+    /// rake sub-step precedes the compress sub-step within a phase, and
+    /// `(priority, id)` breaks ties inside a sub-step. The `*/tree-rc`
+    /// algorithms schedule their commits along this order (or its
+    /// reverse), so it is the one place the order is defined.
+    pub fn before(&self, a: usize, b: usize) -> bool {
+        self.order_key(a) < self.order_key(b)
+    }
+
+    /// The sortable key behind [`RcDecomposition::before`].
+    pub fn order_key(&self, v: usize) -> (u32, u8, u64, usize) {
+        let sub = match self.label[v] {
+            RcLabel::Rake => 0u8,
+            RcLabel::Compress => 1u8,
+        };
+        (self.layer[v], sub, self.priority[v], v)
+    }
+
+    /// Every node index, sorted by the removal order (earliest removed
+    /// first).
+    pub fn removal_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.n()).collect();
+        order.sort_unstable_by_key(|&v| self.order_key(v));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::rng::Rng;
+
+    #[test]
+    fn path_decomposes_with_logarithmic_depth() {
+        let g = gen::path(1024);
+        let d = RcDecomposition::compute(&g, 7).expect("path is a tree");
+        assert!(d.layer.iter().all(|&l| l >= 1), "every node gets a layer");
+        assert_eq!(d.depth, *d.layer.iter().max().unwrap());
+        // 4·log2(n) is generous: the expected decay is ≥ 1/3 per phase.
+        assert!(
+            d.depth() <= 4 * 10 + 4,
+            "depth {} is not O(log n) on P_1024",
+            d.depth()
+        );
+    }
+
+    #[test]
+    fn star_rakes_in_two_phases() {
+        let g = gen::star(64);
+        let d = RcDecomposition::compute(&g, 0).expect("star is a tree");
+        // Leaves rake in phase 1; the then-isolated hub rakes in phase 2.
+        assert_eq!(d.depth(), 2);
+        assert!(
+            (1..64).all(|v| d.layer(v) == 1 && d.label(v) == RcLabel::Rake),
+            "every leaf rakes in phase 1"
+        );
+        assert_eq!(d.layer(0), 2);
+    }
+
+    #[test]
+    fn compressed_nodes_form_an_independent_set() {
+        let g = gen::path(512);
+        let d = RcDecomposition::compute(&g, 3).expect("tree");
+        for (e, u, v) in g.edges() {
+            let both = d.label(u) == RcLabel::Compress
+                && d.label(v) == RcLabel::Compress
+                && d.layer(u) == d.layer(v);
+            assert!(!both, "edge {e}: adjacent same-phase compressions");
+        }
+        // A long path must actually exercise the compress sub-step.
+        assert!(
+            (0..g.n()).any(|v| d.label(v) == RcLabel::Compress),
+            "no node was ever compressed on P_512"
+        );
+    }
+
+    #[test]
+    fn deterministic_from_graph_and_seed() {
+        let mut rng = Rng::seed_from(11);
+        let g = gen::random_tree(300, &mut rng);
+        let a = RcDecomposition::compute(&g, 42).unwrap();
+        let b = RcDecomposition::compute(&g, 42).unwrap();
+        assert_eq!(a, b);
+        let c = RcDecomposition::compute(&g, 43).unwrap();
+        assert_ne!(
+            a.priority, c.priority,
+            "different seeds must draw different priorities"
+        );
+    }
+
+    #[test]
+    fn cycles_are_rejected_not_panicked() {
+        let g = gen::cycle(12);
+        let err = RcDecomposition::compute(&g, 0).expect_err("cycle");
+        assert_eq!(
+            err,
+            NotATree {
+                nodes: 12,
+                edges: 12,
+                components: 1
+            }
+        );
+        assert!(err.to_string().contains("not a tree"));
+    }
+
+    #[test]
+    fn forests_and_degenerate_sizes_are_accepted() {
+        // A forest (two disjoint paths) is fine — rake-and-compress never
+        // needs connectivity.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap();
+        let d = RcDecomposition::compute(&g, 1).expect("forest");
+        assert!(d.layer.iter().all(|&l| l >= 1));
+        let empty = RcDecomposition::compute(&Graph::empty(0), 1).expect("empty");
+        assert_eq!(empty.depth(), 0);
+        let single = RcDecomposition::compute(&Graph::empty(1), 1).expect("single");
+        assert_eq!((single.depth(), single.layer(0)), (1, 1));
+    }
+
+    #[test]
+    fn removal_order_is_a_permutation_consistent_with_before() {
+        let mut rng = Rng::seed_from(5);
+        let g = gen::random_tree(64, &mut rng);
+        let d = RcDecomposition::compute(&g, 9).unwrap();
+        let order = d.removal_order();
+        let mut seen = vec![false; g.n()];
+        for &v in &order {
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "order must be a permutation");
+        for w in order.windows(2) {
+            assert!(d.before(w[0], w[1]));
+        }
+    }
+}

@@ -633,13 +633,16 @@ pub struct NamedGenerator {
     description: &'static str,
     min_degree_of: fn(usize) -> usize,
     build_fn: fn(usize, u64) -> Result<Graph, GraphError>,
+    is_tree: bool,
 }
 
 impl NamedGenerator {
     /// Declares a named family. Public so downstream crates can
     /// contribute entries (the lower-bound hard instances of
     /// `localavg-lowerbound` cannot live here without a dependency
-    /// cycle); compose them with [`GenRegistry::from_entries`].
+    /// cycle); compose them with [`GenRegistry::from_entries`]. Families
+    /// whose every instance is a tree or forest additionally call
+    /// [`NamedGenerator::tree`].
     pub fn new(
         name: &'static str,
         description: &'static str,
@@ -651,7 +654,18 @@ impl NamedGenerator {
             description,
             min_degree_of,
             build_fn,
+            is_tree: false,
         }
+    }
+
+    /// Marks this family as guaranteed acyclic: every instance, at every
+    /// size and seed, is a tree or forest. This is the static domain
+    /// guarantee the sweep and fuzz drivers use to pair `*/tree-rc`
+    /// algorithms only with inputs their [`crate::decomp`] layer accepts
+    /// — the tree-shaped counterpart of [`NamedGenerator::min_degree`].
+    pub fn tree(mut self) -> NamedGenerator {
+        self.is_tree = true;
+        self
     }
 
     /// Stable registry key, e.g. `"regular/3"`.
@@ -671,6 +685,12 @@ impl NamedGenerator {
     /// this family without building the graph first.
     pub fn min_degree(&self, n: usize) -> usize {
         (self.min_degree_of)(n)
+    }
+
+    /// Whether every instance of this family is guaranteed to be a tree
+    /// or forest (see [`NamedGenerator::tree`]).
+    pub fn is_tree(&self) -> bool {
+        self.is_tree
     }
 
     /// Builds an instance of target size `n` from `seed`.
@@ -893,126 +913,147 @@ pub fn registry() -> &'static GenRegistry {
                 description: "path P_n",
                 min_degree_of: md_zero,
                 build_fn: build_path,
+                is_tree: true,
             },
             NamedGenerator {
                 name: "cycle",
                 description: "cycle C_n (n rounded up to 3)",
                 min_degree_of: md_cycle,
                 build_fn: build_cycle,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "grid",
                 description: "near-square grid of ~n nodes",
                 min_degree_of: md_grid,
                 build_fn: build_grid,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "hypercube",
                 description: "hypercube Q_d on the largest 2^d <= n nodes",
                 min_degree_of: md_hypercube,
                 build_fn: build_hypercube,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "tree/random",
                 description: "uniform random labelled tree (Prüfer)",
                 min_degree_of: md_tree,
                 build_fn: build_tree_random,
+                is_tree: true,
             },
             NamedGenerator {
                 name: "tree/binary",
                 description: "complete binary tree",
                 min_degree_of: md_tree,
                 build_fn: build_tree_binary,
+                is_tree: true,
             },
             NamedGenerator {
                 name: "tree/bounded/3",
                 description: "random tree with maximum degree 3 (random attachment)",
                 min_degree_of: md_tree,
                 build_fn: build_tree_bounded::<3>,
+                is_tree: true,
             },
             NamedGenerator {
                 name: "tree/bounded/8",
                 description: "random tree with maximum degree 8 (random attachment)",
                 min_degree_of: md_tree,
                 build_fn: build_tree_bounded::<8>,
+                is_tree: true,
             },
             NamedGenerator {
                 name: "tree/caterpillar",
                 description: "caterpillar: ~n/4 spine nodes with 3 pendant leaves each",
                 min_degree_of: md_tree,
                 build_fn: build_tree_caterpillar,
+                is_tree: true,
             },
             NamedGenerator {
                 name: "tree/spider",
                 description: "spider: ~sqrt(n) legs of ~sqrt(n) nodes on a central hub",
                 min_degree_of: md_tree,
                 build_fn: build_tree_spider,
+                is_tree: true,
             },
             NamedGenerator {
                 name: "regular/3",
                 description: "random 3-regular graph (parity-adjusted n)",
                 min_degree_of: md_regular::<3>,
                 build_fn: build_regular::<3>,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "regular/4",
                 description: "random 4-regular graph",
                 min_degree_of: md_regular::<4>,
                 build_fn: build_regular::<4>,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "regular/8",
                 description: "random 8-regular graph",
                 min_degree_of: md_regular::<8>,
                 build_fn: build_regular::<8>,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "regular/16",
                 description: "random 16-regular graph",
                 min_degree_of: md_regular::<16>,
                 build_fn: build_regular::<16>,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "gnp/0.01",
                 description: "Erdős–Rényi G(n, 0.01)",
                 min_degree_of: md_zero,
                 build_fn: build_gnp_001,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "gnp/0.05",
                 description: "Erdős–Rényi G(n, 0.05)",
                 min_degree_of: md_zero,
                 build_fn: build_gnp_005,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "gnp/deg8",
                 description: "Erdős–Rényi G(n, 8/n), constant average degree",
                 min_degree_of: md_zero,
                 build_fn: build_gnp_deg8,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "powerlaw/2.1",
                 description: "Chung–Lu power law, exponent 2.1, mean degree ~8",
                 min_degree_of: md_zero,
                 build_fn: build_powerlaw::<21>,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "powerlaw/2.5",
                 description: "Chung–Lu power law, exponent 2.5, mean degree ~8",
                 min_degree_of: md_zero,
                 build_fn: build_powerlaw::<25>,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "pref-attach/4",
                 description: "Barabási–Albert preferential attachment, 4 edges per node",
                 min_degree_of: md_pref_attach,
                 build_fn: build_pref_attach,
+                is_tree: false,
             },
             NamedGenerator {
                 name: "rmat/16",
                 description: "R-MAT 0.57/0.19/0.19/0.05 on 2^d <= n nodes, ~16 avg degree",
                 min_degree_of: md_zero,
                 build_fn: build_rmat,
+                is_tree: false,
             },
         ],
     })
@@ -1022,6 +1063,47 @@ pub fn registry() -> &'static GenRegistry {
 mod tests {
     use super::*;
     use crate::analysis;
+
+    #[test]
+    fn tree_flags_match_reality() {
+        // Every family flagged as a tree must build forests at every
+        // probed size and seed; the probe also pins the exact flagged
+        // set, so a new tree family missing its `.tree()` (or a cyclic
+        // family gaining one) fails here.
+        let flagged: Vec<&str> = registry()
+            .iter()
+            .filter(|g| g.is_tree())
+            .map(|g| g.name())
+            .collect();
+        assert_eq!(
+            flagged,
+            [
+                "path",
+                "tree/random",
+                "tree/binary",
+                "tree/bounded/3",
+                "tree/bounded/8",
+                "tree/caterpillar",
+                "tree/spider",
+            ]
+        );
+        for fam in registry().iter() {
+            for n in [1usize, 2, 7, 64] {
+                for seed in [0u64, 9] {
+                    let g = fam.build(n, seed).expect("family builds");
+                    if fam.is_tree() {
+                        assert!(
+                            analysis::is_forest(&g),
+                            "{} claims tree but built a cycle at n={n}",
+                            fam.name()
+                        );
+                    }
+                }
+            }
+        }
+        assert!(!registry().get("cycle").unwrap().is_tree());
+        assert!(!registry().get("gnp/deg8").unwrap().is_tree());
+    }
 
     #[test]
     fn path_and_cycle() {

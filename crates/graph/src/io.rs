@@ -548,6 +548,164 @@ pub fn read_graph_from_path_with_hash<P: AsRef<Path>>(path: P) -> Result<(Graph,
     read_graph_with_hash(File::open(path).map_err(ReadError::Io)?)
 }
 
+// ---------------------------------------------------------------------------
+// Plain-text edge-list import (SNAP-style)
+// ---------------------------------------------------------------------------
+
+/// A graph imported from a plain-text edge list, with the normalization
+/// statistics `exp import` reports.
+#[derive(Debug)]
+pub struct ImportedGraph {
+    /// The built simple undirected graph (dense 0-based node ids).
+    pub graph: Graph,
+    /// Distinct raw node ids seen (= `graph.n()`).
+    pub nodes: usize,
+    /// Edges kept after normalization (= `graph.m()`).
+    pub edges: usize,
+    /// Self-loop lines dropped.
+    pub self_loops: usize,
+    /// Duplicate edge lines dropped (both orientations of an undirected
+    /// edge count as duplicates of each other).
+    pub duplicates: usize,
+    /// Comment / blank lines skipped.
+    pub comments: usize,
+}
+
+/// Why a text edge list failed to import.
+#[derive(Debug)]
+pub enum ImportError {
+    /// The reader failed.
+    Io(io::Error),
+    /// A data line failed to parse (1-based line number and explanation).
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The normalized edge stream was rejected by the builder (cannot
+    /// happen for in-range remapped ids; kept for honesty).
+    Graph(crate::GraphError),
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Io(e) => write!(f, "read failed: {e}"),
+            ImportError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            ImportError::Graph(e) => write!(f, "graph build rejected the edge list: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Imports a whitespace-separated edge-list text (the SNAP download
+/// format): one `u v` pair of non-negative integer node ids per line,
+/// `#`- or `%`-prefixed comment lines and blank lines skipped.
+///
+/// Normalization, in order:
+///
+/// 1. raw ids are remapped to dense 0-based ids by **sorted numeric
+///    order** (deterministic and independent of edge order);
+/// 2. self-loops are dropped;
+/// 3. duplicate edges are dropped — SNAP files commonly list both
+///    orientations of each undirected edge, so `a b` and `b a` collapse
+///    to one edge;
+/// 4. the surviving edges are streamed through
+///    [`GraphBuilder::stream_edges`](crate::GraphBuilder::stream_edges)
+///    in normalized sorted order, which fixes the edge-id numbering.
+///
+/// The result is byte-stable: the same input text always produces the
+/// same [`content_hash`].
+///
+/// # Errors
+///
+/// [`ImportError::Io`] on read failures, [`ImportError::Parse`] (with a
+/// 1-based line number) for lines that are not two integer tokens.
+pub fn import_edge_list<R: io::BufRead>(r: R) -> Result<ImportedGraph, ImportError> {
+    let mut raw_edges: Vec<(u64, u64)> = Vec::new();
+    let mut ids: Vec<u64> = Vec::new();
+    let mut self_loops = 0usize;
+    let mut comments = 0usize;
+    for (idx, line) in r.lines().enumerate() {
+        let line = line.map_err(ImportError::Io)?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') || text.starts_with('%') {
+            comments += 1;
+            continue;
+        }
+        let mut tokens = text.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u64, ImportError> {
+            let tok = tok.ok_or(ImportError::Parse {
+                line: idx + 1,
+                message: "expected two node ids, found one".to_string(),
+            })?;
+            tok.parse::<u64>().map_err(|_| ImportError::Parse {
+                line: idx + 1,
+                message: format!("`{tok}` is not a non-negative integer node id"),
+            })
+        };
+        let u = parse(tokens.next())?;
+        let v = parse(tokens.next())?;
+        if let Some(extra) = tokens.next() {
+            return Err(ImportError::Parse {
+                line: idx + 1,
+                message: format!("trailing token `{extra}` after the two node ids"),
+            });
+        }
+        ids.push(u);
+        ids.push(v);
+        if u == v {
+            self_loops += 1;
+        } else {
+            raw_edges.push((u, v));
+        }
+    }
+    // Dense remap by sorted raw id (a node mentioned only by self-loops
+    // survives as an isolated node).
+    ids.sort_unstable();
+    ids.dedup();
+    let dense = |raw: u64| ids.binary_search(&raw).expect("id collected above");
+    let mut edges: Vec<(usize, usize)> = raw_edges
+        .iter()
+        .map(|&(u, v)| {
+            let (a, b) = (dense(u), dense(v));
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    edges.sort_unstable();
+    let before = edges.len();
+    edges.dedup();
+    let duplicates = before - edges.len();
+    let graph = crate::GraphBuilder::stream_edges(ids.len(), |sink| {
+        for &(u, v) in &edges {
+            sink.edge(u, v);
+        }
+    })
+    .map_err(ImportError::Graph)?;
+    Ok(ImportedGraph {
+        nodes: graph.n(),
+        edges: graph.m(),
+        graph,
+        self_loops,
+        duplicates,
+        comments,
+    })
+}
+
+/// [`import_edge_list`] from a file path.
+///
+/// # Errors
+///
+/// Same conditions as [`import_edge_list`]; open failures surface as
+/// [`ImportError::Io`].
+pub fn import_edge_list_from_path<P: AsRef<Path>>(path: P) -> Result<ImportedGraph, ImportError> {
+    import_edge_list(io::BufReader::new(
+        File::open(path).map_err(ImportError::Io)?,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,6 +907,66 @@ mod tests {
             read_graph_from_path(dir.join("missing.csr")),
             Err(ReadError::Io(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn import_parses_snap_text_with_comments_loops_and_duplicates() {
+        let text = "\
+# A SNAP-style header comment
+% a KONECT-style one
+10 20
+20 10
+20 30
+7 7
+
+30\t10
+";
+        let imp = import_edge_list(text.as_bytes()).unwrap();
+        // Raw ids {7, 10, 20, 30} → dense {0, 1, 2, 3} by sorted order;
+        // node 7 only ever appeared in a self-loop, so it is isolated.
+        assert_eq!(imp.nodes, 4);
+        assert_eq!(imp.edges, 3);
+        assert_eq!(imp.self_loops, 1);
+        assert_eq!(imp.duplicates, 1);
+        assert_eq!(imp.comments, 3);
+        assert!(imp.graph.find_edge(1, 2).is_some()); // 10–20
+        assert!(imp.graph.find_edge(2, 3).is_some()); // 20–30
+        assert!(imp.graph.find_edge(1, 3).is_some()); // 10–30
+        assert_eq!(imp.graph.degrees().collect::<Vec<_>>(), vec![0, 2, 2, 2]);
+    }
+
+    #[test]
+    fn import_is_byte_stable_and_edge_order_invariant() {
+        let a = import_edge_list("1 2\n2 3\n3 4\n".as_bytes()).unwrap();
+        let b = import_edge_list("3 4\n2 1\n3 2\n".as_bytes()).unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(content_hash(&a.graph), content_hash(&b.graph));
+    }
+
+    #[test]
+    fn import_rejects_malformed_lines_with_line_numbers() {
+        let one_token = import_edge_list("1 2\n3\n".as_bytes()).unwrap_err();
+        assert!(matches!(one_token, ImportError::Parse { line: 2, .. }));
+        let bad_token = import_edge_list("1 x\n".as_bytes()).unwrap_err();
+        assert!(matches!(bad_token, ImportError::Parse { line: 1, .. }));
+        let trailing = import_edge_list("1 2 0.5\n".as_bytes()).unwrap_err();
+        let msg = trailing.to_string();
+        assert!(msg.contains("line 1") && msg.contains("trailing"), "{msg}");
+    }
+
+    #[test]
+    fn import_roundtrips_through_the_csr_container() {
+        let dir = std::env::temp_dir().join(format!("localavg-import-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("imported.csr");
+        // A small tree written as a directed edge list with gaps in ids.
+        let imp = import_edge_list("100 5\n5 42\n42 9000\n".as_bytes()).unwrap();
+        write_graph_to_path(&file, &imp.graph).unwrap();
+        let (back, read_hash) = read_graph_from_path_with_hash(&file).unwrap();
+        assert_eq!(back, imp.graph);
+        assert_eq!(content_hash(&imp.graph), read_hash);
+        assert!(crate::analysis::is_forest(&back));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

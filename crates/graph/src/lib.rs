@@ -15,6 +15,9 @@
 //!   disjoint unions.
 //! * [`lift`] — random lifts of order `q` in the sense of Amit–Linial–Matoušek
 //!   \[ALM02\], the key tool of the paper's §4.5 (Lemma 12).
+//! * [`decomp`] — deterministic rake-and-compress decompositions of trees
+//!   and forests (the substrate of the `*/tree-rc` node-averaged
+//!   algorithms), with typed rejection of non-tree inputs.
 //! * [`analysis`] — BFS, connectivity, girth, tree-like view tests
 //!   (`G_k(v)` in the paper's notation), independence numbers, and validators
 //!   for every output object the paper's algorithms produce (independent
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod decomp;
 pub mod dot;
 pub mod gen;
 pub mod graph;

@@ -223,6 +223,40 @@ impl<NO, EO> Transcript<NO, EO> {
             r => Some(r),
         }
     }
+
+    /// Rebuilds [`Transcript::live_after_round`] from the per-node halt
+    /// ledger: entry `r` counts the nodes still live after round `r`
+    /// (halt round `> r`), computed as a halt-round histogram plus a
+    /// suffix sum — O(n + rounds).
+    ///
+    /// This is how *structural* algorithms (sinkless orientation's
+    /// deterministic construction, the `*/tree-rc` layer-peeling family)
+    /// hand-build transcripts that satisfy the same frontier-decay
+    /// invariant the round engine's O(1) live counter records: monotone
+    /// non-increasing, final entry zero. Callers set `rounds` and every
+    /// `node_halt_round` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node's halt round exceeds `self.rounds` (such a halt
+    /// could never have been observed by a `rounds`-round run).
+    pub fn rebuild_live_ledger(&mut self) {
+        let rounds = self.rounds;
+        let mut halts_at = vec![0usize; rounds + 1];
+        for &h in &self.node_halt_round {
+            assert!(
+                h <= rounds,
+                "node halt round {h} exceeds the transcript's {rounds} rounds"
+            );
+            halts_at[h] += 1;
+        }
+        self.live_after_round = vec![0; rounds + 1];
+        let mut live = 0;
+        for r in (0..rounds).rev() {
+            live += halts_at[r + 1];
+            self.live_after_round[r] = live;
+        }
+    }
 }
 
 impl<NO, EO> Transcript<NO, EO> {

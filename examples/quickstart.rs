@@ -50,19 +50,24 @@ fn main() {
 
     // The registry makes sweeping every algorithm a three-line loop;
     // one shared Workspace reuses the engine arenas across the runs.
-    println!("\nregistry sweep (node-avg on the same graph):");
+    // The forest-only `*/tree-rc` entries run on a same-size random
+    // tree — `requires_tree()` is the domain flag every consumer
+    // (sweep, fuzz, this loop) checks before pairing.
+    let tree = gen::random_tree(g.n(), &mut rng);
+    println!("\nregistry sweep (node-avg; `*/tree-rc` on a same-size tree):");
     let mut ws = Workspace::new();
     for algo in registry().iter() {
         if algo.problem().min_degree() > g.min_degree() {
             continue;
         }
-        let r = algo.execute_in(&g, &RunSpec::new(7), &mut ws);
-        r.verify(&g).expect("every registered algorithm is valid");
+        let g = if algo.requires_tree() { &tree } else { &g };
+        let r = algo.execute_in(g, &RunSpec::new(7), &mut ws);
+        r.verify(g).expect("every registered algorithm is valid");
         println!(
             "  {:<18} {:<22} {:>8.2}",
             algo.name(),
             algo.problem().label(),
-            r.report(&g).node_averaged
+            r.report(g).node_averaged
         );
     }
 }

@@ -26,7 +26,9 @@ fn every_randomized_algorithm_is_seed_deterministic() {
     let mut rng = Rng::seed_from(4);
     let g = gen::random_regular(96, 4, &mut rng).unwrap();
     for algo in registry().iter() {
-        if algo.problem().min_degree() > g.min_degree() {
+        if algo.problem().min_degree() > g.min_degree()
+            || (algo.requires_tree() && !localavg::graph::analysis::is_forest(&g))
+        {
             continue;
         }
         let a = algo.execute(&g, &RunSpec::new(9));
@@ -69,7 +71,9 @@ fn parallel_and_sequential_executors_are_bit_identical() {
             "instance too small to exercise chunking"
         );
         for algo in registry().iter() {
-            if algo.problem().min_degree() > g.min_degree() {
+            if algo.problem().min_degree() > g.min_degree()
+                || (algo.requires_tree() && !localavg::graph::analysis::is_forest(&g))
+            {
                 continue;
             }
             let seq = algo.execute(&g, &RunSpec::new(5));
@@ -116,7 +120,9 @@ fn chunk_geometry_is_invisible_in_every_transcript() {
     let g = gen::random_regular(90, 4, &mut rng).unwrap();
     let n = g.n();
     for algo in registry().iter() {
-        if algo.problem().min_degree() > g.min_degree() {
+        if algo.problem().min_degree() > g.min_degree()
+            || (algo.requires_tree() && !localavg::graph::analysis::is_forest(&g))
+        {
             continue;
         }
         let baseline = algo.execute(&g, &RunSpec::new(7));
@@ -142,7 +148,10 @@ fn deterministic_algorithms_ignore_the_seed() {
     let mut rng = Rng::seed_from(6);
     let g = gen::gnp(120, 0.07, &mut rng);
     for algo in registry().iter() {
-        if !algo.deterministic() || algo.problem().min_degree() > g.min_degree() {
+        if !algo.deterministic()
+            || algo.problem().min_degree() > g.min_degree()
+            || (algo.requires_tree() && !localavg::graph::analysis::is_forest(&g))
+        {
             continue;
         }
         assert_eq!(

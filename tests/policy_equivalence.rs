@@ -20,7 +20,9 @@ fn policies_agree_on_metrics_and_solutions() {
         .build(96, 5)
         .expect("instance");
     for algo in registry().iter() {
-        if algo.problem().min_degree() > g.min_degree() {
+        if algo.problem().min_degree() > g.min_degree()
+            || (algo.requires_tree() && !localavg::graph::analysis::is_forest(&g))
+        {
             continue;
         }
         let full = algo.execute(&g, &RunSpec::new(7));
@@ -84,7 +86,9 @@ fn policies_are_thread_count_invariant() {
         .expect("instance");
     assert!(g.n() >= localavg::sim::engine::PARALLEL_MIN_NODES);
     for algo in registry().iter() {
-        if algo.problem().min_degree() > g.min_degree() {
+        if algo.problem().min_degree() > g.min_degree()
+            || (algo.requires_tree() && !localavg::graph::analysis::is_forest(&g))
+        {
             continue;
         }
         for policy in [
@@ -135,7 +139,9 @@ fn workspace_reuse_is_policy_transparent() {
     let mut ws = Workspace::new();
     for round in 0..2 {
         for algo in registry().iter() {
-            if algo.problem().min_degree() > g.min_degree() {
+            if algo.problem().min_degree() > g.min_degree()
+                || (algo.requires_tree() && !localavg::graph::analysis::is_forest(&g))
+            {
                 continue;
             }
             for policy in [

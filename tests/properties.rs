@@ -27,7 +27,9 @@ fn every_node_and_edge_problem_is_valid_on_random_graphs() {
     // every algorithm whose domain admits the instance must verify.
     for (g, seed) in cases(12, 64, 1) {
         for algo in registry().iter() {
-            if algo.problem().min_degree() > g.min_degree() {
+            if algo.problem().min_degree() > g.min_degree()
+                || (algo.requires_tree() && !localavg::graph::analysis::is_forest(&g))
+            {
                 continue;
             }
             let run = algo.execute(&g, &RunSpec::new(seed));
@@ -415,4 +417,146 @@ fn power_graph_contains_original() {
             assert!(p.has_edge(u, v));
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Rake-and-compress decomposition properties (PR 9)
+// ---------------------------------------------------------------------------
+
+/// The registry's tree-flagged families — the sampling domain of the
+/// `*/tree-rc` algorithms.
+fn tree_families() -> Vec<&'static localavg::graph::gen::NamedGenerator> {
+    let fams: Vec<_> = localavg_bench::generators::registry()
+        .iter()
+        .filter(|f| f.is_tree())
+        .collect();
+    assert_eq!(fams.len(), 7, "expected the seven tree-flagged families");
+    fams
+}
+
+#[test]
+fn decomposition_partitions_every_tree_family_with_logarithmic_depth() {
+    use localavg::graph::decomp::RcDecomposition;
+    // Property: on every tree family × size × seed, every node lands in
+    // exactly one layer (1 ≤ layer(v) ≤ depth), the layer/label vectors
+    // are a pure function of (graph, seed), and the depth stays within
+    // c·log₂ n for a small explicit c (the rake-and-compress geometric
+    // decay; c = 4 leaves slack over the ~1/(1-...) constant).
+    for family in tree_families() {
+        for n in [8usize, 65, 256] {
+            for seed in [0u64, 9] {
+                let g = family
+                    .build(n, seed)
+                    .unwrap_or_else(|e| panic!("{} failed: {e:?}", family.name()));
+                let d = RcDecomposition::compute(&g, seed).unwrap_or_else(|e| {
+                    panic!("{} n={n}: tree family rejected: {e}", family.name())
+                });
+                let depth = d.depth();
+                assert!(depth >= 1, "{} n={n}: empty decomposition", family.name());
+                for v in g.nodes() {
+                    let layer = d.layer(v);
+                    assert!(
+                        (1..=depth).contains(&layer),
+                        "{} n={n}: node {v} in layer {layer} outside 1..={depth}",
+                        family.name()
+                    );
+                }
+                let bound = 4.0 * (g.n().max(2) as f64).log2().ceil() + 2.0;
+                assert!(
+                    (depth as f64) <= bound,
+                    "{} n={n}: depth {depth} exceeds {bound}",
+                    family.name()
+                );
+                let again = RcDecomposition::compute(&g, seed).unwrap();
+                for v in g.nodes() {
+                    assert_eq!(d.layer(v), again.layer(v), "{} layer", family.name());
+                    assert_eq!(d.label(v), again.label(v), "{} label", family.name());
+                }
+                let reseeded = RcDecomposition::compute(&g, seed ^ 0xDEAD).unwrap();
+                let _ = reseeded.depth(); // different seed must still be valid
+            }
+        }
+    }
+}
+
+#[test]
+fn tree_rc_transcripts_are_byte_identical_across_thread_counts() {
+    use localavg::core::algo::Exec;
+    // The structural `*/tree-rc` transcripts never enter the round
+    // engine, so executor and chunk geometry must be invisible — the
+    // same invariance contract the engine-driven algorithms satisfy.
+    for family in ["tree/bounded/3", "tree/spider"] {
+        let g = gen::registry()
+            .get(family)
+            .expect("registered family")
+            .build(300, 17)
+            .expect("instance");
+        for name in ["mis/tree-rc", "ruling/tree-rc", "coloring/tree-rc"] {
+            let algo = registry().get(name).expect("registered");
+            let seq = algo.execute(&g, &RunSpec::new(5));
+            for threads in [1usize, 2, 8] {
+                let par = algo.execute(&g, &RunSpec::new(5).with_exec(Exec::Parallel { threads }));
+                assert_eq!(seq.solution, par.solution, "{name} on {family}");
+                assert_eq!(
+                    seq.transcript, par.transcript,
+                    "{name} on {family} with {threads} thread(s)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tree_rc_is_valid_and_seed_deterministic_on_every_tree_family() {
+    for family in tree_families() {
+        let g = family.build(128, 3).expect("tree instance");
+        for name in ["mis/tree-rc", "ruling/tree-rc", "coloring/tree-rc"] {
+            let algo = registry().get(name).expect("registered");
+            let a = algo.execute(&g, &RunSpec::new(11));
+            a.verify(&g)
+                .unwrap_or_else(|e| panic!("{name} invalid on {}: {e}", family.name()));
+            let b = algo.execute(&g, &RunSpec::new(11));
+            assert_eq!(a.solution, b.solution, "{name} on {}", family.name());
+            assert_eq!(a.transcript, b.transcript, "{name} on {}", family.name());
+        }
+    }
+}
+
+#[test]
+fn tree_rc_node_average_stays_flat_while_worst_case_grows() {
+    use localavg::core::metrics::CompletionTimes;
+    // The tentpole claim at test scale: on growing bounded-degree trees,
+    // mis/ and ruling/tree-rc node-averaged completion stays O(1) (flat,
+    // small) while the worst case grows with log n. coloring/tree-rc is
+    // the negative control: its average tracks the worst case.
+    let fam = gen::registry().get("tree/bounded/3").expect("registered");
+    let mut worsts = Vec::new();
+    for n in [256usize, 1024, 4096] {
+        let g = fam.build(n, 5).expect("instance");
+        for name in ["mis/tree-rc", "ruling/tree-rc"] {
+            let run = registry()
+                .get(name)
+                .expect("registered")
+                .execute(&g, &RunSpec::new(2));
+            let avg = CompletionTimes::from_transcript(&g, &run.transcript).node_mean();
+            assert!(
+                avg < 12.0,
+                "{name} n={n}: node average {avg} should stay O(1)"
+            );
+        }
+        worsts.push(
+            registry()
+                .get("mis/tree-rc")
+                .expect("registered")
+                .execute(&g, &RunSpec::new(2))
+                .transcript
+                .rounds,
+        );
+    }
+    // Depth is seed-dependent, so individual steps may wobble; the
+    // endpoints must still show growth past the flat-average scale.
+    assert!(
+        worsts[2] > worsts[0] && worsts[2] > 12,
+        "worst case should grow with n: {worsts:?}"
+    );
 }
