@@ -286,10 +286,10 @@ fn run_single_algo(args: &[String], name: &str) {
         "termination-time node average    : {:.2}",
         rep.node_averaged_termination
     );
-    println!(
-        "CONGEST audit: peak message size = {} bits",
-        run.transcript.peak_message_bits()
-    );
+    match run.transcript.peak_message_bits() {
+        Some(bits) => println!("CONGEST audit: peak message size = {bits} bits"),
+        None => println!("CONGEST audit: skipped (transcript policy)"),
+    }
 }
 
 fn parse_scale(args: &[String]) -> Scale {

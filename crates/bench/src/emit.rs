@@ -26,9 +26,31 @@
 //!                 "n": 64, "runs": 2, "node_averaged": 2.4,
 //!                 "edge_averaged": 3.0, "node_expected": 5.5,
 //!                 "edge_expected": 6.0, "worst_case": 11.5,
-//!                 "chain_holds": true } ]
+//!                 "chain_holds": true,
+//!                 "distributions": {
+//!                   "node_time": { "count": 128, "mean": 2.4, "p50": 2,
+//!                                  "p90": 5, "p99": 8, "max": 9,
+//!                                  "histogram": [4, 30, 60, 30, 4] },
+//!                   "edge_time": { ... },
+//!                   "node_bits_sent": { ... } },
+//!                 "topology": {
+//!                   "nodes": 64, "edges": 128, "min_degree": 4,
+//!                   "max_degree": 4, "mean_degree": 4,
+//!                   "degree_histogram": [0, 0, 0, 64],
+//!                   "degree_assortativity": 0, "components": 1 } } ]
 //! }
 //! ```
+//!
+//! The `distributions` and `topology` objects are **additive** schema
+//! extensions: cell records are unchanged, and readers written against
+//! the original `localavg-sweep/v1` group shape keep working because
+//! every pre-existing key keeps its position and meaning. `node_time`
+//! and `edge_time` pool Definition 1 completion times across the
+//! group's runs; `node_bits_sent` pools per-node sent volume and is
+//! present only when every run in the group carried a full audit
+//! transcript. A cell's `peak_message_bits` is `null` when its run was
+//! not audited (never the case in a sweep document; `exp serve` can
+//! serve such cells under lean policies).
 //!
 //! The CSV emitters flatten the same data: [`cells_csv`] is one row per
 //! cell, [`groups_csv`] one row per (algorithm, generator, size) group.
@@ -55,15 +77,22 @@ pub(crate) fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders a float as a JSON number token. Finite values use Rust's
-/// shortest-round-trip formatting (deterministic); non-finite values
-/// (which no sweep metric produces) map to `null`.
+/// Renders a float as a JSON number token using Rust's
+/// shortest-round-trip formatting (deterministic).
+///
+/// # Panics
+///
+/// Panics on non-finite input. No sweep metric produces NaN or an
+/// infinity — every empty-set mean is pinned to `0.0` upstream (see
+/// `localavg_core::metrics::mean`) — so a non-finite value reaching the
+/// emitter is a bug in the metrics layer, and silently writing `null`
+/// (the old behavior) would hide it from every downstream reader.
 fn json_f64(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_string()
-    }
+    assert!(
+        x.is_finite(),
+        "non-finite value {x} reached the JSON emitter"
+    );
+    format!("{x}")
 }
 
 fn json_str_array(items: &[String]) -> String {
@@ -108,8 +137,9 @@ pub struct CellRow<'a> {
     pub node_worst: usize,
     /// Total rounds until global termination.
     pub rounds: usize,
-    /// Peak CONGEST message size, in bits.
-    pub peak_message_bits: usize,
+    /// Peak CONGEST message size, in bits; `None` (rendered as JSON
+    /// `null`) when the transcript policy skipped the audit pass.
+    pub peak_message_bits: Option<usize>,
 }
 
 /// Renders one `localavg-sweep/v1` cell object (no indent, no trailing
@@ -136,6 +166,61 @@ pub fn cell_json(row: &CellRow<'_>) -> String {
         row.node_worst,
         row.rounds,
         row.peak_message_bits
+            .map_or_else(|| "null".to_string(), |b| b.to_string())
+    )
+}
+
+/// Renders a [`Distribution`] summary object (fixed key order).
+fn distribution_json(d: &localavg_core::metrics::Distribution) -> String {
+    format!(
+        "{{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}, \
+         \"histogram\": [{}]}}",
+        d.count,
+        json_f64(d.mean),
+        d.p50,
+        d.p90,
+        d.p99,
+        d.max,
+        d.histogram
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+/// Renders a group's pooled [`GroupDistributions`](crate::sweep::GroupDistributions).
+fn distributions_json(d: &crate::sweep::GroupDistributions) -> String {
+    let mut out = format!(
+        "{{\"node_time\": {}, \"edge_time\": {}",
+        distribution_json(&d.node_time),
+        distribution_json(&d.edge_time)
+    );
+    if let Some(bits) = &d.node_bits_sent {
+        let _ = write!(out, ", \"node_bits_sent\": {}", distribution_json(bits));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a group instance's [`TopologyStats`](localavg_graph::analysis::TopologyStats).
+fn topology_json(t: &localavg_graph::analysis::TopologyStats) -> String {
+    format!(
+        "{{\"nodes\": {}, \"edges\": {}, \"min_degree\": {}, \"max_degree\": {}, \
+         \"mean_degree\": {}, \"degree_histogram\": [{}], \"degree_assortativity\": {}, \
+         \"components\": {}}}",
+        t.nodes,
+        t.edges,
+        t.min_degree,
+        t.max_degree,
+        json_f64(t.mean_degree),
+        t.degree_histogram
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        json_f64(t.degree_assortativity),
+        t.components
     )
 }
 
@@ -172,7 +257,8 @@ pub fn to_json(report: &SweepReport) -> String {
             out,
             "    {{\"algorithm\": \"{}\", \"generator\": \"{}\", \"n\": {}, \"runs\": {}, \
              \"node_averaged\": {}, \"edge_averaged\": {}, \"node_expected\": {}, \
-             \"edge_expected\": {}, \"worst_case\": {}, \"chain_holds\": {}}}{}",
+             \"edge_expected\": {}, \"worst_case\": {}, \"chain_holds\": {}, \
+             \"distributions\": {}, \"topology\": {}}}{}",
             json_escape(&g.algorithm),
             json_escape(&g.generator),
             g.n,
@@ -183,6 +269,8 @@ pub fn to_json(report: &SweepReport) -> String {
             json_f64(g.edge_expected),
             json_f64(g.worst_case),
             g.chain_holds,
+            distributions_json(&g.distributions),
+            topology_json(&g.topology),
             if i + 1 < report.groups.len() { "," } else { "" }
         );
     }
@@ -223,7 +311,10 @@ pub fn cells_csv(report: &SweepReport) -> String {
             c.edge_averaged_one_endpoint,
             c.node_worst,
             c.rounds,
+            // Unaudited cells leave the column empty (sweeps always
+            // audit, so the committed goldens never exercise this arm).
             c.peak_message_bits
+                .map_or_else(String::new, |b| b.to_string())
         );
     }
     out
@@ -317,8 +408,19 @@ mod tests {
     fn json_numbers() {
         assert_eq!(json_f64(2.5), "2.5");
         assert_eq!(json_f64(2.0), "2");
-        assert_eq!(json_f64(f64::NAN), "null");
-        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(-0.75), "-0.75");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite value")]
+    fn json_rejects_nan() {
+        let _ = json_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite value")]
+    fn json_rejects_infinity() {
+        let _ = json_f64(f64::NEG_INFINITY);
     }
 
     #[test]
@@ -339,6 +441,19 @@ mod tests {
             json.matches("\"chain_holds\":").count(),
             report.groups.len()
         );
+        // Every group record carries the additive v1 extensions, and the
+        // sweep engine always audits, so the volume distribution is
+        // present in every group too.
+        assert_eq!(
+            json.matches("\"distributions\":").count(),
+            report.groups.len()
+        );
+        assert_eq!(json.matches("\"topology\":").count(), report.groups.len());
+        assert_eq!(
+            json.matches("\"node_bits_sent\":").count(),
+            report.groups.len()
+        );
+        assert!(!json.contains("NaN") && !json.contains("Infinity"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -354,6 +469,42 @@ mod tests {
         assert_eq!(groups.lines().count(), report.groups.len() + 1);
         for line in cells.lines().skip(1) {
             assert_eq!(line.split(',').count(), 14, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn unaudited_cells_render_a_null_peak() {
+        let report = tiny_report();
+        let mut row = report.cells[0].row();
+        assert!(
+            !cell_json(&row).contains("null"),
+            "audited cells render a numeric peak"
+        );
+        row.peak_message_bits = None;
+        assert!(cell_json(&row).ends_with("\"peak_message_bits\": null}}"));
+        // The CSV column is empty rather than a fake zero.
+        let mut unaudited = report.clone();
+        unaudited.cells[0].peak_message_bits = None;
+        let line = cells_csv(&unaudited).lines().nth(1).unwrap().to_string();
+        assert!(line.ends_with(','), "empty trailing column: {line}");
+        assert_eq!(line.split(',').count(), 14);
+    }
+
+    #[test]
+    fn distribution_and_topology_objects_are_well_formed() {
+        let report = tiny_report();
+        let g = &report.groups[0];
+        let d = distributions_json(&g.distributions);
+        assert!(d.starts_with("{\"node_time\": {\"count\": "));
+        assert!(d.contains("\"edge_time\": "));
+        assert!(d.contains("\"node_bits_sent\": "), "sweeps always audit");
+        let t = topology_json(&g.topology);
+        assert!(t.starts_with("{\"nodes\": 16, \"edges\": 15, "));
+        assert!(t.contains("\"degree_assortativity\": "));
+        assert!(t.ends_with("\"components\": 1}"));
+        for s in [d, t] {
+            assert_eq!(s.matches('{').count(), s.matches('}').count());
+            assert_eq!(s.matches('[').count(), s.matches(']').count());
         }
     }
 

@@ -719,7 +719,9 @@ pub fn e17_registry_sweep(scale: Scale) -> Table {
             f2(rep.node_averaged),
             f2(rep.edge_averaged),
             rep.rounds.to_string(),
-            run.transcript.peak_message_bits().to_string(),
+            run.transcript
+                .peak_message_bits()
+                .map_or_else(|| "-".to_string(), |b| b.to_string()),
         ]);
     }
     t.note("d=4 keeps sinkless orientation in scope (its domain needs min degree 3).");

@@ -34,7 +34,13 @@
 //!    copy whose header counts are byte-swapped to big-endian must be
 //!    rejected as [`localavg_graph::io::ReadError::HeaderOutOfRange`] —
 //!    the reader must never misread a foreign-endian file as a small
-//!    valid graph.
+//!    valid graph;
+//! 9. the distributional summaries the sweep emits per group must be
+//!    internally consistent on the cell's own sample: nearest-rank
+//!    percentiles are monotone (`p50 ≤ p90 ≤ p99 ≤ max`), histograms
+//!    account for every observation, the node mean never exceeds the
+//!    node p99, and an audited run's per-node sent-volume summary obeys
+//!    the same ordering.
 //!
 //! On failure the harness shrinks the cell — smaller size, default
 //! params, full transcript, sequential executor, smaller seed — and
@@ -53,6 +59,7 @@ use localavg_core::algo::{
     registry, DynAlgorithm, Exec, RunSpec, Solution, TranscriptPolicy, Workspace,
 };
 use localavg_core::check;
+use localavg_core::metrics::Distribution;
 use localavg_graph::analysis::Orientation;
 use localavg_graph::io;
 use localavg_graph::rng::Rng;
@@ -421,6 +428,37 @@ impl Session {
         // 2. Independent metrics recomputation + per-run Appendix A chain.
         check::check_metrics(g, &run).map_err(|e| format!("metrics oracle: {e}"))?;
 
+        // 9. Distributional summaries: the same shapes the sweep pools
+        //    per group, checked on the single-run sample. The node-mean
+        //    ≤ node-p99 claim is the one the emitted tail statistics
+        //    stand on (a nearest-rank p99 covers ≥ 99% of the mass, and
+        //    completion times are never concentrated in the top 1% on
+        //    instances the samplers build).
+        let times = run.completion_times(g);
+        let d_node = Distribution::from_rounds(&times.node);
+        let d_edge = Distribution::from_rounds(&times.edge);
+        for (label, d) in [("node", &d_node), ("edge", &d_edge)] {
+            if !d.is_well_ordered() {
+                return Err(format!(
+                    "{label} time distribution is not well ordered: {d:?}"
+                ));
+            }
+        }
+        if d_node.mean > d_node.p99 as f64 {
+            return Err(format!(
+                "node mean {} exceeds node p99 {}",
+                d_node.mean, d_node.p99
+            ));
+        }
+        if run.transcript.audited() {
+            let d_bits = Distribution::from_values(&run.transcript.node_bits_sent);
+            if !d_bits.is_well_ordered() {
+                return Err(format!(
+                    "sent-volume distribution is not well ordered: {d_bits:?}"
+                ));
+            }
+        }
+
         // 3. Canonical re-run: sequential, full transcript, fresh arenas.
         let canon = algo.execute(g, &RunSpec::new(cell.seed));
         if canon.solution != run.solution {
@@ -430,7 +468,7 @@ impl Session {
                 cell.threads
             ));
         }
-        if canon.completion_times(g) != run.completion_times(g) {
+        if canon.completion_times(g) != times {
             return Err(format!(
                 "completion times differ from the canonical run under policy={} threads={}",
                 cell.policy.label(),

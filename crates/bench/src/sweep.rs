@@ -27,7 +27,8 @@
 use crate::cell::{self, CellKey};
 use crate::generators;
 use localavg_core::algo::{registry, DynAlgorithm, RunSpec};
-use localavg_core::metrics::{CompletionTimes, RunAggregate};
+use localavg_core::metrics::{CompletionTimes, Distribution, RunAggregate};
+use localavg_graph::analysis::{topology_stats, TopologyStats};
 use localavg_graph::gen::NamedGenerator;
 use localavg_graph::Graph;
 use localavg_sim::workspace::Workspace;
@@ -419,8 +420,11 @@ pub struct CellResult {
     pub node_worst: usize,
     /// Total rounds until global termination (classic worst case).
     pub rounds: usize,
-    /// Peak CONGEST message size observed, in bits.
-    pub peak_message_bits: usize,
+    /// Peak CONGEST message size observed, in bits — `None` when the
+    /// run's transcript policy skipped the audit pass entirely (the
+    /// sweep always audits; lean policies surface here through `exp
+    /// serve` and replay paths).
+    pub peak_message_bits: Option<usize>,
 }
 
 impl CellResult {
@@ -444,6 +448,22 @@ impl CellResult {
             peak_message_bits: self.peak_message_bits,
         }
     }
+}
+
+/// Distributional summaries of a group, pooled over the seed axis
+/// (every run of a group executes on the same fixed instance, so the
+/// pooled sample is `runs × n` node observations drawn from the same
+/// topology).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupDistributions {
+    /// Node completion times (Definition 1), pooled across the runs.
+    pub node_time: Distribution,
+    /// Edge completion times (Definition 1), pooled across the runs.
+    pub edge_time: Distribution,
+    /// Per-node bits sent over the whole execution, pooled across the
+    /// runs. `None` unless **every** run in the group was audited — a
+    /// partially audited group would silently under-count.
+    pub node_bits_sent: Option<Distribution>,
 }
 
 /// Per-group aggregate over the seed axis: Appendix A's expected
@@ -470,6 +490,10 @@ pub struct GroupResult {
     pub worst_case: f64,
     /// Whether Appendix A's `AVG ≤ AVG^w ≤ EXP ≤ WORST` chain held.
     pub chain_holds: bool,
+    /// Pooled completion-time and message-volume distributions.
+    pub distributions: GroupDistributions,
+    /// Structural statistics of the group's fixed instance.
+    pub topology: TopologyStats,
 }
 
 /// A complete sweep: the spec that produced it, every cell in canonical
@@ -622,6 +646,8 @@ pub fn run_with_file(
     struct Outcome {
         result: CellResult,
         times: CompletionTimes,
+        /// Per-node bits sent, `None` when the run was not audited.
+        node_bits_sent: Option<Vec<u64>>,
     }
 
     let threads = threads.clamp(1, cells.len().max(1));
@@ -663,7 +689,15 @@ pub fn run_with_file(
                         rounds: run.worst_case(),
                         peak_message_bits: run.transcript.peak_message_bits(),
                     };
-                    *slots[i].lock().expect("result slot") = Some(Outcome { result, times });
+                    let node_bits_sent = run
+                        .transcript
+                        .audited()
+                        .then(|| run.transcript.node_bits_sent.clone());
+                    *slots[i].lock().expect("result slot") = Some(Outcome {
+                        result,
+                        times,
+                        node_bits_sent,
+                    });
                 }
             });
         }
@@ -694,6 +728,13 @@ pub fn run_with_file(
         let times: Vec<CompletionTimes> = group.iter().map(|o| o.times.clone()).collect();
         let rounds: Vec<usize> = group.iter().map(|o| o.result.rounds).collect();
         let agg = RunAggregate::from_times(&times, &rounds);
+        let pooled_node: Vec<_> = times.iter().flat_map(|t| t.node.iter().copied()).collect();
+        let pooled_edge: Vec<_> = times.iter().flat_map(|t| t.edge.iter().copied()).collect();
+        let node_bits_sent = group
+            .iter()
+            .map(|o| o.node_bits_sent.as_deref())
+            .collect::<Option<Vec<&[u64]>>>()
+            .map(|per_run| Distribution::from_values(&per_run.concat()));
         groups.push(GroupResult {
             algorithm: head.algorithm.to_string(),
             generator: head.generator.to_string(),
@@ -705,6 +746,12 @@ pub fn run_with_file(
             edge_expected: agg.edge_expected,
             worst_case: agg.worst_case,
             chain_holds: agg.inequality_chain_holds(),
+            distributions: GroupDistributions {
+                node_time: Distribution::from_rounds(&pooled_node),
+                edge_time: Distribution::from_rounds(&pooled_edge),
+                node_bits_sent,
+            },
+            topology: topology_stats(instance(head.generator, head.n)),
         });
         i = j;
     }

@@ -525,8 +525,9 @@ impl Algorithm for OrientationRand {
 /// Theorem 6's deterministic sinkless orientation (`"orientation/det"`).
 ///
 /// The transcript is assembled structurally (no round engine), so
-/// `spec.exec`, the workspace, and the transcript policy have no effect
-/// on this algorithm.
+/// `spec.exec` and the workspace have no effect on this algorithm; the
+/// transcript policy only decides whether the (silent) CONGEST audit
+/// columns are stamped.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OrientationDet;
 
@@ -548,11 +549,12 @@ impl Algorithm for OrientationDet {
     fn execute_with_in(
         &self,
         g: &Graph,
-        _spec: &RunSpec,
+        spec: &RunSpec,
         params: &DetOrientParams,
         _ws: &mut Workspace,
     ) -> AlgoRun {
-        AlgoRun::from(orientation::deterministic(g, *params)).named(self.name())
+        AlgoRun::from(orientation::deterministic_with(g, *params, spec.transcript))
+            .named(self.name())
     }
 
     fn param_specs(&self) -> &'static [ParamSpec] {

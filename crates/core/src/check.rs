@@ -30,6 +30,7 @@
 //!    inequality chain.
 
 use crate::algo::{AlgoRun, Solution};
+use crate::metrics::Distribution;
 use localavg_graph::analysis::Orientation;
 use localavg_graph::{Graph, NodeId};
 use localavg_sim::transcript::{OutputKind, Round, Transcript};
@@ -542,6 +543,79 @@ fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
 }
 
+/// Nearest-rank percentile of a completion-time sample, recomputed by
+/// counting sort — deliberately **not** the sort-then-index path
+/// `metrics::Distribution` uses, so the two implementations check each
+/// other. Returns 0 for an empty sample (the crate's empty-set
+/// convention). The counting array is sized by the sample's max, which
+/// for completion times is bounded by the run's round count.
+pub fn percentile_by_counting(xs: &[Round], q_num: usize, q_den: usize) -> u64 {
+    if xs.is_empty() {
+        return 0;
+    }
+    let max = xs.iter().copied().max().expect("nonempty");
+    let mut counts = vec![0usize; max + 1];
+    for &x in xs {
+        counts[x] += 1;
+    }
+    let rank = (q_num * xs.len()).div_ceil(q_den).clamp(1, xs.len());
+    let mut seen = 0usize;
+    for (value, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return value as u64;
+        }
+    }
+    max as u64
+}
+
+/// Cross-checks one [`Distribution`] summary against an independent
+/// counting-sort recomputation from the raw sample it claims to
+/// summarize.
+///
+/// # Errors
+///
+/// Returns a description of the first disagreement (percentile, max,
+/// mean, count, histogram mass, or a violated ordering invariant).
+pub fn check_distribution(label: &str, d: &Distribution, xs: &[Round]) -> Result<(), String> {
+    if d.count != xs.len() {
+        return Err(format!(
+            "{label}: distribution count {} != sample size {}",
+            d.count,
+            xs.len()
+        ));
+    }
+    if !d.is_well_ordered() {
+        return Err(format!(
+            "{label}: ordering invariant violated (p50 {} p90 {} p99 {} max {} mean {})",
+            d.p50, d.p90, d.p99, d.max, d.mean
+        ));
+    }
+    for (q, got) in [(50, d.p50), (90, d.p90), (99, d.p99)] {
+        let want = percentile_by_counting(xs, q, 100);
+        if got != want {
+            return Err(format!(
+                "{label}: p{q} diverges: summary {got}, oracle {want}"
+            ));
+        }
+    }
+    let max = xs.iter().copied().max().unwrap_or(0) as u64;
+    if d.max != max {
+        return Err(format!(
+            "{label}: max diverges: summary {}, oracle {max}",
+            d.max
+        ));
+    }
+    if !close(d.mean, OracleTimes::mean(xs)) {
+        return Err(format!(
+            "{label}: mean diverges: summary {}, oracle {}",
+            d.mean,
+            OracleTimes::mean(xs)
+        ));
+    }
+    Ok(())
+}
+
 /// Cross-checks a run's metrics against the oracle recomputation and the
 /// per-run half of Appendix A's inequality chain:
 ///
@@ -629,6 +703,20 @@ pub fn check_metrics(g: &Graph, run: &AlgoRun) -> Result<(), String> {
             ));
         }
     }
+    // Distributional summaries (p50/p90/p99/max/mean) of the fast path
+    // must agree with the counting-sort oracle over the *oracle's* raw
+    // completion times — two independent percentile computations over two
+    // independently-derived samples.
+    check_distribution(
+        "node times",
+        &Distribution::from_rounds(&fast.node),
+        &oracle.node,
+    )?;
+    check_distribution(
+        "edge times",
+        &Distribution::from_rounds(&fast.edge),
+        &oracle.edge,
+    )?;
     Ok(())
 }
 
@@ -650,6 +738,68 @@ mod tests {
     use localavg_graph::rng::Rng;
     use localavg_graph::{analysis, gen};
     use localavg_sim::transcript::OutputKind;
+
+    #[test]
+    fn percentiles_match_oracle_on_registry_algorithms() {
+        // Every registry algorithm × a tree and a heavy-tailed family:
+        // the sort-based Distribution summary must agree with the
+        // counting-sort oracle on the raw ledger's completion times.
+        let mut rng = Rng::seed_from(42);
+        let instances = [
+            ("tree", gen::random_tree(64, &mut rng)),
+            ("powerlaw", gen::powerlaw(64, 2.1, 6.0, &mut rng)),
+        ];
+        for (family, g) in &instances {
+            for algo in registry().iter() {
+                if algo.problem().min_degree() > g.min_degree()
+                    || (algo.requires_tree() && !analysis::is_forest(g))
+                {
+                    continue;
+                }
+                let run = algo.execute(g, &RunSpec::new(8));
+                check_metrics(g, &run)
+                    .unwrap_or_else(|e| panic!("{} on {family}: {e}", algo.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn counting_percentile_agrees_with_sorting_on_awkward_samples() {
+        for xs in [
+            vec![],
+            vec![0],
+            vec![5; 9],
+            vec![0, 0, 0, 1],
+            (0..100).collect::<Vec<_>>(),
+            vec![1, 1000],
+            vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5],
+        ] {
+            let d = Distribution::from_rounds(&xs);
+            check_distribution("sample", &d, &xs).unwrap();
+            for (q, got) in [(50, d.p50), (90, d.p90), (99, d.p99)] {
+                assert_eq!(got, percentile_by_counting(&xs, q, 100), "p{q} of {xs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn check_distribution_rejects_corrupted_summaries() {
+        let xs = vec![1, 2, 3, 4, 5];
+        let good = Distribution::from_rounds(&xs);
+        check_distribution("xs", &good, &xs).unwrap();
+        let mut wrong_p90 = good.clone();
+        wrong_p90.p90 = 2; // breaks p50 <= p90 ordering too? p50=3 > 2 -> ordering
+        assert!(check_distribution("xs", &wrong_p90, &xs).is_err());
+        let mut wrong_max = good.clone();
+        wrong_max.max = 9;
+        assert!(check_distribution("xs", &wrong_max, &xs).is_err());
+        let mut wrong_count = good.clone();
+        wrong_count.count = 4;
+        assert!(check_distribution("xs", &wrong_count, &xs).is_err());
+        let mut wrong_mean = good;
+        wrong_mean.mean = 2.0;
+        assert!(check_distribution("xs", &wrong_mean, &xs).is_err());
+    }
 
     #[test]
     fn oracle_and_analysis_validators_agree_on_valid_runs() {

@@ -1122,7 +1122,12 @@ mod tests {
         let mut rng = Rng::seed_from(9);
         let g = gen::gnp(80, 0.1, &mut rng);
         let run = luby(&g, 2);
-        assert!(run.transcript.peak_message_bits() <= 128);
+        assert!(
+            run.transcript
+                .peak_message_bits()
+                .expect("full-policy run is audited")
+                <= 128
+        );
     }
 
     #[test]

@@ -131,6 +131,15 @@ impl CompletionTimes {
     }
 }
 
+/// Mean of a completion-time vector.
+///
+/// **Empty-set convention:** the mean of an empty sample is defined as
+/// `0.0` throughout this crate (here, in the [`Distribution`] summaries,
+/// and in the `check` oracle's independent recomputation). A `path` at
+/// n = 1 has no edges, so `AVG_E` would otherwise be `0/0 = NaN` — which
+/// the hand-rolled JSON emitter must never see (it asserts finiteness at
+/// emit time). Zero is the honest value: an averaged complexity over
+/// nothing is "no rounds were needed by anyone".
 fn mean(xs: &[Round]) -> f64 {
     if xs.is_empty() {
         return 0.0;
@@ -138,6 +147,8 @@ fn mean(xs: &[Round]) -> f64 {
     xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64
 }
 
+/// Weighted mean; a zero (or empty, or non-positive) total weight uses
+/// the same empty-set convention as [`mean`]: `0.0`, never `NaN`.
 fn weighted_mean(xs: &[Round], w: &[f64]) -> f64 {
     assert_eq!(xs.len(), w.len(), "weight vector length mismatch");
     let total: f64 = w.iter().sum();
@@ -145,6 +156,124 @@ fn weighted_mean(xs: &[Round], w: &[f64]) -> f64 {
         return 0.0;
     }
     xs.iter().zip(w).map(|(&x, &wi)| x as f64 * wi).sum::<f64>() / total
+}
+
+// ---------------------------------------------------------------------------
+// Distributional summaries (ROADMAP item 5)
+// ---------------------------------------------------------------------------
+
+/// Distribution summary of a non-negative integer sample: exact
+/// nearest-rank percentiles in production-latency language (p50/p90/p99),
+/// the max, an exact mean, and a compact log-bucketed histogram.
+///
+/// The paper's Definition 1 is about what the *typical* element
+/// experiences — Feuilloley (1704.05739) studies the output time of an
+/// ordinary node, Rosenbaum–Suomela (1907.08160) measures volume rather
+/// than rounds — so sweeps summarize per-node/per-edge completion times
+/// and per-node message volume with this type rather than a bare mean.
+///
+/// **Percentile convention (nearest rank):** `p(q)` of an `N`-element
+/// sample is `sorted[ceil(q·N) - 1]` with the rank clamped to `[1, N]`
+/// — an actual sample value, never an interpolation. For `N ≤ 99`,
+/// `p99 = max` by construction. `p50 ≤ p90 ≤ p99 ≤ max` always holds.
+///
+/// **Histogram bucketing:** bucket 0 counts zeros; bucket `b ≥ 1` counts
+/// values `v` with `2^(b-1) ≤ v < 2^b` (that is, `b = 1 + floor(log2 v)`).
+/// The vector is trimmed to the last nonempty bucket, so a sample with
+/// max value `M` carries `2 + floor(log2 M)` counts at most — compact
+/// enough to put on every sweep group record.
+///
+/// **Empty-set convention:** the summary of an empty sample is all-zero
+/// scalars (`mean` 0.0 — this module's empty-set convention, shared
+/// with the averaged-complexity means) and an empty histogram. Every
+/// field is always finite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    /// Number of sampled values.
+    pub count: usize,
+    /// Exact mean (integer-summed before the single division; 0.0 for an
+    /// empty sample).
+    pub mean: f64,
+    /// Median (50th percentile, nearest rank).
+    pub p50: u64,
+    /// 90th percentile (nearest rank).
+    pub p90: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
+    /// Largest sampled value (0 for an empty sample).
+    pub max: u64,
+    /// Log2-bucketed counts; `histogram.iter().sum() == count`.
+    pub histogram: Vec<u64>,
+}
+
+/// Nearest-rank percentile `q_num/q_den` of an ascending-sorted sample.
+fn nearest_rank(sorted: &[u64], q_num: usize, q_den: usize) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q_num * sorted.len())
+        .div_ceil(q_den)
+        .clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The histogram bucket of one value (see [`Distribution`]).
+fn log_bucket(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Distribution {
+    /// Summarizes a sample of non-negative integers.
+    pub fn from_values(values: &[u64]) -> Self {
+        if values.is_empty() {
+            return Distribution {
+                count: 0,
+                mean: 0.0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+                max: 0,
+                histogram: Vec::new(),
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let max = *sorted.last().expect("nonempty");
+        let mut histogram = vec![0u64; log_bucket(max) + 1];
+        for &v in &sorted {
+            histogram[log_bucket(v)] += 1;
+        }
+        let total: u128 = sorted.iter().map(|&v| v as u128).sum();
+        Distribution {
+            count: sorted.len(),
+            mean: total as f64 / sorted.len() as f64,
+            p50: nearest_rank(&sorted, 50, 100),
+            p90: nearest_rank(&sorted, 90, 100),
+            p99: nearest_rank(&sorted, 99, 100),
+            max,
+            histogram,
+        }
+    }
+
+    /// Summarizes a completion-time vector (`Round` sample).
+    pub fn from_rounds(rounds: &[Round]) -> Self {
+        let values: Vec<u64> = rounds.iter().map(|&r| r as u64).collect();
+        Self::from_values(&values)
+    }
+
+    /// The percentile/max ordering invariant every summary satisfies:
+    /// `mean ≤ max` and `p50 ≤ p90 ≤ p99 ≤ max` (trivially true when
+    /// empty). Exposed so differential harnesses can assert it per cell.
+    pub fn is_well_ordered(&self) -> bool {
+        self.p50 <= self.p90
+            && self.p90 <= self.p99
+            && self.p99 <= self.max
+            && self.mean <= self.max as f64 + 1e-9
+            && self.mean.is_finite()
+            && self.histogram.iter().sum::<u64>() == self.count as u64
+    }
 }
 
 /// All single-run complexity measures of one execution.
@@ -419,5 +548,91 @@ mod tests {
         let r = ComplexityReport::from_run(&g, &t);
         assert_eq!(r.node_averaged, 0.0);
         assert_eq!(r.node_worst, 0);
+    }
+
+    #[test]
+    fn edgeless_graph_means_are_finite_zero() {
+        // The empty-set convention: a 1-node path has no edges, so every
+        // edge-averaged measure is 0.0 — never NaN.
+        let g = gen::path(1);
+        let t = node_problem_transcript(&g, &[0]);
+        let r = ComplexityReport::from_run(&g, &t);
+        assert_eq!(r.edge_averaged, 0.0);
+        assert_eq!(r.edge_averaged_one_endpoint, 0.0);
+        assert!(r.node_averaged.is_finite());
+        let w = ComplexityReport::weighted_edge_averaged(&g, &t, &[]);
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn distribution_empty_sample() {
+        let d = Distribution::from_values(&[]);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.mean, 0.0);
+        assert_eq!((d.p50, d.p90, d.p99, d.max), (0, 0, 0, 0));
+        assert!(d.histogram.is_empty());
+        assert!(d.is_well_ordered());
+    }
+
+    #[test]
+    fn distribution_single_element() {
+        let d = Distribution::from_values(&[7]);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.mean, 7.0);
+        assert_eq!((d.p50, d.p90, d.p99, d.max), (7, 7, 7, 7));
+        // 7 lands in bucket 1 + floor(log2 7) = 3.
+        assert_eq!(d.histogram, vec![0, 0, 0, 1]);
+        assert!(d.is_well_ordered());
+    }
+
+    #[test]
+    fn distribution_all_equal() {
+        let d = Distribution::from_values(&[4; 10]);
+        assert_eq!(d.count, 10);
+        assert_eq!(d.mean, 4.0);
+        assert_eq!((d.p50, d.p90, d.p99, d.max), (4, 4, 4, 4));
+        assert_eq!(d.histogram, vec![0, 0, 0, 10]);
+        assert!(d.is_well_ordered());
+    }
+
+    #[test]
+    fn distribution_nearest_rank_percentiles() {
+        // 1..=100: the nearest-rank percentile of a permutation-invariant
+        // sample is exactly its rank value.
+        let values: Vec<u64> = (1..=100).rev().collect();
+        let d = Distribution::from_values(&values);
+        assert_eq!(d.p50, 50);
+        assert_eq!(d.p90, 90);
+        assert_eq!(d.p99, 99);
+        assert_eq!(d.max, 100);
+        assert_eq!(d.mean, 50.5);
+        assert!(d.is_well_ordered());
+        // 10 elements: p50 = 5th smallest, p90 = 9th, p99 = 10th (= max).
+        let small = Distribution::from_values(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(small.p50, 50);
+        assert_eq!(small.p90, 90);
+        assert_eq!(small.p99, 100);
+    }
+
+    #[test]
+    fn distribution_histogram_buckets() {
+        // Bucket 0 = {0}; bucket b >= 1 = [2^(b-1), 2^b).
+        let d = Distribution::from_values(&[0, 1, 2, 3, 4, 7, 8, 1024]);
+        assert_eq!(d.histogram.len(), 12); // bucket of 1024 is 11
+        assert_eq!(d.histogram[0], 1); // 0
+        assert_eq!(d.histogram[1], 1); // 1
+        assert_eq!(d.histogram[2], 2); // 2, 3
+        assert_eq!(d.histogram[3], 2); // 4, 7
+        assert_eq!(d.histogram[4], 1); // 8
+        assert_eq!(d.histogram[11], 1); // 1024
+        assert_eq!(d.histogram.iter().sum::<u64>(), d.count as u64);
+    }
+
+    #[test]
+    fn distribution_from_rounds_matches_values() {
+        let rounds: Vec<Round> = vec![3, 1, 4, 1, 5];
+        let a = Distribution::from_rounds(&rounds);
+        let b = Distribution::from_values(&[3, 1, 4, 1, 5]);
+        assert_eq!(a, b);
     }
 }

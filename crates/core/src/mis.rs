@@ -518,7 +518,12 @@ mod tests {
         let g = gen::gnp(100, 0.08, &mut rng);
         let run = luby(&g, 3);
         check_valid(&g, &run);
-        assert!(run.transcript.peak_message_bits() <= 128);
+        assert!(
+            run.transcript
+                .peak_message_bits()
+                .expect("full-policy run is audited")
+                <= 128
+        );
     }
 
     #[test]

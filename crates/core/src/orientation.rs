@@ -92,7 +92,7 @@ impl Ledger {
         }
     }
 
-    fn into_transcript(self, g: &Graph) -> Transcript<(), Orientation> {
+    fn into_transcript(self, g: &Graph, policy: TranscriptPolicy) -> Transcript<(), Orientation> {
         let mut t: Transcript<(), Orientation> =
             Transcript::empty(OutputKind::EdgeLabels, g.n(), g.m());
         let mut max_clock = 0usize;
@@ -116,6 +116,13 @@ impl Ledger {
         // Hand-built transcripts carry the same live-frontier ledger the
         // engine records — rebuilt from the halt rounds in O(n + rounds).
         t.rebuild_live_ledger();
+        // The structural accounting proves the construction exchanges no
+        // messages, so an audited run is *silently* audited: peak
+        // `Some(0)` under Full, `None` (audit skipped) otherwise —
+        // mirroring what the round engine records for each policy.
+        if policy.records_audit() {
+            t.record_silent_audit();
+        }
         t
     }
 }
@@ -393,7 +400,7 @@ pub fn randomized_spec(
     }
     let base = t.rounds;
     finish_structurally(g, &mut ledger, base);
-    finalize(g, ledger)
+    finalize(g, ledger, spec.transcript)
 }
 
 /// [`randomized`] on a chosen executor (bit-identical across executors).
@@ -586,8 +593,8 @@ fn orient_toward_cycles(g: &Graph, keep: &[bool], ledger: &mut Ledger, base: usi
     }
 }
 
-fn finalize(g: &Graph, ledger: Ledger) -> OrientationRun {
-    let t = ledger.into_transcript(g);
+fn finalize(g: &Graph, ledger: Ledger, policy: TranscriptPolicy) -> OrientationRun {
+    let t = ledger.into_transcript(g, policy);
     let orientation = t.edge_labels();
     assert!(
         analysis::is_sinkless_orientation(g, &orientation),
@@ -712,6 +719,20 @@ impl Default for DetOrientParams {
 /// assert!(analysis::is_sinkless_orientation(&g, &run.orientation));
 /// ```
 pub fn deterministic(g: &Graph, params: DetOrientParams) -> OrientationRun {
+    deterministic_with(g, params, TranscriptPolicy::default())
+}
+
+/// [`deterministic`] under an explicit [`TranscriptPolicy`] — the only
+/// part of a [`RunSpec`] that affects a structurally-assembled transcript
+/// (there is no round engine to parallelize or seed). Under an audited
+/// policy the transcript carries a silent audit (peak `Some(0)`);
+/// otherwise the audit columns stay empty, like an engine run under the
+/// same policy.
+pub fn deterministic_with(
+    g: &Graph,
+    params: DetOrientParams,
+    policy: TranscriptPolicy,
+) -> OrientationRun {
     assert!(
         g.n() == 0 || g.min_degree() >= 3,
         "sinkless orientation requires minimum degree 3"
@@ -788,7 +809,7 @@ pub fn deterministic(g: &Graph, params: DetOrientParams) -> OrientationRun {
         }
     }
     let _ = final_clock;
-    finalize(g, ledger)
+    finalize(g, ledger, policy)
 }
 
 fn idx_for(seen: &HashMap<EdgeId, usize>, e: EdgeId) -> usize {

@@ -681,7 +681,12 @@ mod tests {
         let mut rng = Rng::seed_from(4);
         let g = gen::random_regular(100, 8, &mut rng).unwrap();
         let run = two_two(&g, 9);
-        assert!(run.transcript.peak_message_bits() <= 128);
+        assert!(
+            run.transcript
+                .peak_message_bits()
+                .expect("full-policy run is audited")
+                <= 128
+        );
     }
 
     #[test]

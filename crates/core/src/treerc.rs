@@ -94,10 +94,18 @@ fn commit_clocks(g: &Graph, d: &RcDecomposition, decision: &[usize]) -> Vec<usiz
 
 /// Wraps per-node commit clocks and a typed solution into an [`AlgoRun`]
 /// with a structural transcript: commit = halt = clock, `rounds` = the
-/// latest clock, live ledger rebuilt from the halts. No messages are
-/// audited (structural runs do not drive the round engine, matching the
-/// orientation ledger precedent).
-fn structural_run(name: &'static str, g: &Graph, clock: &[usize], solution: Solution) -> AlgoRun {
+/// latest clock, live ledger rebuilt from the halts. Structural runs do
+/// not drive the round engine (matching the orientation ledger
+/// precedent), so under an audited policy the transcript carries a
+/// *silent* audit (peak `Some(0)`, zero per-node volume); under a lean
+/// policy the audit columns stay empty.
+fn structural_run(
+    name: &'static str,
+    g: &Graph,
+    clock: &[usize],
+    solution: Solution,
+    policy: TranscriptPolicy,
+) -> AlgoRun {
     let mut t: Transcript<(), ()> = Transcript::empty(OutputKind::NodeLabels, g.n(), g.m());
     t.rounds = clock.iter().copied().max().unwrap_or(0);
     for v in g.nodes() {
@@ -106,6 +114,9 @@ fn structural_run(name: &'static str, g: &Graph, clock: &[usize], solution: Solu
         t.node_halt_round[v] = clock[v];
     }
     t.rebuild_live_ledger();
+    if policy.records_audit() {
+        t.record_silent_audit();
+    }
     AlgoRun {
         algorithm: name,
         transcript: t,
@@ -141,6 +152,7 @@ pub fn mis_spec(g: &Graph, spec: &RunSpec, _ws: &mut Workspace) -> Result<AlgoRu
         g,
         &clock,
         Solution::Mis { in_set },
+        spec.transcript,
     ))
 }
 
@@ -201,6 +213,7 @@ pub fn ruling_spec(g: &Graph, spec: &RunSpec, _ws: &mut Workspace) -> Result<Alg
         g,
         &clock,
         Solution::RulingSet { in_set, beta: 2 },
+        spec.transcript,
     ))
 }
 
@@ -242,6 +255,7 @@ pub fn coloring_spec(g: &Graph, spec: &RunSpec, _ws: &mut Workspace) -> Result<A
         g,
         &clock,
         Solution::Coloring { colors },
+        spec.transcript,
     ))
 }
 

@@ -244,6 +244,104 @@ pub fn greedy_independent_set(g: &Graph) -> Vec<NodeId> {
 }
 
 // ---------------------------------------------------------------------------
+// Structural topology metrics (per-instance sweep statistics)
+// ---------------------------------------------------------------------------
+
+/// Per-instance structural metrics emitted with every sweep group so runs
+/// can correlate topology with averaged complexity (ROADMAP item 5, in
+/// the spirit of the brainGraph-style efficiency metrics: the shape of
+/// the degree distribution is what separates a heavy-tailed instance
+/// from a regular one long before any algorithm runs on it).
+///
+/// Every float field is always finite: empty-set means are 0.0, and the
+/// assortativity of a graph whose degrees have no variance (regular
+/// graphs — the correlation is undefined there) is reported as 0.0 by
+/// convention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Smallest degree (0 on the empty graph).
+    pub min_degree: usize,
+    /// Largest degree (0 on the empty graph).
+    pub max_degree: usize,
+    /// Mean degree `2m/n` (0.0 on the empty graph).
+    pub mean_degree: f64,
+    /// Log2-bucketed degree histogram: bucket 0 counts isolated nodes,
+    /// bucket `b >= 1` counts degrees in `[2^(b-1), 2^b)`; the counts sum
+    /// to `nodes`.
+    pub degree_histogram: Vec<u64>,
+    /// Degree-degree Pearson correlation over the edges (assortativity):
+    /// positive when high-degree nodes attach to high-degree nodes,
+    /// negative for hub-and-spoke topologies (a star is exactly -1), and
+    /// 0.0 by convention when the correlation is undefined (no edges, or
+    /// zero degree variance across edge endpoints).
+    pub degree_assortativity: f64,
+    /// Number of connected components.
+    pub components: usize,
+}
+
+/// Computes [`TopologyStats`] for one instance in O(n + m).
+pub fn topology_stats(g: &Graph) -> TopologyStats {
+    let n = g.n();
+    let m = g.m();
+    let degrees: Vec<usize> = g.degrees().collect();
+    let min_degree = degrees.iter().copied().min().unwrap_or(0);
+    let max_degree = degrees.iter().copied().max().unwrap_or(0);
+    let mean_degree = if n == 0 {
+        0.0
+    } else {
+        2.0 * m as f64 / n as f64
+    };
+    let bucket = |d: usize| -> usize {
+        if d == 0 {
+            0
+        } else {
+            usize::BITS as usize - d.leading_zeros() as usize
+        }
+    };
+    let mut degree_histogram = vec![0u64; if n == 0 { 0 } else { bucket(max_degree) + 1 }];
+    for &d in &degrees {
+        degree_histogram[bucket(d)] += 1;
+    }
+    // Pearson correlation over the symmetrized endpoint-degree pairs
+    // {(deg u, deg v), (deg v, deg u)}: both marginals coincide, so one
+    // mean and one variance suffice. Integer accumulation keeps the
+    // moments exact until the final divisions.
+    let degree_assortativity = if m == 0 {
+        0.0
+    } else {
+        let (mut s1, mut s2, mut sp) = (0u128, 0u128, 0u128);
+        for (_, u, v) in g.edges() {
+            let (du, dv) = (degrees[u] as u128, degrees[v] as u128);
+            s1 += du + dv;
+            s2 += du * du + dv * dv;
+            sp += 2 * du * dv;
+        }
+        let k = (2 * m) as f64;
+        let mean = s1 as f64 / k;
+        let var = s2 as f64 / k - mean * mean;
+        if var <= 0.0 {
+            0.0 // zero variance: regular-ish endpoints, correlation undefined
+        } else {
+            (sp as f64 / k - mean * mean) / var
+        }
+    };
+    TopologyStats {
+        nodes: n,
+        edges: m,
+        min_degree,
+        max_degree,
+        mean_degree,
+        degree_histogram,
+        degree_assortativity,
+        components: components(g).1,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Validators
 // ---------------------------------------------------------------------------
 
@@ -607,5 +705,59 @@ mod tests {
     fn isolated_nodes_are_not_sinks() {
         let g = Graph::empty(3);
         assert!(is_sinkless_orientation(&g, &[]));
+    }
+
+    #[test]
+    fn topology_stats_on_a_regular_graph() {
+        let g = gen::cycle(8);
+        let t = topology_stats(&g);
+        assert_eq!(t.nodes, 8);
+        assert_eq!(t.edges, 8);
+        assert_eq!((t.min_degree, t.max_degree), (2, 2));
+        assert_eq!(t.mean_degree, 2.0);
+        // Degree 2 lands in bucket 2; all 8 nodes there.
+        assert_eq!(t.degree_histogram, vec![0, 0, 8]);
+        // Zero degree variance: assortativity is 0.0 by convention, not NaN.
+        assert_eq!(t.degree_assortativity, 0.0);
+        assert_eq!(t.components, 1);
+    }
+
+    #[test]
+    fn topology_stats_star_is_maximally_disassortative() {
+        let g = gen::star(9); // hub degree 8, eight leaves of degree 1
+        let t = topology_stats(&g);
+        assert_eq!((t.min_degree, t.max_degree), (1, 8));
+        assert!((t.degree_assortativity - (-1.0)).abs() < 1e-12);
+        assert_eq!(t.degree_histogram.iter().sum::<u64>(), 9);
+        assert_eq!(t.degree_histogram[4], 1); // the hub: 8 is in [8, 16)
+    }
+
+    #[test]
+    fn topology_stats_edge_cases_stay_finite() {
+        let empty = topology_stats(&Graph::empty(0));
+        assert_eq!(empty.nodes, 0);
+        assert_eq!(empty.mean_degree, 0.0);
+        assert_eq!(empty.degree_assortativity, 0.0);
+        assert!(empty.degree_histogram.is_empty());
+        assert_eq!(empty.components, 0);
+        let isolated = topology_stats(&Graph::empty(4));
+        assert_eq!(isolated.mean_degree, 0.0);
+        assert_eq!(isolated.degree_histogram, vec![4]);
+        assert_eq!(isolated.components, 4);
+        assert!(isolated.degree_assortativity.is_finite());
+        let two_comp = topology_stats(&Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap());
+        assert_eq!(two_comp.components, 3);
+        assert_eq!(two_comp.degree_assortativity, 0.0); // all endpoint degrees equal
+    }
+
+    #[test]
+    fn topology_assortativity_sign_tracks_structure() {
+        // A path's interior creates mixed pairs: deg-1 ends attach to
+        // deg-2 nodes -> negative correlation.
+        let t = topology_stats(&gen::path(10));
+        assert!(t.degree_assortativity < 0.0);
+        assert!(t.degree_assortativity >= -1.0 - 1e-12);
+        // Complete graph: regular, so 0.0 by the variance convention.
+        assert_eq!(topology_stats(&gen::complete(5)).degree_assortativity, 0.0);
     }
 }

@@ -475,6 +475,14 @@ impl<P: Process> RunState<P> {
         self.audit = policy.records_audit();
         self.record_halt_rounds = policy.records_halts();
         self.transcript = Transcript::empty(P::OUTPUT_KIND, n, g.m());
+        if self.audit {
+            // Volume columns exist exactly when the audit does; the audit
+            // and gather passes accumulate into them in place.
+            self.transcript.node_messages_sent = vec![0; n];
+            self.transcript.node_bits_sent = vec![0; n];
+            self.transcript.node_messages_recv = vec![0; n];
+            self.transcript.node_bits_recv = vec![0; n];
+        }
     }
 
     /// Applies commit events (in node order — deterministic) for `round`.
@@ -629,6 +637,10 @@ impl<P: Process> RunState<P> {
             inbox: self.inbox.as_mut_ptr(),
             inbox_len: self.inbox_len.as_mut_ptr(),
             inbox_over: self.inbox_over.as_mut_ptr(),
+            vol_msgs_sent: self.transcript.node_messages_sent.as_mut_ptr(),
+            vol_bits_sent: self.transcript.node_bits_sent.as_mut_ptr(),
+            vol_msgs_recv: self.transcript.node_messages_recv.as_mut_ptr(),
+            vol_bits_recv: self.transcript.node_bits_recv.as_mut_ptr(),
         }
     }
 }
@@ -643,7 +655,9 @@ impl<P: Process> RunState<P> {
 /// Data races are excluded structurally, chunk by chunk:
 ///
 /// * per-**node** columns (`processes`, `rngs`, `halted`, `out_spill`,
-///   `sent`, `inbox_len`, `inbox_over`) and per-**chunk** buffers
+///   `sent`, `inbox_len`, `inbox_over`, the sender-side volume columns in
+///   the audit pass and the receiver-side ones in the gather pass) and
+///   per-**chunk** buffers
 ///   (`events`, `fresh_halts`, `spill_nodes`, `scratch`, `audit_parts`)
 ///   are written only for indices owned by the running chunk;
 /// * the **step** and **audit** passes touch `out_slots` only inside the
@@ -683,6 +697,15 @@ struct RoundShared<'a, P: Process> {
     inbox: *mut Envelope<P::Message>,
     inbox_len: *mut u32,
     inbox_over: *mut Vec<Envelope<P::Message>>,
+    /// Per-node message-volume columns of the transcript (length `n` when
+    /// `audit`, empty otherwise — dereferenced only under `audit`). The
+    /// *sent* columns are written for sender `u` only by `u`'s owning
+    /// chunk in the audit pass; the *recv* columns for receiver `v` only
+    /// by `v`'s owning chunk in the gather pass.
+    vol_msgs_sent: *mut u64,
+    vol_bits_sent: *mut u64,
+    vol_msgs_recv: *mut u64,
+    vol_bits_recv: *mut u64,
 }
 
 // SAFETY: see the struct-level safety contract — all aliasing is
@@ -784,8 +807,11 @@ fn audit_chunk<P: Process>(sh: &RoundShared<'_, P>, ci: usize) {
                 let slot = &mut *sh.out_slots.add(arc + port);
                 if let Some(msg) = slot {
                     if sh.audit {
-                        part.max_bits = part.max_bits.max(msg.size_bits());
+                        let bits = msg.size_bits();
+                        part.max_bits = part.max_bits.max(bits);
                         part.messages += 1;
+                        *sh.vol_msgs_sent.add(u) += 1;
+                        *sh.vol_bits_sent.add(u) += bits as u64;
                     }
                     if *sh.halted.add(dst) {
                         *slot = None; // terminated nodes no longer receive
@@ -799,8 +825,11 @@ fn audit_chunk<P: Process>(sh: &RoundShared<'_, P>, ci: usize) {
                 spills.push(u);
                 for (port, msg) in spill {
                     if sh.audit {
-                        part.max_bits = part.max_bits.max(msg.size_bits());
+                        let bits = msg.size_bits();
+                        part.max_bits = part.max_bits.max(bits);
                         part.messages += 1;
+                        *sh.vol_msgs_sent.add(u) += 1;
+                        *sh.vol_bits_sent.add(u) += bits as u64;
                     }
                     if !*sh.halted.add(nbrs[*port as usize].0) {
                         part.deliveries += 1;
@@ -843,6 +872,10 @@ fn gather_chunk<P: Process>(sh: &RoundShared<'_, P>, ci: usize) {
                 let up = sh.g.rev_port(varc + p);
                 let uarc = sh.g.csr_offset(u) + up;
                 if let Some(msg) = (*sh.out_slots.add(uarc)).take() {
+                    if sh.audit {
+                        *sh.vol_msgs_recv.add(v) += 1;
+                        *sh.vol_bits_recv.add(v) += msg.size_bits() as u64;
+                    }
                     let env = Envelope {
                         src: u,
                         port: p,
@@ -859,6 +892,10 @@ fn gather_chunk<P: Process>(sh: &RoundShared<'_, P>, ci: usize) {
                 if !spill.is_empty() {
                     for (sport, msg) in spill {
                         if *sport as usize == up {
+                            if sh.audit {
+                                *sh.vol_msgs_recv.add(v) += 1;
+                                *sh.vol_bits_recv.add(v) += msg.size_bits() as u64;
+                            }
                             let env = Envelope {
                                 src: u,
                                 port: p,
@@ -1219,9 +1256,19 @@ mod tests {
     fn congest_accounting() {
         let g = gen::cycle(6);
         let t = run_sequential::<MaxFlood>(&g, &RADIUS, &SimConfig::new(2));
-        assert_eq!(t.peak_message_bits(), 64);
+        assert_eq!(t.peak_message_bits(), Some(64));
         // 6 nodes broadcast to 2 neighbors for rounds 0..=2 (round 3 commits).
         assert_eq!(t.messages_sent, 6 * 2 * 3);
+        // Per-node volume: every node sends and receives 2 messages per
+        // flooding round, 64 bits each; the columns sum to the totals.
+        assert_eq!(t.node_messages_sent, vec![2 * 3; 6]);
+        assert_eq!(t.node_messages_recv, vec![2 * 3; 6]);
+        assert_eq!(t.node_bits_sent, vec![2 * 3 * 64; 6]);
+        assert_eq!(t.node_bits_recv, vec![2 * 3 * 64; 6]);
+        assert_eq!(
+            t.node_messages_sent.iter().sum::<u64>(),
+            t.messages_sent as u64
+        );
     }
 
     #[test]
@@ -1459,13 +1506,23 @@ mod tests {
             assert_eq!(t.node_commit_round, full.node_commit_round);
             assert_eq!(t.rounds, full.rounds);
             assert!(t.is_complete());
-            // The CONGEST audit is gone below Full.
+            // The CONGEST audit is gone below Full — including the
+            // per-node volume columns — and the peak reports "unaudited".
             assert!(t.max_message_bits.is_empty());
             assert_eq!(t.messages_sent, 0);
-            assert_eq!(t.peak_message_bits(), 0);
+            assert!(!t.audited());
+            assert_eq!(t.peak_message_bits(), None);
+            assert!(t.node_messages_sent.is_empty());
+            assert!(t.node_bits_sent.is_empty());
+            assert!(t.node_messages_recv.is_empty());
+            assert!(t.node_bits_recv.is_empty());
         }
         assert!(full.messages_sent > 0);
         assert!(!full.max_message_bits.is_empty());
+        assert_eq!(
+            full.node_messages_sent.iter().sum::<u64>(),
+            full.messages_sent as u64
+        );
         // Halt clocks survive CompletionsOnly but not None, and the
         // live-frontier ledger travels with them.
         assert_eq!(completions.node_halt_round, full.node_halt_round);
@@ -1491,6 +1548,10 @@ mod tests {
         assert_eq!(reused.node_halt_round, fresh.node_halt_round);
         assert_eq!(reused.max_message_bits, fresh.max_message_bits);
         assert_eq!(reused.messages_sent, fresh.messages_sent);
+        assert_eq!(reused.node_messages_sent, fresh.node_messages_sent);
+        assert_eq!(reused.node_bits_sent, fresh.node_bits_sent);
+        assert_eq!(reused.node_messages_recv, fresh.node_messages_recv);
+        assert_eq!(reused.node_bits_recv, fresh.node_bits_recv);
         // A different seed through the same arenas still matches fresh.
         let other_ws = spec.with_seed(9).run_in::<MaxFlood>(&g, &RADIUS, &mut ws);
         let other = RunSpec::new(9).run::<MaxFlood>(&g, &RADIUS);
@@ -1595,6 +1656,8 @@ mod tests {
                 assert_eq!(reused.node_commit_round, fresh.node_commit_round);
                 assert_eq!(reused.node_halt_round, fresh.node_halt_round);
                 assert_eq!(reused.max_message_bits, fresh.max_message_bits);
+                assert_eq!(reused.node_messages_sent, fresh.node_messages_sent);
+                assert_eq!(reused.node_bits_recv, fresh.node_bits_recv);
             }
         }
         assert_eq!(ws.reuse_count(), 5);

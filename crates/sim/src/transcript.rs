@@ -123,6 +123,19 @@ pub struct Transcript<NO, EO> {
     pub max_message_bits: Vec<usize>,
     /// Total number of point-to-point messages delivered.
     pub messages_sent: usize,
+    /// Messages sent by each node over the whole run (CONGEST volume
+    /// audit, the Rosenbaum–Suomela "volume" axis). Empty unless the run
+    /// was audited ([`TranscriptPolicy::records_audit`]); when present the
+    /// entries sum to [`Transcript::messages_sent`].
+    pub node_messages_sent: Vec<u64>,
+    /// Total bits sent by each node; empty unless audited.
+    pub node_bits_sent: Vec<u64>,
+    /// Messages received by each node; empty unless audited. Sums to at
+    /// most `messages_sent` — messages addressed to an already-halted
+    /// receiver count as sent but are never delivered.
+    pub node_messages_recv: Vec<u64>,
+    /// Total bits received by each node; empty unless audited.
+    pub node_bits_recv: Vec<u64>,
 }
 
 impl<NO, EO> Transcript<NO, EO> {
@@ -144,6 +157,10 @@ impl<NO, EO> Transcript<NO, EO> {
             live_after_round: Vec::with_capacity(64),
             max_message_bits: Vec::with_capacity(64),
             messages_sent: 0,
+            node_messages_sent: Vec::new(),
+            node_bits_sent: Vec::new(),
+            node_messages_recv: Vec::new(),
+            node_bits_recv: Vec::new(),
         }
     }
 
@@ -177,9 +194,39 @@ impl<NO, EO> Transcript<NO, EO> {
         }
     }
 
-    /// The maximum message size over all rounds, in bits (0 if silent).
-    pub fn peak_message_bits(&self) -> usize {
-        self.max_message_bits.iter().copied().max().unwrap_or(0)
+    /// Whether this run carried the CONGEST audit at all. The engine pushes
+    /// one `max_message_bits` entry per executed round — and round 0 (init)
+    /// always executes — so an audited transcript is never empty here, and
+    /// emptiness cleanly means "the audit was skipped", not "silent run".
+    pub fn audited(&self) -> bool {
+        !self.max_message_bits.is_empty()
+    }
+
+    /// The maximum message size over all rounds, in bits.
+    ///
+    /// Returns `None` when the run was not audited
+    /// ([`TranscriptPolicy::CompletionsOnly`] / [`TranscriptPolicy::None`])
+    /// and `Some(0)` for an audited run that happened to be silent — the
+    /// two cases an unconditional `0` used to conflate.
+    pub fn peak_message_bits(&self) -> Option<usize> {
+        self.audited()
+            .then(|| self.max_message_bits.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Stamps the audit columns of a hand-built *structural* transcript
+    /// whose accounting proves no messages are exchanged: every round's
+    /// peak is 0 bits and every node's volume is 0. Callers set `rounds`
+    /// first. After this, [`Transcript::audited`] reports `true` and
+    /// [`Transcript::peak_message_bits`] returns `Some(0)` — a silent but
+    /// audited run, distinct from a run whose audit was skipped.
+    pub fn record_silent_audit(&mut self) {
+        let n = self.n();
+        self.max_message_bits = vec![0; self.rounds + 1];
+        self.messages_sent = 0;
+        self.node_messages_sent = vec![0; n];
+        self.node_bits_sent = vec![0; n];
+        self.node_messages_recv = vec![0; n];
+        self.node_bits_recv = vec![0; n];
     }
 
     /// The round node `v` committed its own output, or `None` if it never
@@ -287,6 +334,10 @@ impl<NO, EO> Transcript<NO, EO> {
             live_after_round: self.live_after_round.clone(),
             max_message_bits: self.max_message_bits.clone(),
             messages_sent: self.messages_sent,
+            node_messages_sent: self.node_messages_sent.clone(),
+            node_bits_sent: self.node_bits_sent.clone(),
+            node_messages_recv: self.node_messages_recv.clone(),
+            node_bits_recv: self.node_bits_recv.clone(),
         }
     }
 
@@ -315,6 +366,10 @@ impl<NO, EO> Transcript<NO, EO> {
             live_after_round: self.live_after_round,
             max_message_bits: self.max_message_bits,
             messages_sent: self.messages_sent,
+            node_messages_sent: self.node_messages_sent,
+            node_bits_sent: self.node_bits_sent,
+            node_messages_recv: self.node_messages_recv,
+            node_bits_recv: self.node_bits_recv,
         }
     }
 }
@@ -365,7 +420,21 @@ mod tests {
         assert_eq!(t.m(), 2);
         assert!(!t.all_nodes_committed());
         assert!(!t.is_complete());
-        assert_eq!(t.peak_message_bits(), 0);
+        assert!(!t.audited());
+        assert_eq!(t.peak_message_bits(), None);
+    }
+
+    #[test]
+    fn silent_audit_is_distinct_from_no_audit() {
+        let mut t: Transcript<bool, ()> = Transcript::empty(OutputKind::NodeLabels, 3, 2);
+        t.rounds = 2;
+        t.record_silent_audit();
+        assert!(t.audited());
+        assert_eq!(t.peak_message_bits(), Some(0));
+        assert_eq!(t.max_message_bits, vec![0, 0, 0]);
+        assert_eq!(t.node_messages_sent, vec![0, 0, 0]);
+        assert_eq!(t.node_bits_recv, vec![0, 0, 0]);
+        assert_eq!(t.messages_sent, 0);
     }
 
     #[test]
@@ -443,6 +512,10 @@ mod tests {
         t.live_after_round = vec![2, 1, 0];
         t.max_message_bits = vec![8, 16];
         t.messages_sent = 6;
+        t.node_messages_sent = vec![4, 2];
+        t.node_bits_sent = vec![24, 16];
+        t.node_messages_recv = vec![2, 4];
+        t.node_bits_recv = vec![16, 24];
         t.rounds = 5;
         let by_ref = t.erased();
         let by_move = t.into_erased();
@@ -453,6 +526,10 @@ mod tests {
         assert_eq!(by_move.live_after_round, vec![2, 1, 0]);
         assert_eq!(by_move.max_message_bits, by_ref.max_message_bits);
         assert_eq!(by_move.messages_sent, by_ref.messages_sent);
+        assert_eq!(by_move.node_messages_sent, by_ref.node_messages_sent);
+        assert_eq!(by_move.node_bits_sent, vec![24, 16]);
+        assert_eq!(by_move.node_messages_recv, by_ref.node_messages_recv);
+        assert_eq!(by_move.node_bits_recv, vec![16, 24]);
         assert_eq!(by_move.node_output, vec![Some(()), None]);
         assert_eq!(by_move.edge_output, vec![Some(())]);
     }

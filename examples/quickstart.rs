@@ -43,10 +43,10 @@ fn main() {
         "termination-time node average    : {:.2}",
         report.node_averaged_termination
     );
-    println!(
-        "CONGEST audit: peak message size = {} bits",
-        run.transcript.peak_message_bits()
-    );
+    match run.transcript.peak_message_bits() {
+        Some(bits) => println!("CONGEST audit: peak message size = {bits} bits"),
+        None => println!("CONGEST audit: skipped (transcript policy)"),
+    }
 
     // The registry makes sweeping every algorithm a three-line loop;
     // one shared Workspace reuses the engine arenas across the runs.

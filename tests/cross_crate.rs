@@ -159,10 +159,13 @@ fn congest_audit_across_algorithms() {
         "matching/det",
     ] {
         let r = run(name, &g, 1);
+        let peak = r
+            .transcript
+            .peak_message_bits()
+            .expect("full-policy run is audited");
         assert!(
-            r.transcript.peak_message_bits() <= bits_cap,
-            "{name} exceeded the CONGEST budget: {} bits",
-            r.transcript.peak_message_bits()
+            peak <= bits_cap,
+            "{name} exceeded the CONGEST budget: {peak} bits"
         );
     }
 }
